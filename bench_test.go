@@ -1,0 +1,281 @@
+package mobisense_test
+
+// The bench harness regenerates every table and figure of the paper's
+// evaluation as Go benchmarks, reporting the headline quantity of each
+// artifact through b.ReportMetric so that
+//
+//	go test -bench=. -benchmem
+//
+// reproduces the paper's evaluation end to end. Benches run the Quick
+// variants of the experiment sweeps (full N = 240 scenarios, reduced sweep
+// grids); the cmd/experiments binary runs the full grids.
+
+import (
+	"strings"
+	"testing"
+
+	"mobisense"
+	"mobisense/internal/experiments"
+)
+
+// metricName sanitizes a row label into a benchmark metric unit (metric
+// units must not contain whitespace).
+func metricName(label, metric string) string {
+	r := strings.NewReplacer(" ", "_", "(", "", ")", "", "=", "", ",", "")
+	return r.Replace(label) + "/" + metric
+}
+
+func reportRows(b *testing.B, rows []experiments.Row, metrics ...string) {
+	b.Helper()
+	for _, r := range rows {
+		for _, m := range metrics {
+			b.ReportMetric(r.Get(m), metricName(r.Label, m))
+		}
+	}
+}
+
+// BenchmarkFig3CPVFCoverage regenerates Figure 3: CPVF's coverage in the
+// three canonical scenarios (obstacle-free rc=60/rs=40, rc=30, and the
+// two-obstacle field).
+func BenchmarkFig3CPVFCoverage(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Fig3(experiments.Options{Quick: true})
+		if i == b.N-1 {
+			reportRows(b, rows, "coverage", "paper_coverage")
+		}
+	}
+}
+
+// BenchmarkFig8FLOORCoverage regenerates Figure 8: FLOOR in the same
+// scenarios.
+func BenchmarkFig8FLOORCoverage(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Fig8(experiments.Options{Quick: true})
+		if i == b.N-1 {
+			reportRows(b, rows, "coverage", "paper_coverage")
+		}
+	}
+}
+
+// BenchmarkFig9CoverageSweep regenerates Figure 9: coverage of CPVF,
+// FLOOR and OPT across sensor counts and (rc, rs) pairs.
+func BenchmarkFig9CoverageSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Fig9(experiments.Options{Quick: true})
+		if i == b.N-1 {
+			reportRows(b, rows, "cpvf_coverage", "floor_coverage", "opt_coverage")
+		}
+	}
+}
+
+// BenchmarkFig10VoronoiComparison regenerates Figure 10: FLOOR vs VOR vs
+// Minimax over rc/rs, with disconnection and incorrect-VD detection.
+func BenchmarkFig10VoronoiComparison(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Fig10(experiments.Options{Quick: true})
+		if i == b.N-1 {
+			reportRows(b, rows, "floor_coverage", "vor_coverage", "minimax_coverage",
+				"vor_connected", "minimax_connected")
+		}
+	}
+}
+
+// BenchmarkFig11MovingDistance regenerates Figure 11: average moving
+// distance of the six schemes.
+func BenchmarkFig11MovingDistance(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Fig11(experiments.Options{Quick: true})
+		if i == b.N-1 {
+			reportRows(b, rows, "avg_distance")
+		}
+	}
+}
+
+// BenchmarkFig12OscillationAvoidance regenerates Figure 12: the effect of
+// the oscillation-avoidance factor δ on CPVF's distance and coverage.
+func BenchmarkFig12OscillationAvoidance(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Fig12(experiments.Options{Quick: true})
+		if i == b.N-1 {
+			reportRows(b, rows, "avg_distance", "coverage")
+		}
+	}
+}
+
+// BenchmarkFig13RandomObstacles regenerates Figure 13: coverage and
+// moving-distance distributions of CPVF and FLOOR over random-obstacle
+// deployments.
+func BenchmarkFig13RandomObstacles(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Fig13(experiments.Options{Quick: true})
+		if i == b.N-1 {
+			reportRows(b, rows[:1], "cpvf_coverage", "floor_coverage",
+				"cpvf_distance", "floor_distance")
+		}
+	}
+}
+
+// BenchmarkTable1MessageOverhead regenerates Table 1: FLOOR's protocol
+// message counts across N and invitation TTL.
+func BenchmarkTable1MessageOverhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Table1(experiments.Options{Quick: true})
+		if i == b.N-1 {
+			reportRows(b, rows, "total_k", "per_node_k", "paper_total_k")
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Ablation benches for the design choices DESIGN.md calls out.
+
+func ablationConfig(s mobisense.Scheme) mobisense.Config {
+	cfg := mobisense.DefaultConfig(s)
+	cfg.N = 120
+	return cfg
+}
+
+// BenchmarkAblationLazyMovement compares CPVF's moving distance with and
+// without the §3.3 lazy-movement strategy.
+func BenchmarkAblationLazyMovement(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		on, err := mobisense.Run(ablationConfig(mobisense.SchemeCPVF))
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg := ablationConfig(mobisense.SchemeCPVF)
+		cfg.CPVF = &mobisense.CPVFOptions{DisableLazy: true}
+		offRes, err := mobisense.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			b.ReportMetric(on.AvgMoveDistance, "lazy-on/distance")
+			b.ReportMetric(offRes.AvgMoveDistance, "lazy-off/distance")
+			b.ReportMetric(on.Coverage, "lazy-on/coverage")
+			b.ReportMetric(offRes.Coverage, "lazy-off/coverage")
+		}
+	}
+}
+
+// BenchmarkAblationParentChange compares CPVF with and without the §4.2
+// parent-change protocol.
+func BenchmarkAblationParentChange(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		on, err := mobisense.Run(ablationConfig(mobisense.SchemeCPVF))
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg := ablationConfig(mobisense.SchemeCPVF)
+		cfg.CPVF = &mobisense.CPVFOptions{DisallowParentChange: true}
+		off, err := mobisense.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			b.ReportMetric(on.Coverage, "parent-change-on/coverage")
+			b.ReportMetric(off.Coverage, "parent-change-off/coverage")
+		}
+	}
+}
+
+// BenchmarkAblationFloorTTL sweeps FLOOR's invitation TTL, the
+// message-overhead vs coverage trade of Table 1.
+func BenchmarkAblationFloorTTL(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, ttl := range []int{12, 24, 48} {
+			cfg := ablationConfig(mobisense.SchemeFLOOR)
+			cfg.Floor = &mobisense.FloorOptions{TTL: ttl}
+			res, err := mobisense.Run(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if i == b.N-1 {
+				label := "ttl-" + itoa(ttl)
+				b.ReportMetric(res.Coverage, label+"/coverage")
+				b.ReportMetric(float64(res.Messages)/1000, label+"/messages_k")
+			}
+		}
+	}
+}
+
+// BenchmarkAblationExclusiveFrac sweeps FLOOR's §5.3 movability threshold.
+func BenchmarkAblationExclusiveFrac(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, frac := range []float64{0.2, 0.4, 0.6, 0.8} {
+			cfg := ablationConfig(mobisense.SchemeFLOOR)
+			cfg.Floor = &mobisense.FloorOptions{ExclusiveFrac: frac}
+			res, err := mobisense.Run(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if i == b.N-1 {
+				label := "frac-" + ftoa(frac)
+				b.ReportMetric(res.Coverage, label+"/coverage")
+				b.ReportMetric(res.AvgMoveDistance, label+"/distance")
+			}
+		}
+	}
+}
+
+// BenchmarkAblationFloorRouting compares Algorithm 1's three-leg connect
+// route against a straight BUG2 walk (§5.2's overlap-reduction claim).
+func BenchmarkAblationFloorRouting(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		threeLeg, err := mobisense.Run(ablationConfig(mobisense.SchemeFLOOR))
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg := ablationConfig(mobisense.SchemeFLOOR)
+		cfg.Floor = &mobisense.FloorOptions{DirectConnectWalk: true}
+		direct, err := mobisense.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			b.ReportMetric(threeLeg.Coverage, "three-leg/coverage")
+			b.ReportMetric(direct.Coverage, "direct/coverage")
+			b.ReportMetric(threeLeg.AvgMoveDistance, "three-leg/distance")
+			b.ReportMetric(direct.AvgMoveDistance, "direct/distance")
+		}
+	}
+}
+
+// BenchmarkAblationExpansionPriority compares FLOOR with and without the
+// FLG > BLG > IFLG invitation priority (§5.5.1).
+func BenchmarkAblationExpansionPriority(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		on, err := mobisense.Run(ablationConfig(mobisense.SchemeFLOOR))
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg := ablationConfig(mobisense.SchemeFLOOR)
+		cfg.Floor = &mobisense.FloorOptions{DisablePriority: true}
+		off, err := mobisense.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			b.ReportMetric(on.Coverage, "priority-on/coverage")
+			b.ReportMetric(off.Coverage, "priority-off/coverage")
+		}
+	}
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}
+
+func ftoa(v float64) string {
+	return itoa(int(v*10 + 0.5))
+}

@@ -1,0 +1,110 @@
+// Command deploy runs a single sensor deployment and reports its metrics,
+// an ASCII layout map, and optionally a CSV of final positions.
+//
+// Examples:
+//
+//	deploy -scheme floor
+//	deploy -scheme cpvf -field two-obstacles -n 240 -rc 60 -rs 40
+//	deploy -scheme vor -rc 240 -rs 60 -map=false
+//	deploy -scheme floor -field random -field-seed 7 -csv layout.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mobisense"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		scheme    = flag.String("scheme", "floor", "deployment scheme: cpvf, floor, vor, minimax, opt")
+		fieldKind = flag.String("field", "free", "field: free, two-obstacles, random")
+		fieldSeed = flag.Uint64("field-seed", 1, "seed for -field random")
+		n         = flag.Int("n", 240, "number of sensors")
+		rc        = flag.Float64("rc", 60, "communication range (m)")
+		rs        = flag.Float64("rs", 40, "sensing range (m)")
+		speed     = flag.Float64("speed", 2, "maximum speed (m/s)")
+		duration  = flag.Float64("duration", 750, "simulated time (s)")
+		seed      = flag.Uint64("seed", 1, "run seed")
+		uniform   = flag.Bool("uniform", false, "uniform initial distribution instead of clustered")
+		osc       = flag.String("oscillation", "none", "CPVF oscillation avoidance: none, one-step, two-step")
+		delta     = flag.Float64("delta", 4, "CPVF oscillation avoidance factor δ")
+		ttl       = flag.Int("ttl", 0, "FLOOR invitation TTL in hops (0 = 0.2*N)")
+		showMap   = flag.Bool("map", true, "print an ASCII layout map")
+		csvPath   = flag.String("csv", "", "write final positions CSV to this path")
+	)
+	flag.Parse()
+
+	cfg := mobisense.DefaultConfig(mobisense.Scheme(*scheme))
+	cfg.N = *n
+	cfg.Rc = *rc
+	cfg.Rs = *rs
+	cfg.Speed = *speed
+	cfg.Duration = *duration
+	cfg.Seed = *seed
+	cfg.ClusterInit = !*uniform
+	cfg.CPVF = &mobisense.CPVFOptions{Oscillation: *osc, Delta: *delta}
+	cfg.Floor = &mobisense.FloorOptions{TTL: *ttl}
+
+	switch *fieldKind {
+	case "free":
+		cfg.Field = mobisense.ObstacleFreeField()
+	case "two-obstacles":
+		cfg.Field = mobisense.TwoObstacleField()
+	case "random":
+		f, err := mobisense.RandomObstacleField(*fieldSeed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "random field: %v\n", err)
+			return 1
+		}
+		cfg.Field = f
+	default:
+		fmt.Fprintf(os.Stderr, "unknown field %q\n", *fieldKind)
+		return 2
+	}
+
+	res, err := mobisense.Run(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "run: %v\n", err)
+		return 1
+	}
+
+	fmt.Printf("scheme           %s\n", res.Scheme)
+	fmt.Printf("coverage         %.1f%%\n", 100*res.Coverage)
+	fmt.Printf("avg distance     %.1f m\n", res.AvgMoveDistance)
+	fmt.Printf("connected        %v\n", res.Connected)
+	if res.Messages > 0 {
+		fmt.Printf("messages         %d (%.1f per sensor per second)\n",
+			res.Messages, float64(res.Messages)/float64(cfg.N)/cfg.Duration)
+	}
+	if res.ConvergenceTime > 0 {
+		fmt.Printf("last movement    %.0f s\n", res.ConvergenceTime)
+	}
+	if res.Placements != nil {
+		fmt.Printf("floor placements flg=%d blg=%d iflg=%d\n",
+			res.Placements["flg"], res.Placements["blg"], res.Placements["iflg"])
+	}
+	if res.IncorrectVoronoiCells > 0 {
+		fmt.Printf("incorrect cells  %d\n", res.IncorrectVoronoiCells)
+	}
+	fmt.Printf("wall time        %s\n", res.Elapsed.Round(1e6))
+
+	if *showMap {
+		fmt.Println()
+		fmt.Print(res.ASCIIMap(72))
+	}
+	if *csvPath != "" {
+		if err := os.WriteFile(*csvPath, []byte(res.PositionsCSV()), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "write csv: %v\n", err)
+			return 1
+		}
+		fmt.Printf("wrote %s\n", *csvPath)
+	}
+	return 0
+}

@@ -1,0 +1,158 @@
+// Command experiments regenerates the paper's tables and figures
+// (Figures 3 and 8–13, Table 1) as printed tables and CSV files.
+//
+// Usage:
+//
+//	experiments -run all -out results/
+//	experiments -run fig9,fig10 -quick
+//
+// The -quick flag shrinks sweeps for a fast smoke run; the full runs use
+// the paper's parameters (240 sensors, 750 s, 300 random-obstacle
+// deployments for Figure 13) and take a few minutes in total.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"mobisense/internal/experiments"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		runFlag = flag.String("run", "all", "comma-separated experiments: fig3,fig8,fig9,fig10,fig11,fig12,fig13,table1 or all")
+		quick   = flag.Bool("quick", false, "shrink sweeps and run counts for a fast smoke run")
+		seed    = flag.Uint64("seed", 1, "base random seed")
+		outDir  = flag.String("out", "", "directory for CSV output (omit to skip CSV files)")
+	)
+	flag.Parse()
+
+	all := map[string]func(experiments.Options) []experiments.Row{
+		"fig3":   experiments.Fig3,
+		"fig8":   experiments.Fig8,
+		"fig9":   experiments.Fig9,
+		"fig10":  experiments.Fig10,
+		"fig11":  experiments.Fig11,
+		"fig12":  experiments.Fig12,
+		"fig13":  experiments.Fig13,
+		"table1": experiments.Table1,
+	}
+
+	var names []string
+	if *runFlag == "all" {
+		for name := range all {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+	} else {
+		for _, name := range strings.Split(*runFlag, ",") {
+			name = strings.TrimSpace(name)
+			if _, ok := all[name]; !ok {
+				fmt.Fprintf(os.Stderr, "unknown experiment %q\n", name)
+				return 2
+			}
+			names = append(names, name)
+		}
+	}
+
+	opts := experiments.Options{Quick: *quick, Seed: *seed}
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "create output dir: %v\n", err)
+			return 1
+		}
+	}
+
+	for _, name := range names {
+		fmt.Printf("== %s ==\n", name)
+		rows := all[name](opts)
+		printTable(rows)
+		if *outDir != "" {
+			path := filepath.Join(*outDir, name+".csv")
+			if err := os.WriteFile(path, []byte(toCSV(rows)), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "write %s: %v\n", path, err)
+				return 1
+			}
+			fmt.Printf("wrote %s\n", path)
+		}
+		fmt.Println()
+	}
+	return 0
+}
+
+// printTable renders rows with a left label column and one column per
+// metric.
+func printTable(rows []experiments.Row) {
+	if len(rows) == 0 {
+		fmt.Println("(no rows)")
+		return
+	}
+	header := []string{"label"}
+	for _, c := range rows[0].Columns {
+		header = append(header, c.Name)
+	}
+	widths := make([]int, len(header))
+	lines := make([][]string, 0, len(rows)+1)
+	lines = append(lines, header)
+	for _, r := range rows {
+		line := []string{r.Label}
+		for _, c := range r.Columns {
+			line = append(line, fmt.Sprintf("%.3f", c.Value))
+		}
+		lines = append(lines, line)
+	}
+	for _, line := range lines {
+		for i, cell := range line {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	for _, line := range lines {
+		var sb strings.Builder
+		for i, cell := range line {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			pad := 0
+			if i < len(widths) {
+				pad = widths[i] - len(cell)
+			}
+			if i == 0 {
+				sb.WriteString(cell + strings.Repeat(" ", pad))
+			} else {
+				sb.WriteString(strings.Repeat(" ", pad) + cell)
+			}
+		}
+		fmt.Println(sb.String())
+	}
+}
+
+// toCSV renders rows as a CSV document.
+func toCSV(rows []experiments.Row) string {
+	if len(rows) == 0 {
+		return ""
+	}
+	var sb strings.Builder
+	sb.WriteString("label")
+	for _, c := range rows[0].Columns {
+		sb.WriteString("," + c.Name)
+	}
+	sb.WriteString("\n")
+	for _, r := range rows {
+		sb.WriteString(strings.ReplaceAll(r.Label, ",", ";"))
+		for _, c := range r.Columns {
+			fmt.Fprintf(&sb, ",%.6f", c.Value)
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}

@@ -1,0 +1,60 @@
+// Head-to-head comparison of all five schemes on one scenario, showing the
+// trade-offs the paper's evaluation quantifies: the Voronoi baselines only
+// work with generous communication ranges and ignore connectivity, CPVF
+// oscillates, FLOOR balances coverage against moving distance, and the
+// centralized OPT pattern bounds what is achievable.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mobisense"
+)
+
+func main() {
+	schemes := []mobisense.Scheme{
+		mobisense.SchemeCPVF,
+		mobisense.SchemeFLOOR,
+		mobisense.SchemeVOR,
+		mobisense.SchemeMinimax,
+		mobisense.SchemeOPT,
+	}
+
+	fmt.Println("240 sensors, rc=60 m, rs=40 m, clustered start, 1 km² field")
+	fmt.Println()
+	fmt.Printf("%-8s  %9s  %9s  %10s  %s\n", "scheme", "coverage", "distance", "connected", "notes")
+
+	for _, s := range schemes {
+		cfg := mobisense.DefaultConfig(s)
+		res, err := mobisense.Run(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		notes := ""
+		switch {
+		case s == mobisense.SchemeOPT:
+			notes = "centralized pattern; distance = Hungarian bound"
+		case res.IncorrectVoronoiCells > 0:
+			notes = fmt.Sprintf("%d incorrect local Voronoi cells", res.IncorrectVoronoiCells)
+		case res.Messages > 0:
+			notes = fmt.Sprintf("%d protocol messages", res.Messages)
+		}
+		fmt.Printf("%-8s  %8.1f%%  %8.0fm  %10v  %s\n",
+			s, 100*res.Coverage, res.AvgMoveDistance, res.Connected, notes)
+	}
+
+	fmt.Println()
+	fmt.Println("Note how the VD-based schemes need rc/rs ≥ 3 to build correct cells:")
+	for _, rc := range []float64{48, 120, 240} {
+		cfg := mobisense.DefaultConfig(mobisense.SchemeVOR)
+		cfg.Rc = rc
+		cfg.Rs = 60
+		res, err := mobisense.Run(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  VOR rc/rs=%.1f: coverage %5.1f%%, connected=%-5v, incorrect cells %d\n",
+			rc/60, 100*res.Coverage, res.Connected, res.IncorrectVoronoiCells)
+	}
+}

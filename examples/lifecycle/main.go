@@ -1,0 +1,47 @@
+// Lifecycle: deployment under attrition. Sensors die throughout the run
+// (battery, damage) and the network repairs itself — the "whole life
+// cycle" extension the paper's conclusion (§7) sketches: failure recovery
+// on top of the FLOOR deployment scheme.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mobisense"
+)
+
+func main() {
+	// A healthy baseline run, then the same scenario losing a sensor
+	// every 30 simulated seconds.
+	base := mobisense.DefaultConfig(mobisense.SchemeFLOOR)
+	base.N = 200
+	base.Duration = 1500
+
+	healthy, err := mobisense.Run(base)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	failing := base
+	failing.Failures = &mobisense.FailureOptions{Interval: 30, MaxKills: 20}
+	recovered, err := mobisense.Run(failing)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("FLOOR deployment under sensor attrition")
+	fmt.Println()
+	fmt.Printf("%-22s %10s %12s %10s %9s\n", "run", "survivors", "coverage", "2-coverage", "connected")
+	fmt.Printf("%-22s %10d %11.1f%% %9.1f%% %9v\n",
+		"healthy", healthy.Alive, 100*healthy.Coverage, 100*healthy.Coverage2, healthy.Connected)
+	fmt.Printf("%-22s %10d %11.1f%% %9.1f%% %9v\n",
+		"20 failures injected", recovered.Alive, 100*recovered.Coverage, 100*recovered.Coverage2, recovered.Connected)
+	fmt.Println()
+
+	lost := healthy.Coverage - recovered.Coverage
+	fmt.Printf("Losing %d of %d sensors cost %.1f coverage points;\n",
+		base.N-recovered.Alive, base.N, 100*lost)
+	fmt.Println("orphaned subtrees re-homed to surviving neighbors and the holes")
+	fmt.Println("left by dead fixed nodes were re-advertised to spare movables.")
+}

@@ -1,0 +1,84 @@
+package mobisense
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"mobisense/internal/field"
+	"mobisense/internal/geom"
+)
+
+// Field is an opaque handle to a deployment area: a rectangle with
+// optional polygonal obstacles. Construct with ObstacleFreeField,
+// TwoObstacleField, RandomObstacleField or NewField.
+type Field struct {
+	f *field.Field
+}
+
+func (fl Field) internal() *field.Field { return fl.f }
+
+// Bounds returns the field's width and height in meters.
+func (fl Field) Bounds() (w, h float64) {
+	if fl.f == nil {
+		return 0, 0
+	}
+	b := fl.f.Bounds()
+	return b.W(), b.H()
+}
+
+// NumObstacles returns the number of interior obstacles.
+func (fl Field) NumObstacles() int {
+	if fl.f == nil {
+		return 0
+	}
+	return len(fl.f.Obstacles())
+}
+
+// FreeAreaFraction estimates the fraction of the field not blocked by
+// obstacles.
+func (fl Field) FreeAreaFraction() float64 {
+	if fl.f == nil {
+		return 0
+	}
+	return fl.f.FreeArea(5) / fl.f.Bounds().Area()
+}
+
+// ObstacleFreeField returns the paper's standard 1000×1000 m field with no
+// obstacles and the base station at the origin.
+func ObstacleFreeField() Field {
+	return Field{f: field.ObstacleFree()}
+}
+
+// TwoObstacleField returns the Figure 3(c)/8(c) field: two rectangular
+// slabs walling off the initial cluster area with three exits.
+func TwoObstacleField() Field {
+	return Field{f: field.TwoObstacles()}
+}
+
+// RandomObstacleField returns a 1000×1000 m field with 1–4 random
+// rectangular obstacles per §6.4 (possibly overlapping, never partitioning
+// the field).
+func RandomObstacleField(seed uint64) (Field, error) {
+	rng := rand.New(rand.NewPCG(seed, seed^0xabcdef12345))
+	f, err := field.RandomObstacles(rng, field.DefaultRandomObstacleConfig())
+	if err != nil {
+		return Field{}, fmt.Errorf("mobisense: %w", err)
+	}
+	return Field{f: f}, nil
+}
+
+// NewField builds a custom field of the given size with rectangular
+// obstacles, each given as [4]float64{x0, y0, x1, y1}. The base station
+// sits at the origin. It errors if the obstacles partition the free space
+// or bury the base station.
+func NewField(width, height float64, obstacles [][4]float64) (Field, error) {
+	polys := make([]geom.Polygon, len(obstacles))
+	for i, r := range obstacles {
+		polys[i] = geom.R(r[0], r[1], r[2], r[3]).Polygon()
+	}
+	f, err := field.New(geom.R(0, 0, width, height), polys)
+	if err != nil {
+		return Field{}, fmt.Errorf("mobisense: %w", err)
+	}
+	return Field{f: f}, nil
+}

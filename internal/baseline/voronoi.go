@@ -1,0 +1,118 @@
+// Package baseline implements the comparison schemes of §6: the
+// Voronoi-diagram-based VOR and Minimax schemes of Wang et al. [14]
+// (including the §6.2 "explosion" lower bound for clustered starts), and
+// the strip-based optimal deployment pattern of Bai et al. [1]. All three
+// assume an obstacle-free field; VOR and Minimax are connectivity-ignorant,
+// which is exactly the weakness Figure 10 demonstrates.
+package baseline
+
+import (
+	"math"
+
+	"mobisense/internal/geom"
+)
+
+// VoronoiCell computes sensor i's Voronoi cell restricted to bounds, using
+// only the given neighbor positions: the bounds polygon clipped by the
+// perpendicular-bisector half-plane of every neighbor. With all other
+// sensors as neighbors this is the true Voronoi cell; with only the
+// rc-visible neighbors it is the (possibly incorrect) local cell a real
+// sensor can construct (§1, Figure 1).
+func VoronoiCell(self geom.Vec, neighbors []geom.Vec, bounds geom.Rect) geom.Polygon {
+	cell := bounds.Polygon()
+	for _, nb := range neighbors {
+		if cell == nil {
+			return nil
+		}
+		d := nb.Sub(self)
+		if d.Len() < geom.Eps {
+			continue // coincident sensor: bisector undefined
+		}
+		mid := self.Lerp(nb, 0.5)
+		// Direction along the bisector chosen so that `self` lies on the
+		// kept (left) side of a→b.
+		dir := d.Perp()
+		a, b := mid, mid.Add(dir)
+		if geom.Seg(a, b).Side(self) < 0 {
+			a, b = b, a
+		}
+		cell = cell.ClipHalfPlane(a, b)
+	}
+	return cell
+}
+
+// LocalCells computes every sensor's local Voronoi cell from its
+// rc-neighborhood.
+func LocalCells(positions []geom.Vec, rc float64, bounds geom.Rect) []geom.Polygon {
+	cells := make([]geom.Polygon, len(positions))
+	for i, p := range positions {
+		var nbrs []geom.Vec
+		for j, q := range positions {
+			if j != i && p.Dist(q) <= rc {
+				nbrs = append(nbrs, q)
+			}
+		}
+		cells[i] = VoronoiCell(p, nbrs, bounds)
+	}
+	return cells
+}
+
+// TrueCells computes every sensor's exact Voronoi cell (full knowledge).
+func TrueCells(positions []geom.Vec, bounds geom.Rect) []geom.Polygon {
+	cells := make([]geom.Polygon, len(positions))
+	for i, p := range positions {
+		nbrs := make([]geom.Vec, 0, len(positions)-1)
+		for j, q := range positions {
+			if j != i {
+				nbrs = append(nbrs, q)
+			}
+		}
+		cells[i] = VoronoiCell(p, nbrs, bounds)
+	}
+	return cells
+}
+
+// IncorrectCellCount returns how many sensors would construct a wrong
+// Voronoi cell from their rc-neighborhood: the local cell's area differs
+// from the true cell's by more than tol (relative). This drives the
+// "Incorrect VD" annotations of Figure 10.
+func IncorrectCellCount(positions []geom.Vec, rc float64, bounds geom.Rect, tol float64) int {
+	if tol <= 0 {
+		tol = 0.01
+	}
+	local := LocalCells(positions, rc, bounds)
+	truth := TrueCells(positions, bounds)
+	count := 0
+	for i := range positions {
+		la, ta := 0.0, 0.0
+		if local[i] != nil {
+			la = math.Abs(local[i].Area())
+		}
+		if truth[i] != nil {
+			ta = math.Abs(truth[i].Area())
+		}
+		if ta == 0 {
+			continue
+		}
+		if math.Abs(la-ta)/ta > tol {
+			count++
+		}
+	}
+	return count
+}
+
+// FarthestVertex returns the cell vertex farthest from p.
+func FarthestVertex(cell geom.Polygon, p geom.Vec) (geom.Vec, bool) {
+	if len(cell) == 0 {
+		return geom.Vec{}, false
+	}
+	best := cell[0]
+	bestD := p.Dist2(cell[0])
+	for _, v := range cell[1:] {
+		if d := p.Dist2(v); d > bestD {
+			bestD = d
+			best = v
+		}
+	}
+	return best, true
+}

@@ -1,0 +1,93 @@
+package baseline
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"mobisense/internal/field"
+	"mobisense/internal/geom"
+)
+
+func fieldForTest(t *testing.T) *field.Field {
+	t.Helper()
+	return field.MustNew(geom.R(0, 0, 500, 500), nil)
+}
+
+// TestTrueCellsNearestSiteProperty is the defining property of a Voronoi
+// diagram: every sampled point of a site's true cell is at least as close
+// to that site as to any other site.
+func TestTrueCellsNearestSiteProperty(t *testing.T) {
+	rng := rand.New(rand.NewPCG(17, 23))
+	bounds := geom.R(0, 0, 300, 300)
+	for trial := 0; trial < 20; trial++ {
+		n := 3 + rng.IntN(12)
+		sites := make([]geom.Vec, n)
+		for i := range sites {
+			sites[i] = geom.V(rng.Float64()*300, rng.Float64()*300)
+		}
+		cells := TrueCells(sites, bounds)
+		for i, cell := range cells {
+			if cell == nil {
+				t.Fatalf("trial %d: nil cell %d", trial, i)
+			}
+			// Sample the cell interior by shrinking vertices toward the
+			// centroid, avoiding boundary ties.
+			c := cell.Centroid()
+			for _, v := range cell {
+				p := c.Lerp(v, 0.9)
+				dOwn := p.Dist(sites[i])
+				for j, s := range sites {
+					if j == i {
+						continue
+					}
+					if p.Dist(s) < dOwn-1e-6 {
+						t.Fatalf("trial %d: point %v in cell %d is closer to site %d",
+							trial, p, i, j)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestLocalCellsSupersetOfTrue: with fewer known neighbors the local cell
+// can only be larger than (or equal to) the true cell — missing a bisector
+// never shrinks the clipped polygon.
+func TestLocalCellsSupersetOfTrue(t *testing.T) {
+	rng := rand.New(rand.NewPCG(29, 31))
+	bounds := geom.R(0, 0, 300, 300)
+	for trial := 0; trial < 20; trial++ {
+		n := 4 + rng.IntN(10)
+		sites := make([]geom.Vec, n)
+		for i := range sites {
+			sites[i] = geom.V(rng.Float64()*300, rng.Float64()*300)
+		}
+		rc := 50 + rng.Float64()*150
+		local := LocalCells(sites, rc, bounds)
+		truth := TrueCells(sites, bounds)
+		for i := range sites {
+			la, ta := local[i].Area(), truth[i].Area()
+			if la < ta-1e-6 {
+				t.Fatalf("trial %d: local cell %d area %.2f below true %.2f",
+					trial, i, la, ta)
+			}
+		}
+	}
+}
+
+// TestExplosionDistanceBelowDiameter: no optimal assignment can require a
+// sensor to travel farther than the field diameter.
+func TestExplosionDistanceBelowDiameter(t *testing.T) {
+	f := fieldForTest(t)
+	start := clusteredStart(f, 25, 11)
+	_, dists, err := Explode(f, start, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diam := geom.V(0, 0).Dist(geom.V(500, 500))
+	for i, d := range dists {
+		if d > diam {
+			t.Errorf("sensor %d travels %.1f m > diameter", i, d)
+		}
+	}
+}

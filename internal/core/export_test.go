@@ -1,0 +1,7 @@
+package core
+
+// SetPathParentForTest seeds the lazy-movement path-parent chain so tests
+// can construct indirect waiting loops deterministically.
+func (lc *LazyCoordinator) SetPathParentForTest(id, parent int) {
+	lc.pathParent[id] = parent
+}

@@ -1,0 +1,144 @@
+package core
+
+import (
+	"math/rand/v2"
+
+	"mobisense/internal/geom"
+)
+
+// Sensor failure support — the paper's §7 names failure recovery as the
+// next step for these schemes ("extend these schemes from deployment
+// through to the whole life cycle ... including tasks such as failure
+// recovery"); the world model therefore supports killing sensors, and
+// FLOOR implements a repair path on top of it.
+
+// Kill marks sensor id as failed: it stops where it is, leaves the
+// connectivity tree (its children become detached roots until a scheme
+// re-homes them), and disappears from the radio neighborhood. Killing an
+// already-dead sensor is a no-op. It returns the sensor's former children.
+func (w *World) Kill(id int) []int {
+	s := w.Sensors[id]
+	if s.Failed {
+		return nil
+	}
+	now := w.Now()
+	pos := s.PosAt(now)
+	s.From, s.To = pos, pos
+	s.T0, s.T1 = now, now
+	s.Failed = true
+	s.Connected = false
+
+	orphans := append([]int(nil), w.Tree.Children(id)...)
+	for _, c := range orphans {
+		w.Tree.Detach(c)
+	}
+	w.Tree.Detach(id)
+	w.idx.Remove(id)
+	return orphans
+}
+
+// Alive reports whether sensor id has not failed.
+func (w *World) Alive(id int) bool { return !w.Sensors[id].Failed }
+
+// AliveCount returns the number of non-failed sensors.
+func (w *World) AliveCount() int {
+	n := 0
+	for _, s := range w.Sensors {
+		if !s.Failed {
+			n++
+		}
+	}
+	return n
+}
+
+// AliveLayout returns the positions of the non-failed sensors.
+func (w *World) AliveLayout() []geom.Vec {
+	out := make([]geom.Vec, 0, len(w.Sensors))
+	now := w.Now()
+	for _, s := range w.Sensors {
+		if !s.Failed {
+			out = append(out, s.PosAt(now))
+		}
+	}
+	return out
+}
+
+// PhysicallyStranded returns the alive sensors that are flagged Connected
+// but no longer unit-disk reachable from the base station at the given
+// radius. A mid-chain death can break physical connectivity without
+// orphaning anyone in the tree; the base station notices the lost
+// heartbeats and the scheme sends the strays back to re-join.
+func (w *World) PhysicallyStranded(radius float64) []int {
+	positions := make([]geom.Vec, 0, len(w.Sensors))
+	ids := make([]int, 0, len(w.Sensors))
+	now := w.Now()
+	for i, s := range w.Sensors {
+		if !s.Failed {
+			positions = append(positions, s.PosAt(now))
+			ids = append(ids, i)
+		}
+	}
+	reach := UnitDiskReachable(positions, w.F.Reference(), radius)
+	var out []int
+	for k, ok := range reach {
+		if !ok && w.Sensors[ids[k]].Connected {
+			out = append(out, ids[k])
+		}
+	}
+	return out
+}
+
+// FailureInjector kills a random alive sensor at a fixed interval,
+// modeling attritional sensor death during deployment. Attach it after the
+// scheme so the scheme's recovery hooks observe the failures.
+type FailureInjector struct {
+	// Interval between kills, in seconds.
+	Interval float64
+	// MaxKills bounds the total number of failures (0 = unbounded).
+	MaxKills int
+	// OnKill, if set, is invoked after each kill with the victim and its
+	// orphaned children (schemes register their repair handler here).
+	OnKill func(victim int, orphans []int)
+
+	killed int
+}
+
+// Attach schedules the injector's periodic kills on the world.
+func (fi *FailureInjector) Attach(w *World) {
+	if fi.Interval <= 0 {
+		fi.Interval = 50
+	}
+	var tick func()
+	tick = func() {
+		if fi.MaxKills > 0 && fi.killed >= fi.MaxKills {
+			return
+		}
+		if victim, ok := fi.pickVictim(w, w.E.Rand()); ok {
+			orphans := w.Kill(victim)
+			fi.killed++
+			if fi.OnKill != nil {
+				fi.OnKill(victim, orphans)
+			}
+		}
+		if w.Now() < w.P.Duration {
+			w.E.Schedule(fi.Interval, tick)
+		}
+	}
+	w.E.Schedule(fi.Interval, tick)
+}
+
+// Killed returns how many sensors the injector has killed so far.
+func (fi *FailureInjector) Killed() int { return fi.killed }
+
+func (fi *FailureInjector) pickVictim(w *World, rng *rand.Rand) (int, bool) {
+	alive := make([]int, 0, len(w.Sensors))
+	for i, s := range w.Sensors {
+		if !s.Failed {
+			alive = append(alive, i)
+		}
+	}
+	if len(alive) == 0 {
+		return 0, false
+	}
+	return alive[rng.IntN(len(alive))], true
+}

@@ -1,0 +1,94 @@
+package core
+
+import (
+	"mobisense/internal/geom"
+	"mobisense/internal/spatial"
+)
+
+// UnitDiskReachable computes which positions are connected to base through
+// the unit-disk graph of the given radius: two nodes are adjacent when
+// within radius of each other, and a node is adjacent to the base when
+// within radius of it. It returns a reachability mask.
+//
+// This is the ground-truth connectivity used for the flood of §4.1, for
+// verifying the schemes' connectivity guarantee, and for the "Disconn."
+// labels of Figure 10.
+func UnitDiskReachable(positions []geom.Vec, base geom.Vec, radius float64) []bool {
+	n := len(positions)
+	reached := make([]bool, n)
+	if n == 0 {
+		return reached
+	}
+	idx := spatial.New(radius, n)
+	for i, p := range positions {
+		idx.Insert(i, p)
+	}
+	queue := make([]int, 0, n)
+	for i, p := range positions {
+		if p.Dist(base) <= radius {
+			reached[i] = true
+			queue = append(queue, i)
+		}
+	}
+	for len(queue) > 0 {
+		cur := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		idx.ForNeighbors(positions[cur], radius, func(j int, _ geom.Vec) {
+			if !reached[j] {
+				reached[j] = true
+				queue = append(queue, j)
+			}
+		})
+	}
+	return reached
+}
+
+// AllConnected reports whether every position is unit-disk reachable from
+// the base.
+func AllConnected(positions []geom.Vec, base geom.Vec, radius float64) bool {
+	for _, ok := range UnitDiskReachable(positions, base, radius) {
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// FloodFromBase runs the connectivity flood of §4.1 at the current time:
+// sensors within the radius of the base learn they are connected and
+// rebroadcast; every sensor the flood reaches is marked Connected and
+// attached to the tree through the neighbor it first heard from (BFS
+// parent), giving an initial shortest-hop tree. One MsgFlood transmission
+// is counted per node that broadcasts (each sends once).
+func (w *World) FloodFromBase(radius float64) {
+	positions := w.Layout()
+	n := len(positions)
+	idx := spatial.New(radius, n)
+	for i, p := range positions {
+		idx.Insert(i, p)
+	}
+	visited := make([]bool, n)
+	queue := make([]int, 0, n)
+	w.Msg.Count(MsgFlood, 1) // base station's initial broadcast
+	for i, p := range positions {
+		if p.Dist(w.F.Reference()) <= radius {
+			visited[i] = true
+			w.Sensors[i].Connected = true
+			w.Tree.SetParent(i, BaseParent)
+			queue = append(queue, i)
+		}
+	}
+	for head := 0; head < len(queue); head++ {
+		cur := queue[head]
+		w.Msg.Count(MsgFlood, 1) // cur rebroadcasts once
+		idx.ForNeighbors(positions[cur], radius, func(j int, _ geom.Vec) {
+			if visited[j] {
+				return
+			}
+			visited[j] = true
+			w.Sensors[j].Connected = true
+			w.Tree.SetParent(j, cur)
+			queue = append(queue, j)
+		})
+	}
+}

@@ -1,0 +1,105 @@
+package core
+
+// MsgKind classifies protocol messages for the overhead accounting of §6.5
+// (Table 1). Every transmission (one broadcast, or one hop of a unicast
+// path) counts as one message.
+type MsgKind int
+
+// Message kinds used by the schemes.
+const (
+	// MsgFlood is the connectivity flood of §4.1.
+	MsgFlood MsgKind = iota + 1
+	// MsgBeacon is a local neighborhood probe (position/state exchange).
+	MsgBeacon
+	// MsgTreeCtl is tree maintenance: LockTree/UnLockTree/join (§4.2),
+	// movable identification traffic (§5.3).
+	MsgTreeCtl
+	// MsgPathInquiry is the PathParentInquiry loop check of §3.3.
+	MsgPathInquiry
+	// MsgReport is a connected sensor's arrival report to the base
+	// station (§5.3).
+	MsgReport
+	// MsgQuery is a coverage-status query to floor header nodes (§5.4),
+	// and its response.
+	MsgQuery
+	// MsgInvite is a TTL-bounded random-walk Invitation (§5.5.2).
+	MsgInvite
+	// MsgAccept is an AcceptInvitation message.
+	MsgAccept
+	// MsgAck is an Acknowledge or reject response to an acceptance.
+	MsgAck
+	// MsgUpdate is a virtual-fixed-node location update toward the root
+	// (§5.5.2).
+	MsgUpdate
+
+	numMsgKinds
+)
+
+// String implements fmt.Stringer.
+func (k MsgKind) String() string {
+	switch k {
+	case MsgFlood:
+		return "flood"
+	case MsgBeacon:
+		return "beacon"
+	case MsgTreeCtl:
+		return "tree-ctl"
+	case MsgPathInquiry:
+		return "path-inquiry"
+	case MsgReport:
+		return "report"
+	case MsgQuery:
+		return "query"
+	case MsgInvite:
+		return "invite"
+	case MsgAccept:
+		return "accept"
+	case MsgAck:
+		return "ack"
+	case MsgUpdate:
+		return "update"
+	default:
+		return "unknown"
+	}
+}
+
+// MsgStats counts protocol messages by kind.
+type MsgStats struct {
+	counts [numMsgKinds + 1]int64
+}
+
+// Count records n transmissions of the given kind.
+func (m *MsgStats) Count(kind MsgKind, n int) {
+	if kind <= 0 || kind >= numMsgKinds || n <= 0 {
+		return
+	}
+	m.counts[kind] += int64(n)
+}
+
+// Of returns the number of messages of one kind.
+func (m *MsgStats) Of(kind MsgKind) int64 {
+	if kind <= 0 || kind >= numMsgKinds {
+		return 0
+	}
+	return m.counts[kind]
+}
+
+// Total returns the number of messages of all kinds.
+func (m *MsgStats) Total() int64 {
+	var sum int64
+	for _, c := range m.counts {
+		sum += c
+	}
+	return sum
+}
+
+// ByKind returns a map of kind name to count, for reporting.
+func (m *MsgStats) ByKind() map[string]int64 {
+	out := make(map[string]int64, int(numMsgKinds))
+	for k := MsgKind(1); k < numMsgKinds; k++ {
+		if m.counts[k] > 0 {
+			out[k.String()] = m.counts[k]
+		}
+	}
+	return out
+}

@@ -1,0 +1,12 @@
+package core
+
+// Scheme is a deployment scheme controller. Attach wires the scheme's
+// event handlers into a freshly constructed world; the caller then runs the
+// world's engine for the configured duration.
+type Scheme interface {
+	// Name identifies the scheme in results and reports.
+	Name() string
+	// Attach registers the scheme's initial events on the world. It must
+	// be called exactly once, before the engine runs.
+	Attach(w *World)
+}

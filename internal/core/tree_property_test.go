@@ -1,0 +1,106 @@
+package core
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+// refTree is a trivial reference implementation of the connectivity tree
+// (parent array only; children derived by scan) used to cross-check Tree's
+// incremental bookkeeping under random operation sequences.
+type refTree struct {
+	parent []int
+}
+
+func newRefTree(n int) *refTree {
+	r := &refTree{parent: make([]int, n)}
+	for i := range r.parent {
+		r.parent[i] = NoParent
+	}
+	return r
+}
+
+func (r *refTree) wouldLoop(child, parent int) bool {
+	for cur := parent; cur >= 0; cur = r.parent[cur] {
+		if cur == child {
+			return true
+		}
+	}
+	return parent == child
+}
+
+func (r *refTree) children(id int) map[int]bool {
+	out := map[int]bool{}
+	for i, p := range r.parent {
+		if p == id {
+			out[i] = true
+		}
+	}
+	return out
+}
+
+func (r *refTree) inTree(id int) bool {
+	for cur := id; ; {
+		p := r.parent[cur]
+		if p == BaseParent {
+			return true
+		}
+		if p == NoParent {
+			return false
+		}
+		cur = p
+	}
+}
+
+// TestTreeMatchesReferenceUnderRandomOps drives Tree and the reference
+// implementation with the same random SetParent/Detach sequence and
+// compares parents, children sets, and rootedness after every step.
+func TestTreeMatchesReferenceUnderRandomOps(t *testing.T) {
+	const n = 24
+	rng := rand.New(rand.NewPCG(42, 99))
+	tree := NewTree(n)
+	ref := newRefTree(n)
+
+	for step := 0; step < 5000; step++ {
+		id := rng.IntN(n)
+		switch rng.IntN(4) {
+		case 0: // attach to base
+			if tree.SetParent(id, BaseParent) {
+				ref.parent[id] = BaseParent
+			}
+		case 1, 2: // attach to random sensor
+			p := rng.IntN(n)
+			got := tree.SetParent(id, p)
+			want := p != id && !ref.wouldLoop(id, p)
+			if got != want {
+				t.Fatalf("step %d: SetParent(%d,%d) = %v, reference says %v", step, id, p, got, want)
+			}
+			if got {
+				ref.parent[id] = p
+			}
+		case 3:
+			tree.Detach(id)
+			ref.parent[id] = NoParent
+		}
+
+		// Full-state comparison.
+		for i := 0; i < n; i++ {
+			if tree.Parent(i) != ref.parent[i] {
+				t.Fatalf("step %d: parent(%d) = %d, reference %d", step, i, tree.Parent(i), ref.parent[i])
+			}
+			wantKids := ref.children(i)
+			gotKids := tree.Children(i)
+			if len(gotKids) != len(wantKids) {
+				t.Fatalf("step %d: children(%d) size %d, reference %d", step, i, len(gotKids), len(wantKids))
+			}
+			for _, c := range gotKids {
+				if !wantKids[c] {
+					t.Fatalf("step %d: spurious child %d of %d", step, c, i)
+				}
+			}
+			if tree.InTree(i) != ref.inTree(i) {
+				t.Fatalf("step %d: InTree(%d) = %v, reference %v", step, i, tree.InTree(i), ref.inTree(i))
+			}
+		}
+	}
+}

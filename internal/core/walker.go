@@ -1,0 +1,123 @@
+package core
+
+import (
+	"mobisense/internal/bug2"
+	"mobisense/internal/field"
+	"mobisense/internal/geom"
+)
+
+// Walker produces movement toward connectivity for one sensor. CPVF walks
+// straight to the base station with BUG2 (§4.1); FLOOR routes through two
+// intermediate destinations (§5.2, Algorithm 1). The lazy-movement driver
+// (§3.3) is agnostic to the route, so both are Walkers.
+type Walker interface {
+	// Advance moves up to budget meters along the route and returns the
+	// distance actually traveled.
+	Advance(budget float64) float64
+	// Pos returns the walker's current position.
+	Pos() geom.Vec
+	// Target returns the current destination (used by the lazy-movement
+	// "is this neighbor ahead of me" test).
+	Target() geom.Vec
+	// Arrived reports that the final destination was reached.
+	Arrived() bool
+	// Stuck reports that the route cannot be completed.
+	Stuck() bool
+}
+
+// Leg is one stage of a multi-leg route.
+type Leg struct {
+	// Target is the leg's destination.
+	Target geom.Vec
+	// StopOnHit ends the leg at the first obstacle contact instead of
+	// wall-following around it (Algorithm 1's "until ... hitting an
+	// obstacle").
+	StopOnHit bool
+}
+
+// RouteWalker walks a sequence of legs with BUG2, starting each leg from
+// wherever the previous one ended.
+type RouteWalker struct {
+	f       *field.Field
+	legs    []Leg
+	cur     int
+	pos     geom.Vec
+	planner *bug2.Planner
+	hand    bug2.Hand
+	stuck   bool
+}
+
+var _ Walker = (*RouteWalker)(nil)
+
+// NewRouteWalker creates a walker at start that will traverse the given
+// legs in order. The legs slice is copied.
+func NewRouteWalker(f *field.Field, start geom.Vec, legs []Leg, hand bug2.Hand) *RouteWalker {
+	w := &RouteWalker{
+		f:    f,
+		legs: append([]Leg(nil), legs...),
+		pos:  start,
+		hand: hand,
+	}
+	if len(w.legs) == 0 {
+		w.legs = []Leg{{Target: start}}
+	}
+	return w
+}
+
+// NewDirectWalker creates a single-leg walker to target with full BUG2
+// (CPVF's connectivity walk, §4.1).
+func NewDirectWalker(f *field.Field, start, target geom.Vec) *RouteWalker {
+	return NewRouteWalker(f, start, []Leg{{Target: target}}, bug2.RightHand)
+}
+
+// Pos implements Walker.
+func (r *RouteWalker) Pos() geom.Vec { return r.pos }
+
+// Target implements Walker.
+func (r *RouteWalker) Target() geom.Vec {
+	if r.cur >= len(r.legs) {
+		return r.legs[len(r.legs)-1].Target
+	}
+	return r.legs[r.cur].Target
+}
+
+// Arrived implements Walker.
+func (r *RouteWalker) Arrived() bool { return r.cur >= len(r.legs) && !r.stuck }
+
+// Stuck implements Walker.
+func (r *RouteWalker) Stuck() bool { return r.stuck }
+
+// Advance implements Walker.
+func (r *RouteWalker) Advance(budget float64) float64 {
+	var moved float64
+	for budget-moved > 1e-9 && !r.Arrived() && !r.stuck {
+		leg := r.legs[r.cur]
+		if r.planner == nil {
+			opts := []bug2.Option{bug2.WithHand(r.hand), bug2.WithArriveTolerance(0.5)}
+			if leg.StopOnHit {
+				opts = append(opts, bug2.WithStopOnHit())
+			}
+			r.planner = bug2.New(r.f, r.pos, leg.Target, opts...)
+		}
+		moved += r.planner.Advance(budget - moved)
+		r.pos = r.planner.Pos()
+		switch r.planner.Status() {
+		case bug2.StatusMoving:
+			// Budget exhausted mid-leg.
+			return moved
+		case bug2.StatusArrived, bug2.StatusHit:
+			// Leg complete (or cut short by obstacle contact in
+			// stop-on-hit legs); move to the next leg.
+			r.cur++
+			r.planner = nil
+		case bug2.StatusStuck:
+			if leg.StopOnHit {
+				r.cur++
+				r.planner = nil
+			} else {
+				r.stuck = true
+			}
+		}
+	}
+	return moved
+}

@@ -1,0 +1,247 @@
+package core
+
+import (
+	"fmt"
+
+	"mobisense/internal/field"
+	"mobisense/internal/geom"
+	"mobisense/internal/sim"
+	"mobisense/internal/spatial"
+)
+
+// Sensor is one mobile node. Its position is piecewise linear in time: a
+// step record says it moves from From to To during [T0, T1] at uniform
+// speed (§3.1). Outside that window it is stationary at the nearer
+// endpoint.
+type Sensor struct {
+	ID int
+
+	// Current step record.
+	From, To geom.Vec
+	T0, T1   float64
+
+	// Traveled is the cumulative path length (the energy-dominating
+	// metric of §6.2). It may exceed the displacement when BUG2 rounds
+	// corners within a period.
+	Traveled float64
+
+	// Connected reports whether the sensor has joined the base-station
+	// tree.
+	Connected bool
+
+	// Failed marks a dead sensor (§7 failure recovery): it no longer
+	// moves, communicates, or counts toward coverage.
+	Failed bool
+
+	// Phase is the offset of this sensor's period boundaries.
+	Phase float64
+}
+
+// PosAt returns the sensor position at time t.
+func (s *Sensor) PosAt(t float64) geom.Vec {
+	switch {
+	case t <= s.T0:
+		return s.From
+	case t >= s.T1:
+		return s.To
+	default:
+		return s.From.Lerp(s.To, (t-s.T0)/(s.T1-s.T0))
+	}
+}
+
+// Moving reports whether the sensor is mid-step at time t.
+func (s *Sensor) Moving(t float64) bool {
+	return t >= s.T0 && t < s.T1 && !s.From.Eq(s.To)
+}
+
+// World owns the sensors, the field, the clock and the message counters; it
+// is shared by every deployment scheme.
+type World struct {
+	P       Params
+	E       *sim.Engine
+	F       *field.Field
+	Sensors []*Sensor
+	Msg     *MsgStats
+	Tree    *Tree
+
+	idx      *spatial.Index
+	lastMove float64
+}
+
+// NewWorld builds a world with sensors placed uniformly at random in
+// P.InitRegion (clipped to free space).
+func NewWorld(f *field.Field, p Params) (*World, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	w := &World{
+		P:       p,
+		E:       sim.NewEngine(p.Seed),
+		F:       f,
+		Sensors: make([]*Sensor, p.N),
+		Msg:     &MsgStats{},
+		Tree:    NewTree(p.N),
+		idx:     spatial.New(p.Rc, p.N),
+	}
+	rng := w.E.Rand()
+	for i := 0; i < p.N; i++ {
+		pos := f.RandomFreePoint(rng, p.InitRegion)
+		s := &Sensor{ID: i, From: pos, To: pos}
+		if p.PhaseJitter > 0 {
+			s.Phase = rng.Float64() * p.PhaseJitter * p.Period
+		}
+		w.Sensors[i] = s
+		w.idx.Insert(i, pos)
+	}
+	return w, nil
+}
+
+// Now returns the current simulation time.
+func (w *World) Now() float64 { return w.E.Now() }
+
+// Pos returns sensor id's position at the current time.
+func (w *World) Pos(id int) geom.Vec { return w.Sensors[id].PosAt(w.Now()) }
+
+// PosAt returns sensor id's position at time t.
+func (w *World) PosAt(id int, t float64) geom.Vec { return w.Sensors[id].PosAt(t) }
+
+// BeginStep commits sensor id to move from its current position to `to`
+// during the next dur seconds, traveling pathLen meters (pathLen may exceed
+// the displacement when the underlying path bends around obstacle corners).
+// The paper's motion model (§3.1): one straight-line step per period at
+// uniform speed.
+func (w *World) BeginStep(id int, to geom.Vec, pathLen, dur float64) {
+	s := w.Sensors[id]
+	now := w.Now()
+	from := s.PosAt(now)
+	if pathLen < 0 {
+		panic(fmt.Sprintf("core: negative path length %v for sensor %d", pathLen, id))
+	}
+	maxLen := w.P.Speed*dur + 1e-6
+	if pathLen > maxLen {
+		panic(fmt.Sprintf("core: step of %v m exceeds speed limit %v m for sensor %d", pathLen, maxLen, id))
+	}
+	s.From = from
+	s.To = to
+	s.T0 = now
+	s.T1 = now + dur
+	s.Traveled += pathLen
+	if pathLen > 1e-9 {
+		w.lastMove = now + dur
+		w.idx.Insert(id, from)
+	}
+}
+
+// Teleport instantly places sensor id at pos without charging moving
+// distance. It is used for scenario setup in tests and for baselines whose
+// pre-computed relocation cost is accounted separately (the explosion phase
+// of §6.2).
+func (w *World) Teleport(id int, pos geom.Vec) {
+	s := w.Sensors[id]
+	now := w.Now()
+	s.From = pos
+	s.To = pos
+	s.T0 = now
+	s.T1 = now
+	w.idx.Insert(id, pos)
+}
+
+// Stay commits sensor id to remain stationary for the next dur seconds.
+func (w *World) Stay(id int, dur float64) {
+	s := w.Sensors[id]
+	now := w.Now()
+	pos := s.PosAt(now)
+	s.From = pos
+	s.To = pos
+	s.T0 = now
+	s.T1 = now + dur
+}
+
+// ForNeighbors calls fn for every other sensor within radius r of sensor id
+// at the current time. The spatial index stores step-start positions, so
+// queries are padded by twice the maximum per-period displacement and then
+// filtered exactly.
+func (w *World) ForNeighbors(id int, r float64, fn func(j int, pos geom.Vec)) {
+	now := w.Now()
+	center := w.Pos(id)
+	pad := 2 * w.P.MaxStep()
+	w.idx.ForNeighbors(center, r+pad, func(j int, _ geom.Vec) {
+		if j == id || w.Sensors[j].Failed {
+			return
+		}
+		p := w.Sensors[j].PosAt(now)
+		if p.Dist(center) <= r {
+			fn(j, p)
+		}
+	})
+}
+
+// Neighbors returns the IDs of sensors within radius r of sensor id at the
+// current time, in ascending order.
+func (w *World) Neighbors(id int, r float64) []int {
+	var out []int
+	w.ForNeighbors(id, r, func(j int, _ geom.Vec) { out = append(out, j) })
+	// ForNeighbors iterates in grid order; sort for determinism across
+	// index states.
+	for i := 1; i < len(out); i++ {
+		for k := i; k > 0 && out[k] < out[k-1]; k-- {
+			out[k], out[k-1] = out[k-1], out[k]
+		}
+	}
+	return out
+}
+
+// NearBase reports whether sensor id is within radius r of the base
+// station.
+func (w *World) NearBase(id int, r float64) bool {
+	return w.Pos(id).Dist(w.F.Reference()) <= r
+}
+
+// Layout returns a snapshot of all sensor positions at the current time.
+func (w *World) Layout() []geom.Vec {
+	out := make([]geom.Vec, len(w.Sensors))
+	for i, s := range w.Sensors {
+		out[i] = s.PosAt(w.Now())
+	}
+	return out
+}
+
+// AvgTraveled returns the mean cumulative moving distance per sensor.
+func (w *World) AvgTraveled() float64 {
+	var sum float64
+	for _, s := range w.Sensors {
+		sum += s.Traveled
+	}
+	return sum / float64(len(w.Sensors))
+}
+
+// LastMoveTime returns the time at which the last committed movement ends,
+// i.e. the convergence time of the deployment so far.
+func (w *World) LastMoveTime() float64 { return w.lastMove }
+
+// ConnectedCount returns the number of sensors flagged Connected.
+func (w *World) ConnectedCount() int {
+	n := 0
+	for _, s := range w.Sensors {
+		if s.Connected {
+			n++
+		}
+	}
+	return n
+}
+
+// PeriodStart returns the first decision time at or after t for sensor id,
+// respecting its phase offset.
+func (w *World) PeriodStart(id int, t float64) float64 {
+	s := w.Sensors[id]
+	T := w.P.Period
+	if t <= s.Phase {
+		return s.Phase
+	}
+	k := (t - s.Phase) / T
+	ki := float64(int(k))
+	if k > ki {
+		ki++
+	}
+	return s.Phase + ki*T
+}

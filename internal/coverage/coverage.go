@@ -1,0 +1,193 @@
+// Package coverage measures sensing coverage: the fraction of the free
+// (non-obstacle) field area covered by at least one sensing disk (§4.3's
+// metric), plus the exclusive-coverage estimate used by FLOOR's
+// movable-sensor test (§5.3).
+package coverage
+
+import (
+	"math"
+
+	"mobisense/internal/field"
+	"mobisense/internal/geom"
+)
+
+// Estimator measures coverage on a fixed grid over a field. Construct once
+// per field/resolution and reuse; the free-space mask is precomputed.
+type Estimator struct {
+	f     *field.Field
+	res   float64
+	nx    int
+	ny    int
+	free  []bool
+	nFree int
+}
+
+// NewEstimator builds an estimator with the given grid resolution in
+// meters. Smaller resolutions cost quadratically more per evaluation.
+func NewEstimator(f *field.Field, res float64) *Estimator {
+	if res <= 0 {
+		res = 5
+	}
+	b := f.Bounds()
+	e := &Estimator{
+		f:   f,
+		res: res,
+		nx:  int(math.Ceil(b.W() / res)),
+		ny:  int(math.Ceil(b.H() / res)),
+	}
+	e.free = make([]bool, e.nx*e.ny)
+	for iy := 0; iy < e.ny; iy++ {
+		for ix := 0; ix < e.nx; ix++ {
+			p := e.cellCenter(ix, iy)
+			if b.Contains(p) && f.Free(p) {
+				e.free[iy*e.nx+ix] = true
+				e.nFree++
+			}
+		}
+	}
+	return e
+}
+
+func (e *Estimator) cellCenter(ix, iy int) geom.Vec {
+	b := e.f.Bounds()
+	return geom.V(b.Min.X+(float64(ix)+0.5)*e.res, b.Min.Y+(float64(iy)+0.5)*e.res)
+}
+
+// Resolution returns the grid resolution.
+func (e *Estimator) Resolution() float64 { return e.res }
+
+// FreeArea returns the estimated free (non-obstacle) area of the field.
+func (e *Estimator) FreeArea() float64 {
+	return float64(e.nFree) * e.res * e.res
+}
+
+// Fraction returns the fraction of the free area covered by at least one
+// disk of radius rs centered at the given positions. Sensing is
+// line-of-sight: area behind an obstacle is not covered.
+func (e *Estimator) Fraction(positions []geom.Vec, rs float64) float64 {
+	if e.nFree == 0 {
+		return 0
+	}
+	covered := make([]bool, len(e.free))
+	count := 0
+	b := e.f.Bounds()
+	rs2 := rs * rs
+	los := len(e.f.Obstacles()) > 0
+	for _, p := range positions {
+		ix0 := clamp(int((p.X-rs-b.Min.X)/e.res), 0, e.nx-1)
+		ix1 := clamp(int((p.X+rs-b.Min.X)/e.res), 0, e.nx-1)
+		iy0 := clamp(int((p.Y-rs-b.Min.Y)/e.res), 0, e.ny-1)
+		iy1 := clamp(int((p.Y+rs-b.Min.Y)/e.res), 0, e.ny-1)
+		for iy := iy0; iy <= iy1; iy++ {
+			for ix := ix0; ix <= ix1; ix++ {
+				i := iy*e.nx + ix
+				if covered[i] || !e.free[i] {
+					continue
+				}
+				c := e.cellCenter(ix, iy)
+				if c.Dist2(p) > rs2 {
+					continue
+				}
+				if los && !e.f.Visible(p, c) {
+					continue
+				}
+				covered[i] = true
+				count++
+			}
+		}
+	}
+	return float64(count) / float64(e.nFree)
+}
+
+// CoveredArea returns the covered free area in square meters.
+func (e *Estimator) CoveredArea(positions []geom.Vec, rs float64) float64 {
+	return e.Fraction(positions, rs) * e.FreeArea()
+}
+
+// KFraction returns the fraction of the free area covered by at least k
+// sensing disks (k-coverage, the "higher degree of coverage" the paper's
+// §7 names as future work). KFraction(p, rs, 1) equals Fraction(p, rs).
+func (e *Estimator) KFraction(positions []geom.Vec, rs float64, k int) float64 {
+	if e.nFree == 0 || k <= 0 {
+		return 0
+	}
+	counts := make([]int16, len(e.free))
+	b := e.f.Bounds()
+	rs2 := rs * rs
+	los := len(e.f.Obstacles()) > 0
+	for _, p := range positions {
+		ix0 := clamp(int((p.X-rs-b.Min.X)/e.res), 0, e.nx-1)
+		ix1 := clamp(int((p.X+rs-b.Min.X)/e.res), 0, e.nx-1)
+		iy0 := clamp(int((p.Y-rs-b.Min.Y)/e.res), 0, e.ny-1)
+		iy1 := clamp(int((p.Y+rs-b.Min.Y)/e.res), 0, e.ny-1)
+		for iy := iy0; iy <= iy1; iy++ {
+			for ix := ix0; ix <= ix1; ix++ {
+				i := iy*e.nx + ix
+				if !e.free[i] {
+					continue
+				}
+				c := e.cellCenter(ix, iy)
+				if c.Dist2(p) > rs2 {
+					continue
+				}
+				if los && !e.f.Visible(p, c) {
+					continue
+				}
+				counts[i]++
+			}
+		}
+	}
+	covered := 0
+	for i, n := range counts {
+		if e.free[i] && int(n) >= k {
+			covered++
+		}
+	}
+	return float64(covered) / float64(e.nFree)
+}
+
+// ExclusiveArea estimates the free area covered (with line of sight) by a
+// disk of radius rs at center and by no disk at any of the others (§5.3: a
+// sensor becomes movable only when the area it covers exclusively is below
+// a threshold). The estimate samples the disk on a grid of the given
+// resolution.
+func ExclusiveArea(f *field.Field, center geom.Vec, rs float64, others []geom.Vec, res float64) float64 {
+	if res <= 0 {
+		res = rs / 10
+	}
+	rs2 := rs * rs
+	los := len(f.Obstacles()) > 0
+	count := 0
+	for y := center.Y - rs; y <= center.Y+rs; y += res {
+		for x := center.X - rs; x <= center.X+rs; x += res {
+			p := geom.V(x, y)
+			if p.Dist2(center) > rs2 || !f.Bounds().Contains(p) || !f.Free(p) {
+				continue
+			}
+			if los && !f.Visible(center, p) {
+				continue
+			}
+			exclusive := true
+			for _, o := range others {
+				if p.Dist2(o) <= rs2 && (!los || f.Visible(o, p)) {
+					exclusive = false
+					break
+				}
+			}
+			if exclusive {
+				count++
+			}
+		}
+	}
+	return float64(count) * res * res
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,91 @@
+package cpvf
+
+import (
+	"testing"
+
+	"mobisense/internal/core"
+	"mobisense/internal/field"
+	"mobisense/internal/geom"
+)
+
+// TestCPVFLinksPreservedDuringMotion validates the Appendix-A guarantee
+// dynamically: at sub-period sampling instants throughout the run, every
+// maintained tree link (parent/child, or base link) stays within the
+// communication range — not just at period boundaries.
+func TestCPVFLinksPreservedDuringMotion(t *testing.T) {
+	f := field.MustNew(geom.R(0, 0, 400, 400), nil)
+	p := smallParams()
+	p.Duration = 150
+	w, err := core.NewWorld(f, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	New(DefaultConfig()).Attach(w)
+
+	const sample = 0.25 // four samples per period
+	violations := 0
+	for now := 0.0; now < p.Duration; now += sample {
+		w.E.RunUntil(now)
+		for i, s := range w.Sensors {
+			if !s.Connected {
+				continue
+			}
+			pos := w.PosAt(i, now)
+			switch par := w.Tree.Parent(i); {
+			case par >= 0:
+				if d := pos.Dist(w.PosAt(par, now)); d > p.Rc+1e-6 {
+					violations++
+					if violations <= 3 {
+						t.Errorf("t=%.2f: link %d-%d is %.2f m (> rc=%.0f)",
+							now, i, par, d, p.Rc)
+					}
+				}
+			case par == core.BaseParent:
+				if d := pos.Dist(f.Reference()); d > p.Rc+1e-6 {
+					violations++
+					if violations <= 3 {
+						t.Errorf("t=%.2f: base link of %d is %.2f m", now, i, d)
+					}
+				}
+			}
+		}
+	}
+	if violations > 0 {
+		t.Fatalf("%d link violations during motion", violations)
+	}
+}
+
+// TestCPVFConnectedNeverRegresses checks monotonicity: once a sensor is
+// connected it stays connected (flagged) for the rest of the run.
+func TestCPVFConnectedNeverRegresses(t *testing.T) {
+	f := field.MustNew(geom.R(0, 0, 400, 400), nil)
+	p := smallParams()
+	p.Duration = 150
+	w, err := core.NewWorld(f, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	New(DefaultConfig()).Attach(w)
+
+	wasConnected := make([]bool, p.N)
+	for now := 0.0; now < p.Duration; now += 1 {
+		w.E.RunUntil(now)
+		for i, s := range w.Sensors {
+			if wasConnected[i] && !s.Connected {
+				t.Fatalf("t=%.0f: sensor %d lost its Connected flag", now, i)
+			}
+			wasConnected[i] = s.Connected
+		}
+	}
+}
+
+// TestCPVFNoLazyStillConnects covers the §3.3 ablation path: with lazy
+// movement disabled every sensor still reaches the network.
+func TestCPVFNoLazyStillConnects(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.DisableLazy = true
+	w := runScheme(t, smallField(t), smallParams(), cfg)
+	if !core.AllConnected(w.Layout(), w.F.Reference(), w.P.Rc) {
+		t.Fatal("no-lazy run lost connectivity")
+	}
+}

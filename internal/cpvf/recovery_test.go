@@ -1,0 +1,78 @@
+package cpvf
+
+import (
+	"testing"
+
+	"mobisense/internal/core"
+)
+
+// TestCPVFRecoversFromFailures injects sensor deaths during a CPVF run and
+// checks the survivors re-form a connected network (§7 failure-recovery
+// extension).
+func TestCPVFRecoversFromFailures(t *testing.T) {
+	f := smallField(t)
+	p := smallParams()
+	p.N = 50
+	p.Duration = 400
+	w, err := core.NewWorld(f, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(DefaultConfig())
+	s.Attach(w)
+
+	inj := &core.FailureInjector{Interval: 50, MaxKills: 6, OnKill: s.HandleFailure}
+	inj.Attach(w)
+
+	w.E.RunUntil(p.Duration)
+
+	if inj.Killed() != 6 {
+		t.Fatalf("killed = %d", inj.Killed())
+	}
+	if !core.AllConnected(w.AliveLayout(), w.F.Reference(), p.Rc) {
+		t.Error("survivors are not connected after failures")
+	}
+	// Tree invariant: every alive connected sensor is rooted.
+	for i, sen := range w.Sensors {
+		if sen.Failed || !sen.Connected {
+			continue
+		}
+		if !w.Tree.InTree(i) {
+			t.Errorf("sensor %d connected but not rooted after failures", i)
+		}
+	}
+}
+
+// TestCPVFFailureOfBaseAdjacentSensor kills a sensor attached directly to
+// the base station: its subtree must reattach or walk back.
+func TestCPVFFailureOfBaseAdjacentSensor(t *testing.T) {
+	f := smallField(t)
+	p := smallParams()
+	p.N = 40
+	p.Duration = 300
+	w, err := core.NewWorld(f, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(DefaultConfig())
+	s.Attach(w)
+	w.E.RunUntil(100)
+
+	victim := -1
+	for i := 0; i < p.N; i++ {
+		if w.Tree.Parent(i) == core.BaseParent && len(w.Tree.Children(i)) > 0 {
+			victim = i
+			break
+		}
+	}
+	if victim < 0 {
+		t.Skip("no base-adjacent sensor with children at t=100")
+	}
+	orphans := w.Kill(victim)
+	s.HandleFailure(victim, orphans)
+	w.E.RunUntil(p.Duration)
+
+	if !core.AllConnected(w.AliveLayout(), w.F.Reference(), p.Rc) {
+		t.Error("survivors disconnected after base-adjacent failure")
+	}
+}

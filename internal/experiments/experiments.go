@@ -1,0 +1,513 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§4.3, §5.6, §6). Each function reproduces one artifact and
+// returns structured rows that cmd/experiments prints as CSV/tables and
+// the root bench harness reports as benchmark metrics.
+//
+// Absolute values depend on constants the paper does not specify (force
+// law, invitation cadence); the functions therefore also embed the paper's
+// reported numbers where available so reports can show paper-vs-measured
+// side by side.
+package experiments
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"mobisense/internal/baseline"
+	"mobisense/internal/core"
+	"mobisense/internal/coverage"
+	"mobisense/internal/cpvf"
+	"mobisense/internal/field"
+	"mobisense/internal/floor"
+	"mobisense/internal/geom"
+	"mobisense/internal/stats"
+)
+
+// Row is one data point of an experiment: a labeled set of parameter and
+// metric columns, ordered for printing.
+type Row struct {
+	Figure  string
+	Label   string
+	Columns []Column
+}
+
+// Column is one named value of a row.
+type Column struct {
+	Name  string
+	Value float64
+}
+
+// Get returns the named column value (0 when absent).
+func (r Row) Get(name string) float64 {
+	for _, c := range r.Columns {
+		if c.Name == name {
+			return c.Value
+		}
+	}
+	return 0
+}
+
+// Options control experiment size.
+type Options struct {
+	// Quick shrinks sweeps and run counts for smoke tests and benches.
+	Quick bool
+	// Seed drives all runs.
+	Seed uint64
+}
+
+func (o Options) seed() uint64 {
+	if o.Seed == 0 {
+		return 1
+	}
+	return o.Seed
+}
+
+// runOutcome bundles the metrics the experiments need from one run.
+type runOutcome struct {
+	coverage  float64
+	avgDist   float64
+	messages  int64
+	connected bool
+	layout    []geom.Vec
+	starts    []geom.Vec
+}
+
+// runScheme executes one event-driven scheme run.
+func runScheme(f *field.Field, p core.Params, s core.Scheme) runOutcome {
+	w, err := core.NewWorld(f, p)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: %v", err))
+	}
+	starts := w.Layout()
+	s.Attach(w)
+	w.E.RunUntil(p.Duration)
+	layout := w.Layout()
+	est := coverage.NewEstimator(f, p.CoverageRes)
+	return runOutcome{
+		coverage:  est.Fraction(layout, p.Rs),
+		avgDist:   w.AvgTraveled(),
+		messages:  w.Msg.Total(),
+		connected: core.AllConnected(layout, f.Reference(), p.Rc),
+		layout:    layout,
+		starts:    starts,
+	}
+}
+
+// runSchemeStable runs a scheme for at least p.Duration and then keeps
+// extending the horizon in 250 s chunks until no sensor moved during the
+// last chunk (or the cap is reached), mirroring the paper's "after which
+// the sensor layout becomes quite stable".
+func runSchemeStable(f *field.Field, p core.Params, s core.Scheme, capSeconds float64) runOutcome {
+	// Schemes schedule their per-period events only up to p.Duration, so
+	// the horizon is raised to the cap up front and the run is cut short
+	// as soon as a whole chunk passes without movement.
+	minHorizon := p.Duration
+	p.Duration = capSeconds
+	w, err := core.NewWorld(f, p)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: %v", err))
+	}
+	starts := w.Layout()
+	s.Attach(w)
+	w.E.RunUntil(minHorizon)
+	const chunk = 250.0
+	for w.Now() < capSeconds && w.LastMoveTime() > w.Now()-chunk {
+		w.E.RunUntil(w.Now() + chunk)
+	}
+	layout := w.Layout()
+	est := coverage.NewEstimator(f, p.CoverageRes)
+	return runOutcome{
+		coverage:  est.Fraction(layout, p.Rs),
+		avgDist:   w.AvgTraveled(),
+		messages:  w.Msg.Total(),
+		connected: core.AllConnected(layout, f.Reference(), p.Rc),
+		layout:    layout,
+		starts:    starts,
+	}
+}
+
+// paperParams returns the §4.3 standard parameters.
+func paperParams(seed uint64) core.Params {
+	p := core.DefaultParams()
+	p.Seed = seed
+	return p
+}
+
+// Fig3 reproduces Figure 3: CPVF layouts and coverage in the three
+// canonical scenarios.
+func Fig3(o Options) []Row {
+	return layoutScenarios(o, "fig3", func() core.Scheme { return cpvf.New(cpvf.DefaultConfig()) },
+		[3]float64{0.745, 0.264, 0.371})
+}
+
+// Fig8 reproduces Figure 8: FLOOR in the same scenarios.
+func Fig8(o Options) []Row {
+	return layoutScenarios(o, "fig8", func() core.Scheme { return floor.New(floor.DefaultConfig()) },
+		[3]float64{0.788, 0.462, 0.725})
+}
+
+func layoutScenarios(o Options, figure string, mk func() core.Scheme, paper [3]float64) []Row {
+	type scenario struct {
+		label  string
+		rc     float64
+		field  *field.Field
+		paper  float64
+		suffix string
+	}
+	scenarios := []scenario{
+		{"(a) rc=60 rs=40 obstacle-free", 60, field.ObstacleFree(), paper[0], "a"},
+		{"(b) rc=30 rs=40 obstacle-free", 30, field.ObstacleFree(), paper[1], "b"},
+		{"(c) rc=60 rs=40 two obstacles", 60, field.TwoObstacles(), paper[2], "c"},
+	}
+	rows := make([]Row, 0, len(scenarios))
+	for _, sc := range scenarios {
+		p := paperParams(o.seed())
+		p.Rc = sc.rc
+		out := runScheme(sc.field, p, mk())
+		rows = append(rows, Row{
+			Figure: figure,
+			Label:  sc.label,
+			Columns: []Column{
+				{"coverage", out.coverage},
+				{"paper_coverage", sc.paper},
+				{"avg_distance", out.avgDist},
+				{"connected", boolVal(out.connected)},
+			},
+		})
+	}
+	return rows
+}
+
+// Fig9 reproduces Figure 9: coverage of CPVF, FLOOR and OPT for varying
+// sensor counts and (rc, rs) pairs on the obstacle-free field.
+func Fig9(o Options) []Row {
+	ns := []int{120, 160, 200, 240, 280, 320}
+	pairs := [][2]float64{{20, 60}, {40, 60}, {60, 60}}
+	if o.Quick {
+		ns = []int{120, 240}
+		pairs = [][2]float64{{20, 60}, {60, 60}}
+	}
+	var rows []Row
+	for _, pair := range pairs {
+		rc, rs := pair[0], pair[1]
+		for _, n := range ns {
+			p := paperParams(o.seed())
+			p.N = n
+			p.Rc = rc
+			p.Rs = rs
+			f := field.ObstacleFree()
+			est := coverage.NewEstimator(f, p.CoverageRes)
+
+			cp := runScheme(f, p, cpvf.New(cpvf.DefaultConfig()))
+			fl := runScheme(f, p, floor.New(floor.DefaultConfig()))
+			opt := baseline.StripPattern(f.Bounds(), n, rc, rs)
+			optCov := est.Fraction(opt, rs)
+
+			rows = append(rows, Row{
+				Figure: "fig9",
+				Label:  fmt.Sprintf("rc=%.0f rs=%.0f N=%d", rc, rs, n),
+				Columns: []Column{
+					{"n", float64(n)},
+					{"rc", rc},
+					{"rs", rs},
+					{"cpvf_coverage", cp.coverage},
+					{"floor_coverage", fl.coverage},
+					{"opt_coverage", optCov},
+				},
+			})
+		}
+	}
+	return rows
+}
+
+// Fig10 reproduces Figure 10: FLOOR vs VOR vs Minimax for rs = 60 and
+// rc/rs from 0.8 to 4, with disconnection and incorrect-VD detection.
+func Fig10(o Options) []Row {
+	ratios := []float64{0.8, 1, 1.5, 2, 2.5, 3, 3.5, 4}
+	if o.Quick {
+		ratios = []float64{0.8, 2, 4}
+	}
+	rs := 60.0
+	var rows []Row
+	for _, ratio := range ratios {
+		rc := ratio * rs
+		p := paperParams(o.seed())
+		p.Rc = rc
+		p.Rs = rs
+		f := field.ObstacleFree()
+		est := coverage.NewEstimator(f, p.CoverageRes)
+
+		// Small rc/rs slows FLOOR's relocation pipeline; measure the
+		// stabilized layout like the paper does.
+		fl := runSchemeStable(f, p, floor.New(floor.DefaultConfig()), 2250)
+
+		w, err := core.NewWorld(f, p)
+		if err != nil {
+			panic(err)
+		}
+		starts := w.Layout()
+		cfg := baseline.DefaultVDConfig(rc, rs)
+		cfg.Seed = o.seed()
+		vor, err := baseline.RunVOR(f, starts, cfg)
+		if err != nil {
+			panic(err)
+		}
+		mmx, err := baseline.RunMinimax(f, starts, cfg)
+		if err != nil {
+			panic(err)
+		}
+
+		rows = append(rows, Row{
+			Figure: "fig10",
+			Label:  fmt.Sprintf("rc/rs=%.1f", ratio),
+			Columns: []Column{
+				{"rc_over_rs", ratio},
+				{"floor_coverage", fl.coverage},
+				{"vor_coverage", est.Fraction(vor.Positions, rs)},
+				{"minimax_coverage", est.Fraction(mmx.Positions, rs)},
+				{"floor_connected", boolVal(fl.connected)},
+				{"vor_connected", boolVal(core.AllConnected(vor.Positions, f.Reference(), rc))},
+				{"minimax_connected", boolVal(core.AllConnected(mmx.Positions, f.Reference(), rc))},
+				{"vor_incorrect_cells", float64(vor.IncorrectCells)},
+				{"minimax_incorrect_cells", float64(mmx.IncorrectCells)},
+			},
+		})
+	}
+	return rows
+}
+
+// Fig11 reproduces Figure 11: the average moving distance of six schemes
+// from the clustered start — CPVF, FLOOR, VOR and Minimax (with the
+// minimum-cost explosion), plus the two Hungarian lower bounds (to the
+// optimal pattern and to FLOOR's own final layout).
+func Fig11(o Options) []Row {
+	p := paperParams(o.seed())
+	if o.Quick {
+		p.N = 120
+	}
+	f := field.ObstacleFree()
+
+	cp := runScheme(f, p, cpvf.New(cpvf.DefaultConfig()))
+	fl := runScheme(f, p, floor.New(floor.DefaultConfig()))
+
+	cfg := baseline.DefaultVDConfig(p.Rc, p.Rs)
+	cfg.Seed = o.seed()
+	vor, err := baseline.RunVOR(f, fl.starts, cfg)
+	if err != nil {
+		panic(err)
+	}
+	mmx, err := baseline.RunMinimax(f, fl.starts, cfg)
+	if err != nil {
+		panic(err)
+	}
+
+	pattern := baseline.StripPattern(f.Bounds(), p.N, p.Rc, p.Rs)
+	optDists, err := baseline.MinMatchingDistance(fl.starts, pattern)
+	if err != nil {
+		panic(err)
+	}
+	floorLB, err := baseline.MinMatchingDistance(fl.starts, fl.layout)
+	if err != nil {
+		panic(err)
+	}
+
+	mk := func(label string, v float64) Row {
+		return Row{
+			Figure:  "fig11",
+			Label:   label,
+			Columns: []Column{{"avg_distance", v}},
+		}
+	}
+	return []Row{
+		mk("CPVF", cp.avgDist),
+		mk("FLOOR", fl.avgDist),
+		mk("VOR (incl. explosion)", vor.AvgDistance()),
+		mk("Minimax (incl. explosion)", mmx.AvgDistance()),
+		mk("Hungarian to OPT pattern", stats.Mean(optDists)),
+		mk("Hungarian to FLOOR layout", stats.Mean(floorLB)),
+	}
+}
+
+// Fig12 reproduces Figure 12: the effect of the oscillation-avoidance
+// factor δ on CPVF's moving distance and coverage, for the one-step and
+// two-step techniques (§6.3).
+func Fig12(o Options) []Row {
+	deltas := []float64{2, 4, 6, 8, 10}
+	if o.Quick {
+		deltas = []float64{2, 8}
+	}
+	var rows []Row
+	for _, mode := range []struct {
+		name string
+		m    cpvf.OscMode
+	}{{"one-step", cpvf.OscOneStep}, {"two-step", cpvf.OscTwoStep}} {
+		for _, delta := range deltas {
+			p := paperParams(o.seed())
+			if o.Quick {
+				p.N = 120
+			}
+			cfg := cpvf.DefaultConfig()
+			cfg.Oscillation = mode.m
+			cfg.Delta = delta
+			out := runScheme(field.ObstacleFree(), p, cpvf.New(cfg))
+			rows = append(rows, Row{
+				Figure: "fig12",
+				Label:  fmt.Sprintf("%s δ=%.0f", mode.name, delta),
+				Columns: []Column{
+					{"delta", delta},
+					{"technique", float64(mode.m)},
+					{"avg_distance", out.avgDist},
+					{"coverage", out.coverage},
+				},
+			})
+		}
+	}
+	// Baseline without avoidance for reference.
+	p := paperParams(o.seed())
+	if o.Quick {
+		p.N = 120
+	}
+	base := runScheme(field.ObstacleFree(), p, cpvf.New(cpvf.DefaultConfig()))
+	rows = append(rows, Row{
+		Figure: "fig12",
+		Label:  "no avoidance",
+		Columns: []Column{
+			{"delta", 0},
+			{"technique", 0},
+			{"avg_distance", base.avgDist},
+			{"coverage", base.coverage},
+		},
+	})
+	return rows
+}
+
+// Fig13 reproduces Figure 13: CDFs of coverage and moving distance for
+// CPVF and FLOOR over repeated runs on random-obstacle fields (§6.4).
+func Fig13(o Options) []Row {
+	runs := 300
+	if o.Quick {
+		runs = 6
+	}
+	rng := rand.New(rand.NewPCG(o.seed(), o.seed()^0x5bf03635))
+	var covC, covF, distC, distF []float64
+	for r := 0; r < runs; r++ {
+		f, err := field.RandomObstacles(rng, field.DefaultRandomObstacleConfig())
+		if err != nil {
+			panic(err)
+		}
+		p := paperParams(o.seed() + uint64(r))
+		cp := runScheme(f, p, cpvf.New(cpvf.DefaultConfig()))
+		fl := runScheme(f, p, floor.New(floor.DefaultConfig()))
+		covC = append(covC, cp.coverage)
+		covF = append(covF, fl.coverage)
+		distC = append(distC, cp.avgDist)
+		distF = append(distF, fl.avgDist)
+	}
+	quantiles := []float64{0.1, 0.25, 0.5, 0.75, 0.9}
+	rows := []Row{
+		{
+			Figure: "fig13",
+			Label:  "mean",
+			Columns: []Column{
+				{"cpvf_coverage", stats.Mean(covC)},
+				{"floor_coverage", stats.Mean(covF)},
+				{"cpvf_distance", stats.Mean(distC)},
+				{"floor_distance", stats.Mean(distF)},
+				{"runs", float64(runs)},
+			},
+		},
+	}
+	for _, q := range quantiles {
+		rows = append(rows, Row{
+			Figure: "fig13",
+			Label:  fmt.Sprintf("p%02.0f", q*100),
+			Columns: []Column{
+				{"cpvf_coverage", stats.Quantile(covC, q)},
+				{"floor_coverage", stats.Quantile(covF, q)},
+				{"cpvf_distance", stats.Quantile(distC, q)},
+				{"floor_distance", stats.Quantile(distF, q)},
+			},
+		})
+	}
+	return rows
+}
+
+// Table1 reproduces Table 1: FLOOR's total (and per-node) protocol message
+// counts for varying N and invitation TTL, in the non-obstacle and
+// two-obstacle environments.
+func Table1(o Options) []Row {
+	ns := []int{120, 160, 200, 240}
+	fracs := []float64{0.1, 0.2, 0.3, 0.4}
+	if o.Quick {
+		ns = []int{120}
+		fracs = []float64{0.1, 0.4}
+	}
+	envs := []struct {
+		name string
+		f    func() *field.Field
+	}{
+		{"non-obstacle", field.ObstacleFree},
+		{"two-obstacle", field.TwoObstacles},
+	}
+	// Paper totals (×1000) indexed by [env][n][frac].
+	paper := map[string]map[int]map[float64]float64{
+		"non-obstacle": {
+			120: {0.1: 225, 0.2: 306, 0.3: 388, 0.4: 470},
+			160: {0.1: 325, 0.2: 472, 0.3: 620, 0.4: 769},
+			200: {0.1: 409, 0.2: 623, 0.3: 837, 0.4: 1052},
+			240: {0.1: 457, 0.2: 714, 0.3: 970, 0.4: 1228},
+		},
+		"two-obstacle": {
+			120: {0.1: 198, 0.2: 286, 0.3: 372, 0.4: 460},
+			160: {0.1: 296, 0.2: 453, 0.3: 609, 0.4: 767},
+			200: {0.1: 387, 0.2: 617, 0.3: 846, 0.4: 1077},
+			240: {0.1: 428, 0.2: 700, 0.3: 973, 0.4: 1246},
+		},
+	}
+	var rows []Row
+	for _, env := range envs {
+		for _, n := range ns {
+			for _, frac := range fracs {
+				p := paperParams(o.seed())
+				p.N = n
+				cfg := floor.DefaultConfig()
+				cfg.TTL = int(frac * float64(n))
+				out := runScheme(env.f(), p, floor.New(cfg))
+				total := float64(out.messages) / 1000
+				rows = append(rows, Row{
+					Figure: "table1",
+					Label:  fmt.Sprintf("%s N=%d TTL=%.1fN", env.name, n, frac),
+					Columns: []Column{
+						{"n", float64(n)},
+						{"ttl_frac", frac},
+						{"total_k", total},
+						{"per_node_k", total / float64(n)},
+						{"paper_total_k", paper[env.name][n][frac]},
+					},
+				})
+			}
+		}
+	}
+	return rows
+}
+
+// All runs every experiment and returns the rows keyed by figure name.
+func All(o Options) map[string][]Row {
+	return map[string][]Row{
+		"fig3":   Fig3(o),
+		"fig8":   Fig8(o),
+		"fig9":   Fig9(o),
+		"fig10":  Fig10(o),
+		"fig11":  Fig11(o),
+		"fig12":  Fig12(o),
+		"fig13":  Fig13(o),
+		"table1": Table1(o),
+	}
+}
+
+func boolVal(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}

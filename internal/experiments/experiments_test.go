@@ -1,0 +1,180 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// All experiment tests use Quick mode; the full sweeps run via
+// cmd/experiments and the root benchmarks.
+
+func TestFig3Shape(t *testing.T) {
+	rows := Fig3(Options{Quick: true})
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// The paper's qualitative claim: scenario (b) (small rc) is far worse
+	// than (a).
+	if rows[1].Get("coverage") >= rows[0].Get("coverage") {
+		t.Errorf("rc=30 coverage %.3f should be below rc=60 coverage %.3f",
+			rows[1].Get("coverage"), rows[0].Get("coverage"))
+	}
+	for _, r := range rows {
+		if r.Get("connected") != 1 {
+			t.Errorf("%s: CPVF must keep the network connected", r.Label)
+		}
+	}
+}
+
+func TestFig8Shape(t *testing.T) {
+	rows := Fig8(Options{Quick: true})
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	f3 := Fig3(Options{Quick: true})
+	// FLOOR beats CPVF decisively in the small-rc scenario (b).
+	if rows[1].Get("coverage") <= f3[1].Get("coverage") {
+		t.Errorf("FLOOR rc=30 %.3f should beat CPVF %.3f",
+			rows[1].Get("coverage"), f3[1].Get("coverage"))
+	}
+	// And in the obstacle scenario (c).
+	if rows[2].Get("coverage") <= f3[2].Get("coverage") {
+		t.Errorf("FLOOR two-obs %.3f should beat CPVF %.3f",
+			rows[2].Get("coverage"), f3[2].Get("coverage"))
+	}
+}
+
+func TestFig9Shape(t *testing.T) {
+	rows := Fig9(Options{Quick: true})
+	if len(rows) == 0 {
+		t.Fatal("no rows")
+	}
+	for _, r := range rows {
+		// OPT upper-bounds both schemes (it is the centralized optimum).
+		if r.Get("opt_coverage")+0.05 < r.Get("floor_coverage") {
+			t.Errorf("%s: OPT %.3f below FLOOR %.3f", r.Label,
+				r.Get("opt_coverage"), r.Get("floor_coverage"))
+		}
+		// At rc=20, rs=60 FLOOR must beat CPVF clearly (the paper's
+		// headline gap).
+		if r.Get("rc") == 20 && r.Get("floor_coverage") <= r.Get("cpvf_coverage") {
+			t.Errorf("%s: FLOOR %.3f <= CPVF %.3f at small rc", r.Label,
+				r.Get("floor_coverage"), r.Get("cpvf_coverage"))
+		}
+	}
+}
+
+func TestFig10Shape(t *testing.T) {
+	rows := Fig10(Options{Quick: true})
+	for _, r := range rows {
+		ratio := r.Get("rc_over_rs")
+		if r.Get("floor_connected") != 1 {
+			t.Errorf("%s: FLOOR disconnected", r.Label)
+		}
+		if ratio < 1.5 {
+			// The paper: neither VOR nor Minimax achieves connectivity for
+			// rc/rs <= 2. With the minimum-distance explosion producing a
+			// uniform layout, rc = 2·rs = 120 m is already supercritical
+			// for 240 sensors, so the reproduction asserts the clearly
+			// sub-critical regime only (deviation noted in EXPERIMENTS.md).
+			if r.Get("vor_connected") == 1 && r.Get("minimax_connected") == 1 {
+				t.Errorf("%s: VD schemes unexpectedly both connected", r.Label)
+			}
+		}
+		if ratio < 1 && r.Get("vor_incorrect_cells") == 0 {
+			t.Errorf("%s: expected incorrect cells at tiny rc", r.Label)
+		}
+	}
+}
+
+func TestFig11Shape(t *testing.T) {
+	rows := Fig11(Options{Quick: true})
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byLabel := map[string]float64{}
+	for _, r := range rows {
+		byLabel[r.Label] = r.Get("avg_distance")
+	}
+	// The Hungarian bound to FLOOR's own layout can never exceed FLOOR's
+	// actual distance.
+	if byLabel["Hungarian to FLOOR layout"] > byLabel["FLOOR"]+1e-9 {
+		t.Errorf("lower bound %.1f exceeds FLOOR %.1f",
+			byLabel["Hungarian to FLOOR layout"], byLabel["FLOOR"])
+	}
+	// VOR/Minimax carry the explosion cost: they must be the two largest
+	// (the paper's main Fig 11 finding).
+	for _, vd := range []string{"VOR (incl. explosion)", "Minimax (incl. explosion)"} {
+		if byLabel[vd] <= byLabel["FLOOR"] {
+			t.Errorf("%s %.1f should exceed FLOOR %.1f", vd, byLabel[vd], byLabel["FLOOR"])
+		}
+	}
+}
+
+func TestFig12Shape(t *testing.T) {
+	rows := Fig12(Options{Quick: true})
+	var base float64
+	for _, r := range rows {
+		if r.Label == "no avoidance" {
+			base = r.Get("avg_distance")
+		}
+	}
+	if base == 0 {
+		t.Fatal("baseline row missing")
+	}
+	// Every avoidance configuration should move no more than the baseline
+	// (within 10% noise).
+	for _, r := range rows {
+		if r.Label == "no avoidance" {
+			continue
+		}
+		if d := r.Get("avg_distance"); d > base*1.1 {
+			t.Errorf("%s: distance %.1f exceeds baseline %.1f", r.Label, d, base)
+		}
+	}
+}
+
+func TestFig13Shape(t *testing.T) {
+	rows := Fig13(Options{Quick: true})
+	if len(rows) == 0 {
+		t.Fatal("no rows")
+	}
+	mean := rows[0]
+	if mean.Label != "mean" {
+		t.Fatal("first row should be the mean")
+	}
+	// Both schemes must produce sane coverage on random-obstacle fields.
+	// (The paper reports FLOOR's mean more than 20 points above CPVF's;
+	// in this reproduction CPVF is less obstacle-impaired on benign random
+	// layouts, so the gap claim is checked — and its deviation documented —
+	// in EXPERIMENTS.md rather than asserted here.)
+	if mean.Get("floor_coverage") < 0.35 {
+		t.Errorf("FLOOR mean coverage %.3f suspiciously low", mean.Get("floor_coverage"))
+	}
+	if mean.Get("cpvf_coverage") < 0.25 {
+		t.Errorf("CPVF mean coverage %.3f suspiciously low", mean.Get("cpvf_coverage"))
+	}
+	for _, r := range rows[1:] {
+		for _, c := range r.Columns {
+			if c.Value < 0 {
+				t.Errorf("%s %s negative", r.Label, c.Name)
+			}
+		}
+	}
+}
+
+func TestTable1Shape(t *testing.T) {
+	rows := Table1(Options{Quick: true})
+	if len(rows) == 0 {
+		t.Fatal("no rows")
+	}
+	// Messages grow with the TTL within one environment and N.
+	byFrac := map[float64]float64{}
+	for _, r := range rows {
+		if r.Get("n") == 120 && r.Label[:3] == "non" {
+			byFrac[r.Get("ttl_frac")] = r.Get("total_k")
+		}
+	}
+	if byFrac[0.4] <= byFrac[0.1] {
+		t.Errorf("TTL=0.4N total %.0fk should exceed TTL=0.1N %.0fk", byFrac[0.4], byFrac[0.1])
+	}
+}

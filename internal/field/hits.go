@@ -1,0 +1,145 @@
+package field
+
+import (
+	"math"
+
+	"mobisense/internal/geom"
+)
+
+// Hit describes the first collision of a motion segment with a solid
+// boundary.
+type Hit struct {
+	T     float64  // parameter along the query segment, in [0,1]
+	Point geom.Vec // collision point
+	Solid int      // index into the field's solids (see Field.Solid)
+	Edge  int      // edge index within the solid polygon
+}
+
+// FirstHit returns the earliest intersection of segment s with any solid
+// boundary (interior obstacles or the field frame). ok is false when the
+// segment stays entirely in free space.
+func (f *Field) FirstHit(s geom.Segment) (Hit, bool) {
+	best := Hit{T: math.Inf(1)}
+	found := false
+	for i, poly := range f.all {
+		t, edge, ok := poly.IntersectSegment(s)
+		if ok && t < best.T {
+			best = Hit{T: t, Point: s.At(t), Solid: i, Edge: edge}
+			found = true
+		}
+	}
+	if !found {
+		return Hit{}, false
+	}
+	return best, true
+}
+
+// SegmentFree reports whether the open segment between a and b stays in
+// free space, ignoring grazing contact at the endpoints themselves. It is
+// used by motion code to test candidate steps.
+func (f *Field) SegmentFree(a, b geom.Vec) bool {
+	if !f.Free(a) || !f.Free(b) {
+		return false
+	}
+	hit, ok := f.FirstHit(geom.Seg(a, b))
+	if !ok {
+		return true
+	}
+	// A hit exactly at either endpoint is grazing contact, not a crossing,
+	// unless the segment midpoint is blocked (segment passes through a
+	// solid whose boundary contains an endpoint).
+	d := geom.Seg(a, b).Len()
+	if hit.T*d > geom.Eps && (1-hit.T)*d > geom.Eps {
+		return false
+	}
+	return f.Free(geom.Seg(a, b).Midpoint())
+}
+
+// Visible reports whether a sensor at a has line of sight to point b:
+// sensing (§3.1 "recognize the boundary of the obstacles within its sensing
+// range") does not penetrate obstacles. Fields without interior obstacles
+// short-circuit to true for points in free space.
+func (f *Field) Visible(a, b geom.Vec) bool {
+	if len(f.obstacles) == 0 {
+		return f.Free(a) && f.Free(b)
+	}
+	return f.SegmentFree(a, b)
+}
+
+// BoundaryProximity describes the closest point of one solid's boundary to
+// a query point.
+type BoundaryProximity struct {
+	Point geom.Vec // closest boundary point
+	Dist  float64  // distance from the query point
+	Solid int      // solid index
+	Edge  int      // edge index within the solid
+}
+
+// BoundariesWithin returns, for each solid whose boundary comes within r of
+// p, the closest boundary point. Used by the virtual-force obstacle
+// repulsion and by sensing-range boundary detection.
+func (f *Field) BoundariesWithin(p geom.Vec, r float64) []BoundaryProximity {
+	var out []BoundaryProximity
+	for i, poly := range f.all {
+		// Cheap reject using the polygon bounding box.
+		if !poly.Bounds().Expand(r).Contains(p) {
+			continue
+		}
+		pt, edge := poly.ClosestBoundaryPoint(p)
+		if d := pt.Dist(p); d <= r {
+			out = append(out, BoundaryProximity{Point: pt, Dist: d, Solid: i, Edge: edge})
+		}
+	}
+	return out
+}
+
+// BoundarySegment is a portion of a solid's boundary edge that falls inside
+// a sensing disk.
+type BoundarySegment struct {
+	Seg   geom.Segment
+	Solid int
+	Edge  int
+}
+
+// BoundarySegmentsWithin returns the parts of all solid boundaries visible
+// inside the disk of radius r centered at p. This implements the sensing
+// assumption of §3.1 ("a sensor ... can recognize the boundary of the
+// obstacles within its sensing range") and feeds BLG-expansion (§5.5.1).
+func (f *Field) BoundarySegmentsWithin(p geom.Vec, r float64) []BoundarySegment {
+	disk := geom.Circle{C: p, R: r}
+	var out []BoundarySegment
+	for i, poly := range f.all {
+		if !poly.Bounds().Expand(r).Contains(p) {
+			continue
+		}
+		for e := 0; e < poly.NumEdges(); e++ {
+			edge := poly.Edge(e)
+			t0, t1, ok := disk.IntersectSegment(edge)
+			if !ok || t1-t0 < geom.Eps {
+				continue
+			}
+			out = append(out, BoundarySegment{
+				Seg:   geom.Seg(edge.At(t0), edge.At(t1)),
+				Solid: i,
+				Edge:  e,
+			})
+		}
+	}
+	return out
+}
+
+// Clearance returns the distance from p to the nearest solid boundary,
+// searching up to maxR. If no boundary is within maxR it returns maxR.
+func (f *Field) Clearance(p geom.Vec, maxR float64) float64 {
+	best := maxR
+	for _, poly := range f.all {
+		if !poly.Bounds().Expand(best).Contains(p) {
+			continue
+		}
+		pt, _ := poly.ClosestBoundaryPoint(p)
+		if d := pt.Dist(p); d < best {
+			best = d
+		}
+	}
+	return best
+}

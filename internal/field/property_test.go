@@ -1,0 +1,81 @@
+package field
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"mobisense/internal/geom"
+)
+
+// TestFirstHitInvariants checks, over random fields and query segments,
+// that every reported hit lies within the segment's parameter range, on
+// the reported solid's boundary, and at the earliest crossing (no solid is
+// crossed strictly before it).
+func TestFirstHitInvariants(t *testing.T) {
+	rng := rand.New(rand.NewPCG(101, 7))
+	for trial := 0; trial < 30; trial++ {
+		f, err := RandomObstacles(rng, DefaultRandomObstacleConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for q := 0; q < 50; q++ {
+			a := geom.V(rng.Float64()*1000, rng.Float64()*1000)
+			b := geom.V(rng.Float64()*1000, rng.Float64()*1000)
+			hit, ok := f.FirstHit(geom.Seg(a, b))
+			if !ok {
+				continue
+			}
+			if hit.T < -1e-9 || hit.T > 1+1e-9 {
+				t.Fatalf("trial %d: hit.T = %v out of range", trial, hit.T)
+			}
+			poly := f.Solid(hit.Solid)
+			if d := poly.Edge(hit.Edge).Dist(hit.Point); d > 1e-6 {
+				t.Fatalf("trial %d: hit point %v is %.2e m off the reported edge", trial, hit.Point, d)
+			}
+			// Minimality: no other solid is crossed strictly before hit.T.
+			for i := 0; i < f.NumSolids(); i++ {
+				if ti, _, crossed := f.Solid(i).IntersectSegment(geom.Seg(a, b)); crossed && ti < hit.T-1e-9 {
+					t.Fatalf("trial %d: solid %d crossed at %v before reported %v", trial, i, ti, hit.T)
+				}
+			}
+		}
+	}
+}
+
+// TestSegmentFreeSymmetry: traversability does not depend on direction.
+func TestSegmentFreeSymmetry(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 77))
+	f, err := RandomObstacles(rng, DefaultRandomObstacleConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for q := 0; q < 300; q++ {
+		a := geom.V(rng.Float64()*1000, rng.Float64()*1000)
+		b := geom.V(rng.Float64()*1000, rng.Float64()*1000)
+		if f.SegmentFree(a, b) != f.SegmentFree(b, a) {
+			t.Fatalf("SegmentFree not symmetric for %v-%v", a, b)
+		}
+	}
+}
+
+// TestVisibleImpliesWithinFreeSpace: a visible pair has both endpoints
+// free, and visibility is symmetric.
+func TestVisibleProperties(t *testing.T) {
+	rng := rand.New(rand.NewPCG(13, 3))
+	f, err := RandomObstacles(rng, DefaultRandomObstacleConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for q := 0; q < 300; q++ {
+		a := geom.V(rng.Float64()*1000, rng.Float64()*1000)
+		b := geom.V(rng.Float64()*1000, rng.Float64()*1000)
+		if f.Visible(a, b) {
+			if !f.Free(a) || !f.Free(b) {
+				t.Fatalf("visible pair with blocked endpoint: %v %v", a, b)
+			}
+		}
+		if f.Visible(a, b) != f.Visible(b, a) {
+			t.Fatalf("visibility not symmetric for %v-%v", a, b)
+		}
+	}
+}

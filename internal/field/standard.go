@@ -1,0 +1,106 @@
+package field
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"mobisense/internal/geom"
+)
+
+// The standard experimental geometry of the paper (§4.3, §6): a
+// 1000 × 1000 m field with the base station at the origin, and sensors
+// initially clustered in the [0,500]² sub-area.
+
+// StandardSize is the side length of the paper's square field, in meters.
+const StandardSize = 1000.0
+
+// StandardBounds returns the paper's 1000×1000 m field rectangle.
+func StandardBounds() geom.Rect { return geom.R(0, 0, StandardSize, StandardSize) }
+
+// ClusterRegion returns the paper's clustered initial-distribution region,
+// the [0,500]² sub-area of the field.
+func ClusterRegion() geom.Rect { return geom.R(0, 0, StandardSize/2, StandardSize/2) }
+
+// ObstacleFree returns the paper's obstacle-free 1000×1000 field
+// (Figures 3(a,b), 8(a,b), 9–12).
+func ObstacleFree() *Field {
+	return MustNew(StandardBounds(), nil)
+}
+
+// TwoObstacles returns a field reproducing Figure 3(c)/8(c): two
+// rectangular obstacles walling off the initial cluster area, leaving three
+// exits to the large vacant area — two at the top and a narrower one at the
+// bottom of the field.
+//
+// The exact obstacle coordinates are not given in the paper; these are
+// inferred from the figure: a vertical slab east of the cluster with a 40 m
+// gap at the field's bottom edge, and a horizontal slab north of the
+// cluster leaving a 120 m exit at the left edge and a 50 m exit at the
+// corner between the two slabs.
+func TwoObstacles() *Field {
+	obstacles := []geom.Polygon{
+		geom.R(500, 40, 550, 500).Polygon(),  // vertical slab; bottom exit y ∈ [0,40]
+		geom.R(120, 500, 450, 550).Polygon(), // horizontal slab; left exit x ∈ [0,120], corner exit x ∈ [450,500]
+	}
+	return MustNew(StandardBounds(), obstacles)
+}
+
+// RandomObstacleConfig controls RandomObstacles (§6.4).
+type RandomObstacleConfig struct {
+	MinCount, MaxCount int     // number of rectangles, uniform in [MinCount, MaxCount]
+	MinSide, MaxSide   float64 // rectangle side lengths, uniform in [MinSide, MaxSide]
+	KeepClear          float64 // radius around the reference point kept obstacle-free
+}
+
+// DefaultRandomObstacleConfig mirrors §6.4: between 1 and 4 rectangular
+// obstacles of random size that may overlap but must not partition the
+// field.
+func DefaultRandomObstacleConfig() RandomObstacleConfig {
+	return RandomObstacleConfig{
+		MinCount:  1,
+		MaxCount:  4,
+		MinSide:   80,
+		MaxSide:   400,
+		KeepClear: 30,
+	}
+}
+
+// RandomObstacles generates a standard-size field with random rectangular
+// obstacles per §6.4. Layouts that partition the field or bury the
+// reference point are rejected and regenerated; the function errors only if
+// no valid layout is found after many attempts.
+func RandomObstacles(rng *rand.Rand, cfg RandomObstacleConfig) (*Field, error) {
+	if cfg.MaxCount < cfg.MinCount || cfg.MinCount < 0 {
+		return nil, fmt.Errorf("field: invalid obstacle count range [%d,%d]", cfg.MinCount, cfg.MaxCount)
+	}
+	bounds := StandardBounds()
+	for attempt := 0; attempt < 200; attempt++ {
+		n := cfg.MinCount
+		if cfg.MaxCount > cfg.MinCount {
+			n += rng.IntN(cfg.MaxCount - cfg.MinCount + 1)
+		}
+		obstacles := make([]geom.Polygon, 0, n)
+		ok := true
+		for i := 0; i < n; i++ {
+			w := cfg.MinSide + rng.Float64()*(cfg.MaxSide-cfg.MinSide)
+			h := cfg.MinSide + rng.Float64()*(cfg.MaxSide-cfg.MinSide)
+			x := bounds.Min.X + rng.Float64()*(bounds.W()-w)
+			y := bounds.Min.Y + rng.Float64()*(bounds.H()-h)
+			r := geom.R(x, y, x+w, y+h)
+			// Keep the reference point's neighborhood clear.
+			if r.Expand(cfg.KeepClear).Contains(geom.Vec{}) {
+				ok = false
+				break
+			}
+			obstacles = append(obstacles, r.Polygon())
+		}
+		if !ok {
+			continue
+		}
+		f, err := New(bounds, obstacles)
+		if err == nil {
+			return f, nil
+		}
+	}
+	return nil, fmt.Errorf("field: no valid random obstacle layout after 200 attempts")
+}

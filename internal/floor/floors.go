@@ -1,0 +1,77 @@
+// Package floor implements the FLOOR deployment scheme (§5 of the paper).
+// The field is divided into horizontal floors of height 2·rs whose center
+// lines guide sensor placement. Sensors first establish connectivity along
+// floor lines (Algorithm 1), then a set of movable sensors is identified
+// (§5.3), and finally fixed sensors grow the covered region vine-like along
+// floor lines (FLG), boundary lines (BLG) and inter-floor lines (IFLG) by
+// inviting movable sensors to expansion points (§5.5, Algorithm 2).
+package floor
+
+import (
+	"math"
+
+	"mobisense/internal/geom"
+)
+
+// Floors describes the horizontal floor decomposition of a field: floor k
+// occupies the band [minY + 2·rs·k, minY + 2·rs·(k+1)) and its center line
+// is at minY + (2k+1)·rs.
+type Floors struct {
+	rs     float64
+	bounds geom.Rect
+	count  int
+}
+
+// NewFloors builds the floor decomposition for a field bounding box and
+// sensing range.
+func NewFloors(bounds geom.Rect, rs float64) Floors {
+	count := int(math.Ceil(bounds.H() / (2 * rs)))
+	if count < 1 {
+		count = 1
+	}
+	return Floors{rs: rs, bounds: bounds, count: count}
+}
+
+// Count returns the number of floors.
+func (fl Floors) Count() int { return fl.count }
+
+// Height returns the floor height 2·rs.
+func (fl Floors) Height() float64 { return 2 * fl.rs }
+
+// Index returns the floor containing y, clamped to the valid range.
+func (fl Floors) Index(y float64) int {
+	k := int(math.Floor((y - fl.bounds.Min.Y) / fl.Height()))
+	if k < 0 {
+		return 0
+	}
+	if k >= fl.count {
+		return fl.count - 1
+	}
+	return k
+}
+
+// LineY returns the center-line y coordinate of floor k.
+func (fl Floors) LineY(k int) float64 {
+	return fl.bounds.Min.Y + (2*float64(k)+1)*fl.rs
+}
+
+// NearestLineY returns the center-line y of the floor nearest to y —
+// FLOOR's FloorLine(y) in Algorithm 1.
+func (fl Floors) NearestLineY(y float64) float64 {
+	best := fl.LineY(0)
+	bestD := math.Abs(y - best)
+	for k := 1; k < fl.count; k++ {
+		ly := fl.LineY(k)
+		if d := math.Abs(y - ly); d < bestD {
+			bestD = d
+			best = ly
+		}
+	}
+	return best
+}
+
+// InterLineY returns the inter-floor line between floors k and k+1 (§5.5.1:
+// "the middle of two neighboring floor lines").
+func (fl Floors) InterLineY(k int) float64 {
+	return fl.bounds.Min.Y + 2*float64(k+1)*fl.rs
+}

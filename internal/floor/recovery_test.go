@@ -1,0 +1,136 @@
+package floor
+
+import (
+	"testing"
+
+	"mobisense/internal/core"
+	"mobisense/internal/coverage"
+	"mobisense/internal/field"
+)
+
+// TestFloorRecoversFromFailures injects periodic sensor deaths during a
+// FLOOR deployment and checks that the surviving network self-repairs: the
+// survivors end connected and the coverage hole left by each death gets
+// refilled while spare movables remain.
+func TestFloorRecoversFromFailures(t *testing.T) {
+	f := smallField(t)
+	p := smallParams()
+	p.N = 50
+	p.Duration = 900 // kills end at t=250; the rest is recovery headroom
+	w, err := core.NewWorld(f, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(DefaultConfig())
+	s.Attach(w)
+
+	inj := &core.FailureInjector{Interval: 50, MaxKills: 5, OnKill: s.HandleFailure}
+	inj.Attach(w)
+
+	w.E.RunUntil(p.Duration)
+
+	if inj.Killed() != 5 {
+		t.Fatalf("killed = %d, want 5", inj.Killed())
+	}
+	if got := w.AliveCount(); got != p.N-5 {
+		t.Fatalf("alive = %d, want %d", got, p.N-5)
+	}
+	if !core.AllConnected(w.AliveLayout(), w.F.Reference(), p.Rc) {
+		t.Error("survivors are not connected after failures")
+	}
+	// Failed sensors must not appear in neighbor queries.
+	for i := range w.Sensors {
+		if !w.Sensors[i].Failed {
+			continue
+		}
+		for j := range w.Sensors {
+			if j == i || w.Sensors[j].Failed {
+				continue
+			}
+			for _, n := range w.Neighbors(j, p.Rc) {
+				if n == i {
+					t.Fatalf("dead sensor %d visible to %d", i, j)
+				}
+			}
+		}
+	}
+}
+
+// TestFloorFailureCoverageRecovery kills a productive fixed node after
+// convergence and verifies the coverage loss gets repaired by re-expansion
+// while movables remain.
+func TestFloorFailureCoverageRecovery(t *testing.T) {
+	f := smallField(t)
+	p := smallParams()
+	p.N = 50
+	p.Duration = 800
+	w, err := core.NewWorld(f, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(DefaultConfig())
+	s.Attach(w)
+
+	// Let the deployment mostly settle, then kill the fixed node farthest
+	// from the base (a chain tip, so the hole is real).
+	w.E.RunUntil(350)
+	victim := -1
+	bestD := -1.0
+	for i := 0; i < p.N; i++ {
+		if s.st[i] != stateFixed {
+			continue
+		}
+		if d := w.Pos(i).Dist(f.Reference()); d > bestD {
+			bestD = d
+			victim = i
+		}
+	}
+	if victim < 0 {
+		t.Fatal("no fixed sensor to kill")
+	}
+	orphans := w.Kill(victim)
+	s.HandleFailure(victim, orphans)
+
+	w.E.RunUntil(p.Duration)
+	est := coverage.NewEstimator(f, 4)
+	cov := est.Fraction(w.AliveLayout(), p.Rs)
+	if cov < 0.25 {
+		t.Errorf("post-failure coverage %.3f too low", cov)
+	}
+	if !core.AllConnected(w.AliveLayout(), w.F.Reference(), p.Rc) {
+		t.Error("survivors disconnected after targeted failure")
+	}
+}
+
+func TestKillBasics(t *testing.T) {
+	f := field.MustNew(smallField(t).Bounds().Polygon().Bounds(), nil)
+	p := smallParams()
+	p.N = 5
+	w, err := core.NewWorld(f, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Tree.SetParent(0, core.BaseParent)
+	w.Tree.SetParent(1, 0)
+	w.Tree.SetParent(2, 1)
+
+	orphans := w.Kill(1)
+	if len(orphans) != 1 || orphans[0] != 2 {
+		t.Fatalf("orphans = %v", orphans)
+	}
+	if w.Alive(1) {
+		t.Error("killed sensor still alive")
+	}
+	if w.Tree.Parent(2) != core.NoParent {
+		t.Error("orphan not detached")
+	}
+	if again := w.Kill(1); again != nil {
+		t.Error("double kill should be a no-op")
+	}
+	if w.AliveCount() != 4 {
+		t.Errorf("alive = %d", w.AliveCount())
+	}
+	if len(w.AliveLayout()) != 4 {
+		t.Error("alive layout size mismatch")
+	}
+}

@@ -1,0 +1,270 @@
+package geom
+
+import "math"
+
+// Polygon is a simple (non-self-intersecting) polygon given as an ordered
+// list of vertices. Vertex order may be clockwise or counter-clockwise;
+// routines that care about orientation document it.
+type Polygon []Vec
+
+// Area returns the signed area of the polygon: positive for
+// counter-clockwise vertex order, negative for clockwise.
+func (p Polygon) Area() float64 {
+	var sum float64
+	n := len(p)
+	for i := 0; i < n; i++ {
+		j := (i + 1) % n
+		sum += p[i].Cross(p[j])
+	}
+	return sum / 2
+}
+
+// IsCCW reports whether the polygon's vertices are in counter-clockwise
+// order.
+func (p Polygon) IsCCW() bool { return p.Area() > 0 }
+
+// Reverse returns a copy of the polygon with reversed vertex order.
+func (p Polygon) Reverse() Polygon {
+	out := make(Polygon, len(p))
+	for i, v := range p {
+		out[len(p)-1-i] = v
+	}
+	return out
+}
+
+// CCW returns the polygon in counter-clockwise order, copying only when a
+// reversal is needed.
+func (p Polygon) CCW() Polygon {
+	if p.IsCCW() {
+		return p
+	}
+	return p.Reverse()
+}
+
+// NumEdges returns the number of boundary edges.
+func (p Polygon) NumEdges() int { return len(p) }
+
+// Edge returns the i-th boundary edge, from vertex i to vertex i+1 (mod n).
+func (p Polygon) Edge(i int) Segment {
+	n := len(p)
+	return Segment{A: p[i%n], B: p[(i+1)%n]}
+}
+
+// Contains reports whether q lies inside the polygon or on its boundary.
+// It uses the even-odd ray-crossing rule with an explicit boundary test so
+// that points within Eps of an edge count as contained.
+func (p Polygon) Contains(q Vec) bool {
+	if p.OnBoundary(q, Eps) {
+		return true
+	}
+	return p.containsInterior(q)
+}
+
+// ContainsStrict reports whether q lies strictly inside the polygon, i.e.
+// farther than margin from every edge.
+func (p Polygon) ContainsStrict(q Vec, margin float64) bool {
+	if p.OnBoundary(q, margin) {
+		return false
+	}
+	return p.containsInterior(q)
+}
+
+func (p Polygon) containsInterior(q Vec) bool {
+	inside := false
+	n := len(p)
+	for i := 0; i < n; i++ {
+		a, b := p[i], p[(i+1)%n]
+		if (a.Y > q.Y) != (b.Y > q.Y) {
+			xCross := a.X + (q.Y-a.Y)/(b.Y-a.Y)*(b.X-a.X)
+			if q.X < xCross {
+				inside = !inside
+			}
+		}
+	}
+	return inside
+}
+
+// OnBoundary reports whether q lies within tol of the polygon boundary.
+func (p Polygon) OnBoundary(q Vec, tol float64) bool {
+	n := len(p)
+	for i := 0; i < n; i++ {
+		if p.Edge(i).Dist(q) <= tol {
+			return true
+		}
+	}
+	return false
+}
+
+// ClosestBoundaryPoint returns the point on the polygon boundary closest to
+// q, together with the index of the edge it lies on.
+func (p Polygon) ClosestBoundaryPoint(q Vec) (Vec, int) {
+	best := p[0]
+	bestEdge := 0
+	bestD := math.Inf(1)
+	for i := 0; i < len(p); i++ {
+		pt := p.Edge(i).ClosestPoint(q)
+		if d := pt.Dist2(q); d < bestD {
+			bestD = d
+			best = pt
+			bestEdge = i
+		}
+	}
+	return best, bestEdge
+}
+
+// Dist returns the distance from q to the polygon boundary (zero if q is on
+// the boundary; interior points still measure to the boundary).
+func (p Polygon) Dist(q Vec) float64 {
+	pt, _ := p.ClosestBoundaryPoint(q)
+	return pt.Dist(q)
+}
+
+// IntersectSegment finds the first transversal crossing of segment s with
+// the polygon boundary: the smallest parameter t along s at which s crosses
+// any edge. It returns the edge index as well. ok is false when s misses
+// the boundary. Edges parallel to s are skipped: a segment sliding exactly
+// along a wall touches it but never crosses it, so grazing contact is not a
+// hit (a sensor may travel along a boundary).
+func (p Polygon) IntersectSegment(s Segment) (t float64, edge int, ok bool) {
+	t = math.Inf(1)
+	sDir := s.B.Sub(s.A)
+	for i := 0; i < len(p); i++ {
+		e := p.Edge(i)
+		if math.Abs(sDir.Cross(e.B.Sub(e.A))) < Eps*math.Max(1, sDir.Len()*e.Len()) {
+			continue
+		}
+		if ti, hit := s.IntersectParam(e); hit && ti < t {
+			t = ti
+			edge = i
+			ok = true
+		}
+	}
+	if !ok {
+		return 0, 0, false
+	}
+	return t, edge, true
+}
+
+// Perimeter returns the total boundary length of the polygon.
+func (p Polygon) Perimeter() float64 {
+	var sum float64
+	for i := 0; i < len(p); i++ {
+		sum += p.Edge(i).Len()
+	}
+	return sum
+}
+
+// Centroid returns the area centroid of the polygon.
+func (p Polygon) Centroid() Vec {
+	var cx, cy, a float64
+	n := len(p)
+	for i := 0; i < n; i++ {
+		j := (i + 1) % n
+		cross := p[i].Cross(p[j])
+		a += cross
+		cx += (p[i].X + p[j].X) * cross
+		cy += (p[i].Y + p[j].Y) * cross
+	}
+	if math.Abs(a) < Eps {
+		// Degenerate polygon: average the vertices.
+		var s Vec
+		for _, v := range p {
+			s = s.Add(v)
+		}
+		return s.Scale(1 / float64(len(p)))
+	}
+	return Vec{cx / (3 * a), cy / (3 * a)}
+}
+
+// Bounds returns the axis-aligned bounding rectangle of the polygon.
+func (p Polygon) Bounds() Rect {
+	if len(p) == 0 {
+		return Rect{}
+	}
+	r := Rect{Min: p[0], Max: p[0]}
+	for _, v := range p[1:] {
+		r.Min.X = math.Min(r.Min.X, v.X)
+		r.Min.Y = math.Min(r.Min.Y, v.Y)
+		r.Max.X = math.Max(r.Max.X, v.X)
+		r.Max.Y = math.Max(r.Max.Y, v.Y)
+	}
+	return r
+}
+
+// Clone returns a deep copy of the polygon.
+func (p Polygon) Clone() Polygon {
+	out := make(Polygon, len(p))
+	copy(out, p)
+	return out
+}
+
+// ClipHalfPlane clips a convex polygon to the half-plane on the left of the
+// directed line a→b (points q with (b-a) × (q-a) >= 0). The result is convex;
+// it may be empty. This is the Sutherland–Hodgman step used to build Voronoi
+// cells by repeated bisector clipping.
+func (p Polygon) ClipHalfPlane(a, b Vec) Polygon {
+	if len(p) == 0 {
+		return nil
+	}
+	dir := b.Sub(a)
+	inside := func(q Vec) bool { return dir.Cross(q.Sub(a)) >= -Eps }
+	out := make(Polygon, 0, len(p)+2)
+	n := len(p)
+	for i := 0; i < n; i++ {
+		cur, next := p[i], p[(i+1)%n]
+		curIn, nextIn := inside(cur), inside(next)
+		if curIn {
+			out = append(out, cur)
+		}
+		if curIn != nextIn {
+			if pt, ok := Seg(cur, next).LineIntersect(Seg(a, b)); ok {
+				out = append(out, pt)
+			}
+		}
+	}
+	if len(out) < 3 {
+		return nil
+	}
+	return out
+}
+
+// ConvexHull returns the convex hull of the given points in
+// counter-clockwise order using Andrew's monotone chain. The input slice is
+// not modified. Fewer than three distinct points yield a degenerate hull
+// with the points that exist.
+func ConvexHull(points []Vec) Polygon {
+	pts := make([]Vec, len(points))
+	copy(pts, points)
+	n := len(pts)
+	if n < 3 {
+		return pts
+	}
+	// Sort by (X, Y).
+	for i := 1; i < n; i++ {
+		for j := i; j > 0; j-- {
+			if pts[j].X < pts[j-1].X || (pts[j].X == pts[j-1].X && pts[j].Y < pts[j-1].Y) {
+				pts[j], pts[j-1] = pts[j-1], pts[j]
+			} else {
+				break
+			}
+		}
+	}
+	hull := make([]Vec, 0, 2*n)
+	// Lower hull.
+	for _, pt := range pts {
+		for len(hull) >= 2 && hull[len(hull)-1].Sub(hull[len(hull)-2]).Cross(pt.Sub(hull[len(hull)-2])) <= 0 {
+			hull = hull[:len(hull)-1]
+		}
+		hull = append(hull, pt)
+	}
+	// Upper hull.
+	lower := len(hull) + 1
+	for i := n - 2; i >= 0; i-- {
+		pt := pts[i]
+		for len(hull) >= lower && hull[len(hull)-1].Sub(hull[len(hull)-2]).Cross(pt.Sub(hull[len(hull)-2])) <= 0 {
+			hull = hull[:len(hull)-1]
+		}
+		hull = append(hull, pt)
+	}
+	return Polygon(hull[:len(hull)-1])
+}

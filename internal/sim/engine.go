@@ -1,0 +1,108 @@
+// Package sim provides the discrete-event simulation engine underlying the
+// deployment schemes: a time-ordered event queue with deterministic
+// tie-breaking and a seeded random source. The paper's evaluation (§4.3)
+// uses an event-based simulator; this is its Go equivalent.
+package sim
+
+import (
+	"container/heap"
+	"math/rand/v2"
+)
+
+// Engine is a discrete-event scheduler. Time is in seconds. Events
+// scheduled for the same instant fire in scheduling order, which makes runs
+// with the same seed byte-for-byte reproducible.
+type Engine struct {
+	now    float64
+	seq    uint64
+	events eventHeap
+	rng    *rand.Rand
+}
+
+// NewEngine creates an engine whose random source is seeded with seed.
+func NewEngine(seed uint64) *Engine {
+	return &Engine{
+		rng: rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15)),
+	}
+}
+
+// Now returns the current simulation time in seconds.
+func (e *Engine) Now() float64 { return e.now }
+
+// Rand returns the engine's deterministic random source.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// Schedule enqueues fn to run delay seconds from now. Negative delays are
+// clamped to zero (the event fires after already-queued events at the
+// current instant).
+func (e *Engine) Schedule(delay float64, fn func()) {
+	if delay < 0 {
+		delay = 0
+	}
+	e.ScheduleAt(e.now+delay, fn)
+}
+
+// ScheduleAt enqueues fn at absolute time t. Times in the past are clamped
+// to the current time.
+func (e *Engine) ScheduleAt(t float64, fn func()) {
+	if t < e.now {
+		t = e.now
+	}
+	e.seq++
+	heap.Push(&e.events, event{time: t, seq: e.seq, fn: fn})
+}
+
+// Step executes the earliest pending event. It returns false when the queue
+// is empty.
+func (e *Engine) Step() bool {
+	if len(e.events) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.events).(event)
+	e.now = ev.time
+	ev.fn()
+	return true
+}
+
+// RunUntil executes events in order until the queue is empty or the next
+// event is later than t, then advances the clock to t.
+func (e *Engine) RunUntil(t float64) {
+	for len(e.events) > 0 && e.events[0].time <= t {
+		e.Step()
+	}
+	if e.now < t {
+		e.now = t
+	}
+}
+
+// Pending returns the number of queued events.
+func (e *Engine) Pending() int { return len(e.events) }
+
+type event struct {
+	time float64
+	seq  uint64
+	fn   func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *eventHeap) Push(x any) { *h = append(*h, x.(event)) }
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	*h = old[:n-1]
+	return ev
+}

@@ -1,0 +1,119 @@
+package sim
+
+import (
+	"testing"
+)
+
+func TestEventOrdering(t *testing.T) {
+	e := NewEngine(1)
+	var order []int
+	e.Schedule(3, func() { order = append(order, 3) })
+	e.Schedule(1, func() { order = append(order, 1) })
+	e.Schedule(2, func() { order = append(order, 2) })
+	e.RunUntil(10)
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Errorf("order = %v", order)
+	}
+	if e.Now() != 10 {
+		t.Errorf("now = %v, want 10", e.Now())
+	}
+}
+
+func TestSameTimeFIFO(t *testing.T) {
+	e := NewEngine(1)
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(5, func() { order = append(order, i) })
+	}
+	e.RunUntil(5)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events out of order: %v", order)
+		}
+	}
+}
+
+func TestRunUntilStopsAtBoundary(t *testing.T) {
+	e := NewEngine(1)
+	fired := make(map[float64]bool)
+	e.Schedule(1, func() { fired[1] = true })
+	e.Schedule(5, func() { fired[5] = true })
+	e.Schedule(9, func() { fired[9] = true })
+	e.RunUntil(5)
+	if !fired[1] || !fired[5] || fired[9] {
+		t.Errorf("fired = %v", fired)
+	}
+	if e.Pending() != 1 {
+		t.Errorf("pending = %d", e.Pending())
+	}
+	e.RunUntil(20)
+	if !fired[9] {
+		t.Error("event at 9 never fired")
+	}
+}
+
+func TestEventsScheduledDuringRun(t *testing.T) {
+	e := NewEngine(1)
+	var times []float64
+	var recur func()
+	recur = func() {
+		times = append(times, e.Now())
+		if e.Now() < 4 {
+			e.Schedule(1, recur)
+		}
+	}
+	e.Schedule(1, recur)
+	e.RunUntil(10)
+	want := []float64{1, 2, 3, 4}
+	if len(times) != len(want) {
+		t.Fatalf("times = %v", times)
+	}
+	for i := range want {
+		if times[i] != want[i] {
+			t.Errorf("times[%d] = %v, want %v", i, times[i], want[i])
+		}
+	}
+}
+
+func TestNegativeDelayClamped(t *testing.T) {
+	e := NewEngine(1)
+	ran := false
+	e.Schedule(2, func() {
+		e.Schedule(-5, func() { ran = true })
+	})
+	e.RunUntil(2)
+	if !ran {
+		t.Error("negative-delay event should run at current time")
+	}
+	if e.Now() != 2 {
+		t.Errorf("now = %v", e.Now())
+	}
+}
+
+func TestStepEmptyQueue(t *testing.T) {
+	e := NewEngine(1)
+	if e.Step() {
+		t.Error("Step on empty queue should return false")
+	}
+}
+
+func TestDeterministicRand(t *testing.T) {
+	a := NewEngine(42)
+	b := NewEngine(42)
+	for i := 0; i < 100; i++ {
+		if a.Rand().Float64() != b.Rand().Float64() {
+			t.Fatal("same seed should give identical streams")
+		}
+	}
+	c := NewEngine(43)
+	same := true
+	for i := 0; i < 10; i++ {
+		if a.Rand().Float64() != c.Rand().Float64() {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds gave identical streams")
+	}
+}

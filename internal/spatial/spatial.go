@@ -1,0 +1,135 @@
+// Package spatial provides a uniform-grid spatial index for neighbor
+// queries over moving sensors. The deployment simulator queries "all
+// sensors within rc of p" once per sensor per period; the grid makes that
+// O(neighbors) instead of O(n).
+package spatial
+
+import (
+	"math"
+
+	"mobisense/internal/geom"
+)
+
+// Index is a uniform hash-grid over 2-D points identified by dense integer
+// IDs. The zero value is not usable; construct with New.
+type Index struct {
+	cellSize float64
+	cells    map[cellKey][]int32
+	pos      []geom.Vec
+	present  []bool
+}
+
+type cellKey struct{ x, y int32 }
+
+// New creates an index with the given cell size. Choosing the typical query
+// radius as the cell size keeps each query to a 3×3 cell scan.
+func New(cellSize float64, capacityHint int) *Index {
+	if cellSize <= 0 {
+		cellSize = 1
+	}
+	return &Index{
+		cellSize: cellSize,
+		cells:    make(map[cellKey][]int32, capacityHint),
+		pos:      make([]geom.Vec, 0, capacityHint),
+		present:  make([]bool, 0, capacityHint),
+	}
+}
+
+func (ix *Index) key(p geom.Vec) cellKey {
+	return cellKey{
+		x: int32(math.Floor(p.X / ix.cellSize)),
+		y: int32(math.Floor(p.Y / ix.cellSize)),
+	}
+}
+
+// Insert adds or moves the point with the given ID to position p. IDs must
+// be small non-negative integers (they index an internal dense array).
+func (ix *Index) Insert(id int, p geom.Vec) {
+	for id >= len(ix.pos) {
+		ix.pos = append(ix.pos, geom.Vec{})
+		ix.present = append(ix.present, false)
+	}
+	if ix.present[id] {
+		ix.removeFromCell(id, ix.key(ix.pos[id]))
+	}
+	ix.pos[id] = p
+	ix.present[id] = true
+	k := ix.key(p)
+	ix.cells[k] = append(ix.cells[k], int32(id))
+}
+
+// Remove deletes the point with the given ID, if present.
+func (ix *Index) Remove(id int) {
+	if id < 0 || id >= len(ix.present) || !ix.present[id] {
+		return
+	}
+	ix.removeFromCell(id, ix.key(ix.pos[id]))
+	ix.present[id] = false
+}
+
+func (ix *Index) removeFromCell(id int, k cellKey) {
+	bucket := ix.cells[k]
+	for i, v := range bucket {
+		if v == int32(id) {
+			bucket[i] = bucket[len(bucket)-1]
+			ix.cells[k] = bucket[:len(bucket)-1]
+			return
+		}
+	}
+}
+
+// Position returns the indexed position of id and whether it is present.
+func (ix *Index) Position(id int) (geom.Vec, bool) {
+	if id < 0 || id >= len(ix.present) || !ix.present[id] {
+		return geom.Vec{}, false
+	}
+	return ix.pos[id], true
+}
+
+// ForNeighbors calls fn for every indexed point within radius r of p,
+// including a point exactly at p (callers exclude self by ID). Iteration
+// order is deterministic for a fixed insertion history.
+func (ix *Index) ForNeighbors(p geom.Vec, r float64, fn func(id int, q geom.Vec)) {
+	r2 := r * r
+	lo := ix.key(geom.V(p.X-r, p.Y-r))
+	hi := ix.key(geom.V(p.X+r, p.Y+r))
+	for cy := lo.y; cy <= hi.y; cy++ {
+		for cx := lo.x; cx <= hi.x; cx++ {
+			for _, id := range ix.cells[cellKey{cx, cy}] {
+				q := ix.pos[id]
+				if q.Dist2(p) <= r2 {
+					fn(int(id), q)
+				}
+			}
+		}
+	}
+}
+
+// Neighbors returns the IDs of all points within radius r of p, in
+// ascending ID order.
+func (ix *Index) Neighbors(p geom.Vec, r float64) []int {
+	var out []int
+	ix.ForNeighbors(p, r, func(id int, _ geom.Vec) { out = append(out, id) })
+	sortInts(out)
+	return out
+}
+
+// Len returns the number of points currently in the index.
+func (ix *Index) Len() int {
+	n := 0
+	for _, ok := range ix.present {
+		if ok {
+			n++
+		}
+	}
+	return n
+}
+
+// sortInts is insertion sort; neighbor lists are short.
+func sortInts(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}

@@ -1,0 +1,142 @@
+package spatial
+
+import (
+	"math/rand/v2"
+	"reflect"
+	"testing"
+
+	"mobisense/internal/geom"
+)
+
+func TestInsertAndQuery(t *testing.T) {
+	ix := New(10, 8)
+	ix.Insert(0, geom.V(5, 5))
+	ix.Insert(1, geom.V(8, 5))
+	ix.Insert(2, geom.V(50, 50))
+
+	got := ix.Neighbors(geom.V(5, 5), 5)
+	if !reflect.DeepEqual(got, []int{0, 1}) {
+		t.Errorf("Neighbors = %v, want [0 1]", got)
+	}
+	got = ix.Neighbors(geom.V(5, 5), 1)
+	if !reflect.DeepEqual(got, []int{0}) {
+		t.Errorf("Neighbors = %v, want [0]", got)
+	}
+	if got := ix.Neighbors(geom.V(100, 100), 10); len(got) != 0 {
+		t.Errorf("Neighbors far away = %v, want none", got)
+	}
+}
+
+func TestBoundaryRadius(t *testing.T) {
+	ix := New(10, 4)
+	ix.Insert(0, geom.V(0, 0))
+	ix.Insert(1, geom.V(10, 0))
+	// Exactly at radius: included.
+	if got := ix.Neighbors(geom.V(0, 0), 10); !reflect.DeepEqual(got, []int{0, 1}) {
+		t.Errorf("Neighbors = %v, want [0 1]", got)
+	}
+	if got := ix.Neighbors(geom.V(0, 0), 9.999); !reflect.DeepEqual(got, []int{0}) {
+		t.Errorf("Neighbors = %v, want [0]", got)
+	}
+}
+
+func TestMoveUpdatesCell(t *testing.T) {
+	ix := New(10, 4)
+	ix.Insert(0, geom.V(5, 5))
+	ix.Insert(0, geom.V(95, 95)) // move far away
+	if got := ix.Neighbors(geom.V(5, 5), 8); len(got) != 0 {
+		t.Errorf("stale index entry: %v", got)
+	}
+	if got := ix.Neighbors(geom.V(95, 95), 1); !reflect.DeepEqual(got, []int{0}) {
+		t.Errorf("moved entry missing: %v", got)
+	}
+	if ix.Len() != 1 {
+		t.Errorf("Len = %d, want 1", ix.Len())
+	}
+}
+
+func TestRemove(t *testing.T) {
+	ix := New(10, 4)
+	ix.Insert(3, geom.V(1, 1))
+	ix.Remove(3)
+	if got := ix.Neighbors(geom.V(1, 1), 5); len(got) != 0 {
+		t.Errorf("removed entry still found: %v", got)
+	}
+	if _, ok := ix.Position(3); ok {
+		t.Error("Position should report absence after Remove")
+	}
+	ix.Remove(3)  // double remove is a no-op
+	ix.Remove(99) // unknown ID is a no-op
+}
+
+func TestPosition(t *testing.T) {
+	ix := New(10, 4)
+	ix.Insert(2, geom.V(7, 8))
+	p, ok := ix.Position(2)
+	if !ok || !p.Eq(geom.V(7, 8)) {
+		t.Errorf("Position = %v, %v", p, ok)
+	}
+	if _, ok := ix.Position(0); ok {
+		t.Error("unset ID should be absent")
+	}
+	if _, ok := ix.Position(-1); ok {
+		t.Error("negative ID should be absent")
+	}
+}
+
+func TestNegativeCoordinates(t *testing.T) {
+	ix := New(10, 4)
+	ix.Insert(0, geom.V(-15, -25))
+	if got := ix.Neighbors(geom.V(-15, -25), 1); !reflect.DeepEqual(got, []int{0}) {
+		t.Errorf("negative coords: %v", got)
+	}
+}
+
+// Property: index queries agree with brute force under random insert /
+// move / remove workloads.
+func TestAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewPCG(9, 9))
+	ix := New(25, 64)
+	type entry struct {
+		p     geom.Vec
+		alive bool
+	}
+	truth := make([]entry, 64)
+
+	for step := 0; step < 2000; step++ {
+		id := rng.IntN(64)
+		switch rng.IntN(3) {
+		case 0, 1: // insert / move
+			p := geom.V(rng.Float64()*500-100, rng.Float64()*500-100)
+			ix.Insert(id, p)
+			truth[id] = entry{p: p, alive: true}
+		case 2: // remove
+			ix.Remove(id)
+			truth[id].alive = false
+		}
+		// Verify a random query.
+		q := geom.V(rng.Float64()*500-100, rng.Float64()*500-100)
+		r := rng.Float64() * 80
+		var want []int
+		for i, e := range truth {
+			if e.alive && e.p.Dist(q) <= r {
+				want = append(want, i)
+			}
+		}
+		got := ix.Neighbors(q, r)
+		if len(got) == 0 && len(want) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("step %d: query %v r=%v: got %v want %v", step, q, r, got, want)
+		}
+	}
+}
+
+func TestZeroCellSizeDefaults(t *testing.T) {
+	ix := New(0, 1)
+	ix.Insert(0, geom.V(1, 1))
+	if got := ix.Neighbors(geom.V(1, 1), 0.5); len(got) != 1 {
+		t.Errorf("got %v", got)
+	}
+}

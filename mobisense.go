@@ -1,0 +1,167 @@
+// Package mobisense is a reproduction of "Connectivity-Guaranteed and
+// Obstacle-Adaptive Deployment Schemes for Mobile Sensor Networks" (Tan,
+// Jarvis, Kermarrec; ICDCS 2008 / IEEE TMC 2009) as a reusable Go library.
+//
+// It simulates the self-deployment of mobile sensor networks in 2-D fields
+// with arbitrary rectangular/polygonal obstacles and provides:
+//
+//   - CPVF, the Connectivity-Preserved Virtual Force scheme (§4);
+//   - FLOOR, the floor-based vine-growth scheme (§5);
+//   - the VOR and Minimax Voronoi baselines of Wang et al. and the strip
+//     pattern of Bai et al. for comparison (§6);
+//   - coverage, moving-distance and message-overhead measurement matching
+//     the paper's evaluation.
+//
+// Quick start:
+//
+//	cfg := mobisense.DefaultConfig(mobisense.SchemeFLOOR)
+//	res, err := mobisense.Run(cfg)
+//	if err != nil { ... }
+//	fmt.Printf("coverage %.1f%%\n", 100*res.Coverage)
+package mobisense
+
+import (
+	"fmt"
+	"time"
+
+	"mobisense/internal/baseline"
+	"mobisense/internal/core"
+	"mobisense/internal/coverage"
+	"mobisense/internal/cpvf"
+	ifield "mobisense/internal/field"
+	"mobisense/internal/floor"
+	"mobisense/internal/geom"
+	"mobisense/internal/render"
+)
+
+// Run executes one deployment according to cfg and returns its metrics.
+func Run(cfg Config) (Result, error) {
+	start := time.Now()
+	if err := cfg.validate(); err != nil {
+		return Result{}, err
+	}
+	f := cfg.Field.internal()
+	params := cfg.params()
+
+	w, err := core.NewWorld(f, params)
+	if err != nil {
+		return Result{}, fmt.Errorf("mobisense: %w", err)
+	}
+
+	var res Result
+	switch cfg.Scheme {
+	case SchemeCPVF, SchemeFLOOR:
+		var scheme core.Scheme
+		var onKill func(int, []int)
+		if cfg.Scheme == SchemeCPVF {
+			cs := cpvf.New(cfg.cpvfConfig())
+			scheme, onKill = cs, cs.HandleFailure
+		} else {
+			fs := floor.New(cfg.floorConfig())
+			scheme, onKill = fs, fs.HandleFailure
+		}
+		scheme.Attach(w)
+		if fo := cfg.Failures; fo != nil {
+			inj := &core.FailureInjector{
+				Interval: fo.Interval,
+				MaxKills: fo.MaxKills,
+				OnKill:   onKill,
+			}
+			inj.Attach(w)
+		}
+		w.E.RunUntil(params.Duration)
+		res = resultFromWorld(cfg, w)
+		if fs, ok := scheme.(*floor.Scheme); ok {
+			res.Placements = fs.PlacementsByKind()
+		}
+
+	case SchemeVOR, SchemeMinimax:
+		starts := w.Layout()
+		vdCfg := cfg.vdConfig()
+		var vd baseline.VDResult
+		if cfg.Scheme == SchemeVOR {
+			vd, err = baseline.RunVOR(f, starts, vdCfg)
+		} else {
+			vd, err = baseline.RunMinimax(f, starts, vdCfg)
+		}
+		if err != nil {
+			return Result{}, fmt.Errorf("mobisense: %w", err)
+		}
+		res = resultFromLayout(cfg, f, vd.Positions, vd.AvgDistance())
+		res.IncorrectVoronoiCells = vd.IncorrectCells
+
+	case SchemeOPT:
+		starts := w.Layout()
+		layout := baseline.StripPattern(f.Bounds(), params.N, params.Rc, params.Rs)
+		dists, err := baseline.MinMatchingDistance(starts, layout)
+		if err != nil {
+			return Result{}, fmt.Errorf("mobisense: %w", err)
+		}
+		var sum float64
+		for _, d := range dists {
+			sum += d
+		}
+		res = resultFromLayout(cfg, f, layout, sum/float64(len(dists)))
+
+	default:
+		return Result{}, fmt.Errorf("mobisense: unknown scheme %q", cfg.Scheme)
+	}
+
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// resultFromWorld gathers metrics from an event-driven scheme run. All
+// layout metrics consider the surviving sensors only.
+func resultFromWorld(cfg Config, w *core.World) Result {
+	layout := w.AliveLayout()
+	res := resultFromLayout(cfg, w.F, layout, w.AvgTraveled())
+	res.Messages = w.Msg.Total()
+	res.MessagesByKind = w.Msg.ByKind()
+	res.ConvergenceTime = w.LastMoveTime()
+	res.Alive = w.AliveCount()
+	return res
+}
+
+// resultFromLayout computes the layout-dependent metrics shared by all
+// schemes.
+func resultFromLayout(cfg Config, f *ifield.Field, layout []geom.Vec, avgDist float64) Result {
+	est := coverage.NewEstimator(f, cfg.coverageRes())
+	positions := make([]Point, len(layout))
+	for i, p := range layout {
+		positions[i] = Point{X: p.X, Y: p.Y}
+	}
+	return Result{
+		Scheme:          cfg.Scheme,
+		Coverage:        est.Fraction(layout, cfg.Rs),
+		Coverage2:       est.KFraction(layout, cfg.Rs, 2),
+		AvgMoveDistance: avgDist,
+		Connected:       core.AllConnected(layout, f.Reference(), cfg.Rc),
+		Positions:       positions,
+		Alive:           len(positions),
+		fieldRef:        f,
+	}
+}
+
+// ASCIIMap renders the result's final layout as a text map with the given
+// number of character columns (legend: '.' free, '#' obstacle, 'B' base
+// station, digits sensor counts).
+func (r Result) ASCIIMap(cols int) string {
+	if r.fieldRef == nil {
+		return ""
+	}
+	layout := make([]geom.Vec, len(r.Positions))
+	for i, p := range r.Positions {
+		layout[i] = geom.V(p.X, p.Y)
+	}
+	return render.ASCIIMap(r.fieldRef, layout, cols)
+}
+
+// PositionsCSV renders the final sensor positions as CSV ("id,x,y").
+func (r Result) PositionsCSV() string {
+	layout := make([]geom.Vec, len(r.Positions))
+	for i, p := range r.Positions {
+		layout[i] = geom.V(p.X, p.Y)
+	}
+	return render.PositionsCSV(layout)
+}

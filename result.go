@@ -1,0 +1,51 @@
+package mobisense
+
+import (
+	"time"
+
+	"mobisense/internal/field"
+)
+
+// Result holds the metrics of one deployment run, mirroring the paper's
+// evaluation quantities (§6).
+type Result struct {
+	// Scheme is the scheme that produced this result.
+	Scheme Scheme
+	// Coverage is the fraction of the free field area covered by at least
+	// one sensing disk (line-of-sight through obstacles), §4.3's metric.
+	Coverage float64
+	// Coverage2 is the 2-coverage fraction (area seen by at least two
+	// sensors), the "higher degree of coverage" of §7.
+	Coverage2 float64
+	// Alive is the number of surviving sensors (equals the configured N
+	// unless failures were injected).
+	Alive int
+	// AvgMoveDistance is the mean per-sensor moving distance in meters —
+	// the energy-dominating quantity of §6.2. For SchemeOPT it is the
+	// Hungarian lower bound from the initial layout to the pattern.
+	AvgMoveDistance float64
+	// Messages is the total number of protocol message transmissions
+	// (§6.5); zero for the non-message-based baselines.
+	Messages int64
+	// MessagesByKind breaks Messages down by protocol message type.
+	MessagesByKind map[string]int64
+	// ConvergenceTime is when the last committed movement ended.
+	ConvergenceTime float64
+	// Connected reports whether every sensor in the final layout is
+	// unit-disk reachable from the base station — the paper's
+	// connectivity guarantee.
+	Connected bool
+	// Positions is the final sensor layout.
+	Positions []Point
+	// Placements counts FLOOR's completed relocations per expansion type
+	// (nil for other schemes).
+	Placements map[string]int
+	// IncorrectVoronoiCells counts sensors whose rc-local Voronoi cell
+	// differs from the true cell (VOR/Minimax only; Figure 10's
+	// "Incorrect VD" annotation).
+	IncorrectVoronoiCells int
+	// Elapsed is the wall-clock time of the run.
+	Elapsed time.Duration
+
+	fieldRef *field.Field
+}
