@@ -1,0 +1,398 @@
+package mobisense
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"mobisense/internal/coverage"
+	"mobisense/internal/field"
+	"mobisense/internal/stats"
+)
+
+// The batch subsystem executes many independent deployments on a worker
+// pool. The paper's evaluation is exactly this shape — Figure 13 alone
+// averages 300 random-obstacle runs — and every run is deterministic given
+// its config, so a sweep produces identical results at any worker count.
+
+// BatchOptions tune RunBatch and Sweep.Run.
+type BatchOptions struct {
+	// Workers is the worker-pool size; 1 runs sequentially and values < 1
+	// default to GOMAXPROCS.
+	Workers int
+	// OnProgress, if set, is called after each completed run with the
+	// number done so far and the total. Calls are serialized.
+	OnProgress func(done, total int)
+}
+
+func (o BatchOptions) workers(jobs int) int {
+	w := o.Workers
+	if w < 1 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > jobs {
+		w = jobs
+	}
+	return w
+}
+
+// RunSpec identifies one expanded run of a batch or sweep.
+type RunSpec struct {
+	// Index is the run's position in the batch (results keep this order).
+	Index int
+	// Scheme, Scenario, N and Repeat are the sweep axis values that
+	// produced this run (Scenario is "" when the config's field was given
+	// directly, Repeat is 0 for plain batches).
+	Scheme   Scheme
+	Scenario string
+	N        int
+	Repeat   int
+	// Seed is the run's derived seed.
+	Seed uint64
+	// Config is the fully expanded configuration.
+	Config Config
+}
+
+// BatchResult pairs one run's spec with its outcome.
+type BatchResult struct {
+	Spec   RunSpec
+	Result Result
+	Err    error
+}
+
+// RunBatch executes the given configs on a worker pool and returns the
+// results in input order. Per-run failures are reported in the
+// corresponding BatchResult, never as a panic. All runs sharing a field
+// and coverage resolution share one coverage estimator.
+func RunBatch(cfgs []Config, opts BatchOptions) []BatchResult {
+	specs := make([]RunSpec, len(cfgs))
+	for i, cfg := range cfgs {
+		specs[i] = RunSpec{
+			Index:  i,
+			Scheme: cfg.Scheme,
+			N:      cfg.N,
+			Seed:   cfg.Seed,
+			Config: cfg,
+		}
+	}
+	return runSpecs(specs, opts)
+}
+
+// runSpecs is the shared worker-pool executor behind RunBatch and
+// Sweep.Run.
+func runSpecs(specs []RunSpec, opts BatchOptions) []BatchResult {
+	out := make([]BatchResult, len(specs))
+	if len(specs) == 0 {
+		return out
+	}
+	cache := newEstimatorCache()
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	var progressMu sync.Mutex
+	done := 0
+	for k := opts.workers(len(specs)); k > 0; k-- {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				cfg := specs[i].Config
+				cfg.estimators = cache
+				res, err := Run(cfg)
+				out[i] = BatchResult{Spec: specs[i], Result: res, Err: err}
+				if opts.OnProgress != nil {
+					progressMu.Lock()
+					done++
+					opts.OnProgress(done, len(specs))
+					progressMu.Unlock()
+				}
+			}
+		}()
+	}
+	for i := range specs {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return out
+}
+
+// Sweep describes a cross-product experiment: every combination of
+// scheme × scenario × sensor count, repeated Repeats times. Each run gets
+// a deterministic seed derived from the base seed and its axis indices, so
+// the expansion — and therefore every result — is independent of worker
+// count and execution order. The scheme axis is excluded from seed
+// derivation: all schemes of one (scenario, N, repeat) share a seed and
+// hence an identical initial layout, making scheme comparisons paired.
+type Sweep struct {
+	// Base is the config template; the axes below override its Scheme,
+	// Field, N and Seed per run.
+	Base Config
+	// Schemes to run (default: just Base.Scheme).
+	Schemes []Scheme
+	// Scenarios are registry names (see ScenarioNames). Empty keeps
+	// Base.Field for every run. Unseeded scenarios are built once and
+	// shared; seeded ones are rebuilt per repeat with a seed derived from
+	// the scenario and repeat only, so every scheme and N sees the same
+	// sequence of generated environments (paired comparisons).
+	Scenarios []string
+	// Ns are sensor counts (default: just Base.N).
+	Ns []int
+	// Repeats is the number of seeds per combination (default 1).
+	Repeats int
+	// Seed is the base seed for derivation (default Base.Seed, then 1).
+	Seed uint64
+}
+
+// Domain-separation tags for deriveSeed.
+const (
+	seedDomainRun = iota + 1
+	seedDomainField
+)
+
+// Expand materializes the sweep's cross-product into run specs, building
+// scenario fields as needed.
+func (s Sweep) Expand() ([]RunSpec, error) {
+	schemes := s.Schemes
+	if len(schemes) == 0 {
+		schemes = []Scheme{s.Base.Scheme}
+	}
+	ns := s.Ns
+	if len(ns) == 0 {
+		ns = []int{s.Base.N}
+	}
+	repeats := s.Repeats
+	if repeats < 1 {
+		repeats = 1
+	}
+	base := s.Seed
+	if base == 0 {
+		base = s.Base.Seed
+	}
+	if base == 0 {
+		base = 1
+	}
+
+	type slot struct {
+		name string
+		sc   Scenario
+	}
+	var scenarios []slot
+	if len(s.Scenarios) == 0 {
+		scenarios = []slot{{name: ""}}
+	} else {
+		for _, name := range s.Scenarios {
+			sc, ok := LookupScenario(name)
+			if !ok {
+				return nil, fmt.Errorf("mobisense: unknown scenario %q (have %v)", name, ScenarioNames())
+			}
+			scenarios = append(scenarios, slot{name: sc.Name, sc: sc})
+		}
+	}
+
+	// Pre-build each scenario's fields: one shared field for unseeded
+	// scenarios, one per repeat for seeded ones.
+	fields := make([][]Field, len(scenarios))
+	for ci, sl := range scenarios {
+		if sl.name == "" {
+			fields[ci] = []Field{s.Base.Field}
+			continue
+		}
+		n := 1
+		if sl.sc.Seeded {
+			n = repeats
+		}
+		fields[ci] = make([]Field, n)
+		for r := 0; r < n; r++ {
+			f, err := sl.sc.Build(deriveSeed(base, seedDomainField, uint64(ci), uint64(r)))
+			if err != nil {
+				return nil, fmt.Errorf("mobisense: scenario %q repeat %d: %w", sl.name, r, err)
+			}
+			fields[ci][r] = f
+		}
+	}
+
+	specs := make([]RunSpec, 0, len(schemes)*len(scenarios)*len(ns)*repeats)
+	for _, scheme := range schemes {
+		for ci, sl := range scenarios {
+			for ni, n := range ns {
+				for r := 0; r < repeats; r++ {
+					cfg := s.Base
+					cfg.Scheme = scheme
+					cfg.N = n
+					cfg.Seed = deriveSeed(base, seedDomainRun,
+						uint64(ci), uint64(ni), uint64(r))
+					if len(fields[ci]) > 1 {
+						cfg.Field = fields[ci][r]
+					} else {
+						cfg.Field = fields[ci][0]
+					}
+					specs = append(specs, RunSpec{
+						Index:    len(specs),
+						Scheme:   scheme,
+						Scenario: sl.name,
+						N:        n,
+						Repeat:   r,
+						Seed:     cfg.Seed,
+						Config:   cfg,
+					})
+				}
+			}
+		}
+	}
+	return specs, nil
+}
+
+// Run expands the sweep and executes it on a worker pool, returning the
+// per-run results (in expansion order) and per-combination aggregates.
+func (s Sweep) Run(opts BatchOptions) (SweepResult, error) {
+	specs, err := s.Expand()
+	if err != nil {
+		return SweepResult{}, err
+	}
+	runs := runSpecs(specs, opts)
+	return SweepResult{Runs: runs, Aggregates: aggregateRuns(runs)}, nil
+}
+
+// SweepResult holds a sweep's per-run outcomes and aggregated summaries.
+type SweepResult struct {
+	Runs       []BatchResult
+	Aggregates []Aggregate
+}
+
+// MetricSummary is the mean/CI summary of one metric over a group of runs.
+type MetricSummary struct {
+	// N is the number of samples.
+	N int
+	// Mean and StdDev are the sample mean and standard deviation.
+	Mean, StdDev float64
+	// CI95 is the half-width of the normal-approximation 95% confidence
+	// interval of the mean.
+	CI95 float64
+	// Min and Max are the sample range.
+	Min, Max float64
+}
+
+func metricSummary(xs []float64) MetricSummary {
+	s := stats.Summarize(xs)
+	return MetricSummary{N: s.N, Mean: s.Mean, StdDev: s.StdDev, CI95: s.CI95, Min: s.Min, Max: s.Max}
+}
+
+// Aggregate summarizes all runs of one (scheme, scenario, N) combination.
+type Aggregate struct {
+	Scheme   Scheme
+	Scenario string
+	N        int
+	// Runs and Errors count the successful and failed runs.
+	Runs, Errors int
+	// Metric summaries over the successful runs.
+	Coverage        MetricSummary
+	Coverage2       MetricSummary
+	AvgMoveDistance MetricSummary
+	Messages        MetricSummary
+	ConvergenceTime MetricSummary
+	// ConnectedFraction is the fraction of successful runs whose final
+	// layout was fully connected.
+	ConnectedFraction float64
+}
+
+// aggregateRuns groups runs by (scheme, scenario, N) in first-seen order
+// and summarizes each group. Iterating in run-index order makes the
+// output bit-identical regardless of how many workers executed the batch.
+func aggregateRuns(runs []BatchResult) []Aggregate {
+	type key struct {
+		scheme   Scheme
+		scenario string
+		n        int
+	}
+	var order []key
+	groups := map[key][]BatchResult{}
+	for _, r := range runs {
+		k := key{r.Spec.Scheme, r.Spec.Scenario, r.Spec.N}
+		if _, seen := groups[k]; !seen {
+			order = append(order, k)
+		}
+		groups[k] = append(groups[k], r)
+	}
+	out := make([]Aggregate, 0, len(order))
+	for _, k := range order {
+		agg := Aggregate{Scheme: k.scheme, Scenario: k.scenario, N: k.n}
+		var cov, cov2, dist, msgs, conv []float64
+		connected := 0
+		for _, r := range groups[k] {
+			if r.Err != nil {
+				agg.Errors++
+				continue
+			}
+			agg.Runs++
+			cov = append(cov, r.Result.Coverage)
+			cov2 = append(cov2, r.Result.Coverage2)
+			dist = append(dist, r.Result.AvgMoveDistance)
+			msgs = append(msgs, float64(r.Result.Messages))
+			conv = append(conv, r.Result.ConvergenceTime)
+			if r.Result.Connected {
+				connected++
+			}
+		}
+		agg.Coverage = metricSummary(cov)
+		agg.Coverage2 = metricSummary(cov2)
+		agg.AvgMoveDistance = metricSummary(dist)
+		agg.Messages = metricSummary(msgs)
+		agg.ConvergenceTime = metricSummary(conv)
+		if agg.Runs > 0 {
+			agg.ConnectedFraction = float64(connected) / float64(agg.Runs)
+		}
+		out = append(out, agg)
+	}
+	return out
+}
+
+// deriveSeed mixes the base seed with axis indices through splitmix64 so
+// every run of a sweep gets a stable, well-distributed seed that does not
+// depend on execution order.
+func deriveSeed(base uint64, parts ...uint64) uint64 {
+	h := splitmix64(base)
+	for _, p := range parts {
+		h = splitmix64(h ^ splitmix64(p+0x9e3779b97f4a7c15))
+	}
+	return h
+}
+
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// estimatorCache shares one coverage.Estimator per (field, resolution)
+// across the runs of a batch: rebuilding the free-space mask per run is
+// pure waste in sweeps. Estimators are immutable after construction, so
+// concurrent use is safe.
+type estimatorCache struct {
+	mu sync.Mutex
+	m  map[estimatorKey]*coverage.Estimator
+}
+
+type estimatorKey struct {
+	f   *field.Field
+	res float64
+}
+
+func newEstimatorCache() *estimatorCache {
+	return &estimatorCache{m: map[estimatorKey]*coverage.Estimator{}}
+}
+
+func (c *estimatorCache) get(f *field.Field, res float64) *coverage.Estimator {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	k := estimatorKey{f, res}
+	e, ok := c.m[k]
+	if !ok {
+		e = coverage.NewEstimator(f, res)
+		c.m[k] = e
+	}
+	return e
+}

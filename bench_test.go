@@ -262,6 +262,45 @@ func BenchmarkAblationExpansionPriority(b *testing.B) {
 	}
 }
 
+// ---------------------------------------------------------------------------
+// Batch-runner throughput: the same small scheme×scenario sweep executed
+// sequentially and on the full worker pool. The ratio tracks how well the
+// experiment suite's hot path saturates the hardware.
+
+func batchSweep() mobisense.Sweep {
+	cfg := mobisense.DefaultConfig(mobisense.SchemeFLOOR)
+	cfg.N = 60
+	cfg.Duration = 150
+	return mobisense.Sweep{
+		Base:      cfg,
+		Schemes:   []mobisense.Scheme{mobisense.SchemeCPVF, mobisense.SchemeFLOOR},
+		Scenarios: []string{"free", "two-obstacles"},
+		Repeats:   2,
+		Seed:      1,
+	}
+}
+
+func benchmarkBatchSweep(b *testing.B, workers int) {
+	for i := 0; i < b.N; i++ {
+		sr, err := batchSweep().Run(mobisense.BatchOptions{Workers: workers})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			for _, a := range sr.Aggregates {
+				label := string(a.Scheme) + "-" + a.Scenario
+				b.ReportMetric(a.Coverage.Mean, label+"/coverage")
+			}
+		}
+	}
+}
+
+// BenchmarkBatchSweepSequential runs the sweep on one worker.
+func BenchmarkBatchSweepSequential(b *testing.B) { benchmarkBatchSweep(b, 1) }
+
+// BenchmarkBatchSweepParallel runs the same sweep on GOMAXPROCS workers.
+func BenchmarkBatchSweepParallel(b *testing.B) { benchmarkBatchSweep(b, 0) }
+
 func itoa(v int) string {
 	if v == 0 {
 		return "0"

@@ -1,18 +1,22 @@
-// Command deploy runs a single sensor deployment and reports its metrics,
-// an ASCII layout map, and optionally a CSV of final positions.
+// Command deploy runs sensor deployments and reports their metrics, an
+// ASCII layout map, and optionally a CSV of final positions. Schemes and
+// scenarios resolve through the mobisense registries, and multi-run
+// invocations fan out across cores via the batch runner.
 //
 // Examples:
 //
 //	deploy -scheme floor
-//	deploy -scheme cpvf -field two-obstacles -n 240 -rc 60 -rs 40
+//	deploy -scheme cpvf -scenario two-obstacles -n 240 -rc 60 -rs 40
 //	deploy -scheme vor -rc 240 -rs 60 -map=false
-//	deploy -scheme floor -field random -field-seed 7 -csv layout.csv
+//	deploy -scheme floor -scenario random-obstacles -field-seed 7 -csv layout.csv
+//	deploy -scheme floor -scenario disaster -runs 30 -workers 8
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"mobisense"
 )
@@ -22,24 +26,41 @@ func main() {
 }
 
 func run() int {
+	schemeNames := make([]string, 0, 8)
+	for _, s := range mobisense.RegisteredSchemes() {
+		schemeNames = append(schemeNames, string(s))
+	}
 	var (
-		scheme    = flag.String("scheme", "floor", "deployment scheme: cpvf, floor, vor, minimax, opt")
-		fieldKind = flag.String("field", "free", "field: free, two-obstacles, random")
-		fieldSeed = flag.Uint64("field-seed", 1, "seed for -field random")
+		scheme    = flag.String("scheme", "floor", "deployment scheme: "+strings.Join(schemeNames, ", "))
+		scenario  = flag.String("scenario", "free", "scenario: "+strings.Join(mobisense.ScenarioNames(), ", "))
+		fieldKind = flag.String("field", "", "deprecated alias for -scenario")
+		fieldSeed = flag.Uint64("field-seed", 1, "seed for seeded scenarios in single runs; sweeps (-runs > 1) derive fields from -seed")
 		n         = flag.Int("n", 240, "number of sensors")
 		rc        = flag.Float64("rc", 60, "communication range (m)")
 		rs        = flag.Float64("rs", 40, "sensing range (m)")
 		speed     = flag.Float64("speed", 2, "maximum speed (m/s)")
 		duration  = flag.Float64("duration", 750, "simulated time (s)")
-		seed      = flag.Uint64("seed", 1, "run seed")
+		seed      = flag.Uint64("seed", 1, "run seed (base seed for -runs > 1)")
+		runs      = flag.Int("runs", 1, "number of repeated runs with derived seeds")
+		workers   = flag.Int("workers", 0, "worker-pool size for -runs > 1 (0 = GOMAXPROCS)")
 		uniform   = flag.Bool("uniform", false, "uniform initial distribution instead of clustered")
 		osc       = flag.String("oscillation", "none", "CPVF oscillation avoidance: none, one-step, two-step")
 		delta     = flag.Float64("delta", 4, "CPVF oscillation avoidance factor δ")
 		ttl       = flag.Int("ttl", 0, "FLOOR invitation TTL in hops (0 = 0.2*N)")
-		showMap   = flag.Bool("map", true, "print an ASCII layout map")
-		csvPath   = flag.String("csv", "", "write final positions CSV to this path")
+		showMap   = flag.Bool("map", true, "print an ASCII layout map (single run only)")
+		csvPath   = flag.String("csv", "", "write final positions CSV to this path (single run only)")
 	)
 	flag.Parse()
+
+	scenarioName := *scenario
+	if *fieldKind != "" {
+		scenarioName = *fieldKind
+	}
+	if _, ok := mobisense.LookupScenario(scenarioName); !ok {
+		fmt.Fprintf(os.Stderr, "unknown scenario %q (have %s)\n",
+			scenarioName, strings.Join(mobisense.ScenarioNames(), ", "))
+		return 2
+	}
 
 	cfg := mobisense.DefaultConfig(mobisense.Scheme(*scheme))
 	cfg.N = *n
@@ -52,29 +73,66 @@ func run() int {
 	cfg.CPVF = &mobisense.CPVFOptions{Oscillation: *osc, Delta: *delta}
 	cfg.Floor = &mobisense.FloorOptions{TTL: *ttl}
 
-	switch *fieldKind {
-	case "free":
-		cfg.Field = mobisense.ObstacleFreeField()
-	case "two-obstacles":
-		cfg.Field = mobisense.TwoObstacleField()
-	case "random":
-		f, err := mobisense.RandomObstacleField(*fieldSeed)
+	if *runs <= 1 {
+		// For one run, honor -seed and -field-seed verbatim rather than
+		// deriving, so single-run invocations stay reproducible by hand.
+		f, err := mobisense.BuildScenario(scenarioName, *fieldSeed)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "random field: %v\n", err)
+			fmt.Fprintf(os.Stderr, "scenario: %v\n", err)
 			return 1
 		}
 		cfg.Field = f
-	default:
-		fmt.Fprintf(os.Stderr, "unknown field %q\n", *fieldKind)
-		return 2
+		out := mobisense.RunBatch([]mobisense.Config{cfg}, mobisense.BatchOptions{Workers: 1})
+		if err := out[0].Err; err != nil {
+			fmt.Fprintf(os.Stderr, "run: %v\n", err)
+			return 1
+		}
+		return printSingle(cfg, out[0].Result, *showMap, *csvPath)
 	}
 
-	res, err := mobisense.Run(cfg)
+	// Sweeps derive both run seeds and seeded-scenario fields from -seed.
+	sweep := mobisense.Sweep{
+		Base:      cfg,
+		Scenarios: []string{scenarioName},
+		Repeats:   *runs,
+		Seed:      *seed,
+	}
+	sr, err := sweep.Run(mobisense.BatchOptions{
+		Workers: *workers,
+		OnProgress: func(done, total int) {
+			fmt.Fprintf(os.Stderr, "\r%d/%d runs", done, total)
+			if done == total {
+				fmt.Fprintln(os.Stderr)
+			}
+		},
+	})
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "run: %v\n", err)
+		fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
 		return 1
 	}
+	printAggregates(sr)
+	// Surface every distinct failure cause, not just the first.
+	counts := map[string]int{}
+	var order []string
+	for _, br := range sr.Runs {
+		if br.Err != nil {
+			msg := br.Err.Error()
+			if counts[msg] == 0 {
+				order = append(order, msg)
+			}
+			counts[msg]++
+		}
+	}
+	for _, msg := range order {
+		fmt.Fprintf(os.Stderr, "%d run(s) failed: %s\n", counts[msg], msg)
+	}
+	if len(order) > 0 {
+		return 1
+	}
+	return 0
+}
 
+func printSingle(cfg mobisense.Config, res mobisense.Result, showMap bool, csvPath string) int {
 	fmt.Printf("scheme           %s\n", res.Scheme)
 	fmt.Printf("coverage         %.1f%%\n", 100*res.Coverage)
 	fmt.Printf("avg distance     %.1f m\n", res.AvgMoveDistance)
@@ -95,16 +153,37 @@ func run() int {
 	}
 	fmt.Printf("wall time        %s\n", res.Elapsed.Round(1e6))
 
-	if *showMap {
+	if showMap {
 		fmt.Println()
 		fmt.Print(res.ASCIIMap(72))
 	}
-	if *csvPath != "" {
-		if err := os.WriteFile(*csvPath, []byte(res.PositionsCSV()), 0o644); err != nil {
+	if csvPath != "" {
+		if err := os.WriteFile(csvPath, []byte(res.PositionsCSV()), 0o644); err != nil {
 			fmt.Fprintf(os.Stderr, "write csv: %v\n", err)
 			return 1
 		}
-		fmt.Printf("wrote %s\n", *csvPath)
+		fmt.Printf("wrote %s\n", csvPath)
 	}
 	return 0
+}
+
+func printAggregates(sr mobisense.SweepResult) {
+	for _, a := range sr.Aggregates {
+		scen := a.Scenario
+		if scen == "" {
+			scen = "(custom field)"
+		}
+		fmt.Printf("%s on %s, N=%d: %d runs", a.Scheme, scen, a.N, a.Runs)
+		if a.Errors > 0 {
+			fmt.Printf(" (%d failed)", a.Errors)
+		}
+		fmt.Println()
+		fmt.Printf("  coverage       %.1f%% ± %.1f  (min %.1f%%, max %.1f%%)\n",
+			100*a.Coverage.Mean, 100*a.Coverage.CI95, 100*a.Coverage.Min, 100*a.Coverage.Max)
+		fmt.Printf("  avg distance   %.1f m ± %.1f\n", a.AvgMoveDistance.Mean, a.AvgMoveDistance.CI95)
+		if a.Messages.Mean > 0 {
+			fmt.Printf("  messages       %.0f ± %.0f\n", a.Messages.Mean, a.Messages.CI95)
+		}
+		fmt.Printf("  connected      %.0f%% of runs\n", 100*a.ConnectedFraction)
+	}
 }

@@ -28,10 +28,12 @@ func main() {
 
 func run() int {
 	var (
-		runFlag = flag.String("run", "all", "comma-separated experiments: fig3,fig8,fig9,fig10,fig11,fig12,fig13,table1 or all")
-		quick   = flag.Bool("quick", false, "shrink sweeps and run counts for a fast smoke run")
-		seed    = flag.Uint64("seed", 1, "base random seed")
-		outDir  = flag.String("out", "", "directory for CSV output (omit to skip CSV files)")
+		runFlag  = flag.String("run", "all", "comma-separated experiments: fig3,fig8,fig9,fig10,fig11,fig12,fig13,table1 or all")
+		quick    = flag.Bool("quick", false, "shrink sweeps and run counts for a fast smoke run")
+		seed     = flag.Uint64("seed", 1, "base random seed")
+		workers  = flag.Int("workers", 0, "batch worker-pool size (0 = GOMAXPROCS, 1 = sequential)")
+		progress = flag.Bool("progress", false, "print batch progress to stderr")
+		outDir   = flag.String("out", "", "directory for CSV output (omit to skip CSV files)")
 	)
 	flag.Parse()
 
@@ -63,7 +65,15 @@ func run() int {
 		}
 	}
 
-	opts := experiments.Options{Quick: *quick, Seed: *seed}
+	opts := experiments.Options{Quick: *quick, Seed: *seed, Workers: *workers}
+	if *progress {
+		opts.OnProgress = func(done, total int) {
+			fmt.Fprintf(os.Stderr, "\r%d/%d runs", done, total)
+			if done == total {
+				fmt.Fprintln(os.Stderr)
+			}
+		}
+	}
 	if *outDir != "" {
 		if err := os.MkdirAll(*outDir, 0o755); err != nil {
 			fmt.Fprintf(os.Stderr, "create output dir: %v\n", err)

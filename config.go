@@ -5,7 +5,9 @@ import (
 
 	"mobisense/internal/baseline"
 	"mobisense/internal/core"
+	"mobisense/internal/coverage"
 	"mobisense/internal/cpvf"
+	"mobisense/internal/field"
 	"mobisense/internal/floor"
 	"mobisense/internal/geom"
 )
@@ -63,15 +65,34 @@ type Config struct {
 	// CoverageRes is the coverage-grid resolution in meters (default 5).
 	CoverageRes float64
 
+	// Stabilize, when set, keeps extending an event-driven run past
+	// Duration until the layout stops changing (the paper's "after which
+	// the sensor layout becomes quite stable").
+	Stabilize *StabilizeOptions
+
 	// Failures optionally injects sensor deaths during the run; CPVF and
 	// FLOOR repair around them (the §7 failure-recovery extension).
 	Failures *FailureOptions
+
+	// estimators is an optional cache of coverage estimators shared across
+	// the runs of a batch (set by RunBatch/Sweep).
+	estimators *estimatorCache
 	// CPVF optionally tunes the CPVF scheme.
 	CPVF *CPVFOptions
 	// Floor optionally tunes the FLOOR scheme.
 	Floor *FloorOptions
 	// VD optionally tunes the VOR/Minimax baselines.
 	VD *VDOptions
+}
+
+// StabilizeOptions extend an event-driven run past Config.Duration until
+// no sensor moved during a whole chunk, or the cap is reached.
+type StabilizeOptions struct {
+	// Cap is the hard horizon in seconds; values at or below
+	// Config.Duration disable stabilization.
+	Cap float64
+	// Chunk is the quiet-period length in seconds (default 250).
+	Chunk float64
 }
 
 // FailureOptions injects sensor failures during event-driven runs.
@@ -144,15 +165,22 @@ func DefaultConfig(scheme Scheme) Config {
 }
 
 func (c Config) validate() error {
-	switch c.Scheme {
-	case SchemeCPVF, SchemeFLOOR, SchemeVOR, SchemeMinimax, SchemeOPT:
-	default:
+	if _, ok := lookupScheme(c.Scheme); !ok {
 		return fmt.Errorf("mobisense: unknown scheme %q", c.Scheme)
 	}
 	if c.Field.f == nil {
 		return fmt.Errorf("mobisense: config has no field; use DefaultConfig or set Field")
 	}
 	return c.params().Validate()
+}
+
+// estimatorFor returns the coverage estimator for this config's field,
+// reusing the batch-wide cache when one is attached.
+func (c Config) estimatorFor(f *field.Field) *coverage.Estimator {
+	if c.estimators != nil {
+		return c.estimators.get(f, c.coverageRes())
+	}
+	return coverage.NewEstimator(f, c.coverageRes())
 }
 
 func (c Config) coverageRes() float64 {

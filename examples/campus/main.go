@@ -1,8 +1,9 @@
 // Campus monitoring: deploy sensors through a building complex with
 // corridor-like passages — the kind of metropolitan environment with
 // obstacles that §1 argues renders obstacle-free schemes ineffectual.
-// The example builds a custom field from rectangles and shows FLOOR's
-// boundary-guided expansion threading the corridors.
+// The example uses the registered "campus" scenario (an 800×600 m field
+// with three buildings forming two corridors and an open quad) and shows
+// FLOOR's boundary-guided expansion threading the corridors.
 package main
 
 import (
@@ -13,14 +14,7 @@ import (
 )
 
 func main() {
-	// An 800×600 m campus: three buildings forming two corridors plus an
-	// open quad. The base station (gateway) sits at the south-west corner.
-	buildings := [][4]float64{
-		{150, 100, 350, 250}, // west hall
-		{450, 100, 650, 250}, // east hall
-		{250, 350, 550, 480}, // north hall
-	}
-	campus, err := mobisense.NewField(800, 600, buildings)
+	campus, err := mobisense.BuildScenario("campus", 1)
 	if err != nil {
 		log.Fatal(err)
 	}

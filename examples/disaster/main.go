@@ -13,10 +13,11 @@ import (
 )
 
 func main() {
-	// An unknown disaster zone: 1 km² with random debris fields. The
-	// deployment scheme receives no layout information; sensors discover
-	// obstacles with their own sensing.
-	field, err := mobisense.RandomObstacleField(2026)
+	// An unknown disaster zone: 1 km² strewn with random debris fields
+	// (the registered "disaster" scenario). The deployment scheme receives
+	// no layout information; sensors discover obstacles with their own
+	// sensing.
+	field, err := mobisense.BuildScenario("disaster", 2026)
 	if err != nil {
 		log.Fatal(err)
 	}

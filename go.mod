@@ -1,0 +1,3 @@
+module mobisense
+
+go 1.24

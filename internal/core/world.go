@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"slices"
 
 	"mobisense/internal/field"
 	"mobisense/internal/geom"
@@ -183,11 +184,7 @@ func (w *World) Neighbors(id int, r float64) []int {
 	w.ForNeighbors(id, r, func(j int, _ geom.Vec) { out = append(out, j) })
 	// ForNeighbors iterates in grid order; sort for determinism across
 	// index states.
-	for i := 1; i < len(out); i++ {
-		for k := i; k > 0 && out[k] < out[k-1]; k-- {
-			out[k], out[k-1] = out[k-1], out[k]
-		}
-	}
+	slices.Sort(out)
 	return out
 }
 

@@ -3,6 +3,10 @@
 // returns structured rows that cmd/experiments prints as CSV/tables and
 // the root bench harness reports as benchmark metrics.
 //
+// All runs go through the public mobisense API: schemes and fields resolve
+// through the scheme/scenario registries and independent runs fan out
+// across cores via the batch runner (mobisense.RunBatch / mobisense.Sweep).
+//
 // Absolute values depend on constants the paper does not specify (force
 // law, invitation cadence); the functions therefore also embed the paper's
 // reported numbers where available so reports can show paper-vs-measured
@@ -11,14 +15,11 @@ package experiments
 
 import (
 	"fmt"
-	"math/rand/v2"
 
+	"mobisense"
 	"mobisense/internal/baseline"
-	"mobisense/internal/core"
-	"mobisense/internal/coverage"
 	"mobisense/internal/cpvf"
 	"mobisense/internal/field"
-	"mobisense/internal/floor"
 	"mobisense/internal/geom"
 	"mobisense/internal/stats"
 )
@@ -47,12 +48,16 @@ func (r Row) Get(name string) float64 {
 	return 0
 }
 
-// Options control experiment size.
+// Options control experiment size and parallelism.
 type Options struct {
 	// Quick shrinks sweeps and run counts for smoke tests and benches.
 	Quick bool
 	// Seed drives all runs.
 	Seed uint64
+	// Workers sizes the batch runner's worker pool (< 1 = GOMAXPROCS).
+	Workers int
+	// OnProgress, if set, observes batch completions.
+	OnProgress func(done, total int)
 }
 
 func (o Options) seed() uint64 {
@@ -62,116 +67,99 @@ func (o Options) seed() uint64 {
 	return o.Seed
 }
 
-// runOutcome bundles the metrics the experiments need from one run.
-type runOutcome struct {
-	coverage  float64
-	avgDist   float64
-	messages  int64
-	connected bool
-	layout    []geom.Vec
-	starts    []geom.Vec
+func (o Options) batch() mobisense.BatchOptions {
+	return mobisense.BatchOptions{Workers: o.Workers, OnProgress: o.OnProgress}
 }
 
-// runScheme executes one event-driven scheme run.
-func runScheme(f *field.Field, p core.Params, s core.Scheme) runOutcome {
-	w, err := core.NewWorld(f, p)
+// scenarioField builds the named scenario's field once; configs sharing
+// the returned handle also share one cached coverage estimator per batch.
+func scenarioField(o Options, scenario string) mobisense.Field {
+	f, err := mobisense.BuildScenario(scenario, o.seed())
 	if err != nil {
 		panic(fmt.Sprintf("experiments: %v", err))
 	}
-	starts := w.Layout()
-	s.Attach(w)
-	w.E.RunUntil(p.Duration)
-	layout := w.Layout()
-	est := coverage.NewEstimator(f, p.CoverageRes)
-	return runOutcome{
-		coverage:  est.Fraction(layout, p.Rs),
-		avgDist:   w.AvgTraveled(),
-		messages:  w.Msg.Total(),
-		connected: core.AllConnected(layout, f.Reference(), p.Rc),
-		layout:    layout,
-		starts:    starts,
-	}
+	return f
 }
 
-// runSchemeStable runs a scheme for at least p.Duration and then keeps
-// extending the horizon in 250 s chunks until no sensor moved during the
-// last chunk (or the cap is reached), mirroring the paper's "after which
-// the sensor layout becomes quite stable".
-func runSchemeStable(f *field.Field, p core.Params, s core.Scheme, capSeconds float64) runOutcome {
-	// Schemes schedule their per-period events only up to p.Duration, so
-	// the horizon is raised to the cap up front and the run is cut short
-	// as soon as a whole chunk passes without movement.
-	minHorizon := p.Duration
-	p.Duration = capSeconds
-	w, err := core.NewWorld(f, p)
-	if err != nil {
-		panic(fmt.Sprintf("experiments: %v", err))
-	}
-	starts := w.Layout()
-	s.Attach(w)
-	w.E.RunUntil(minHorizon)
-	const chunk = 250.0
-	for w.Now() < capSeconds && w.LastMoveTime() > w.Now()-chunk {
-		w.E.RunUntil(w.Now() + chunk)
-	}
-	layout := w.Layout()
-	est := coverage.NewEstimator(f, p.CoverageRes)
-	return runOutcome{
-		coverage:  est.Fraction(layout, p.Rs),
-		avgDist:   w.AvgTraveled(),
-		messages:  w.Msg.Total(),
-		connected: core.AllConnected(layout, f.Reference(), p.Rc),
-		layout:    layout,
-		starts:    starts,
-	}
+// paperConfig returns the §4.3 standard parameters on the given field.
+func paperConfig(o Options, scheme mobisense.Scheme, f mobisense.Field) mobisense.Config {
+	cfg := mobisense.DefaultConfig(scheme)
+	cfg.Seed = o.seed()
+	cfg.Field = f
+	return cfg
 }
 
-// paperParams returns the §4.3 standard parameters.
-func paperParams(seed uint64) core.Params {
-	p := core.DefaultParams()
-	p.Seed = seed
-	return p
+// runAll fans the configs out on the batch runner and unwraps the results,
+// panicking on any per-run error (experiment configs are fixed and must
+// run).
+func runAll(o Options, cfgs []mobisense.Config) []mobisense.Result {
+	out := make([]mobisense.Result, len(cfgs))
+	for i, br := range mobisense.RunBatch(cfgs, o.batch()) {
+		if br.Err != nil {
+			panic(fmt.Sprintf("experiments: run %d: %v", i, br.Err))
+		}
+		out[i] = br.Result
+	}
+	return out
+}
+
+func toVecs(ps []mobisense.Point) []geom.Vec {
+	out := make([]geom.Vec, len(ps))
+	for i, p := range ps {
+		out[i] = geom.V(p.X, p.Y)
+	}
+	return out
 }
 
 // Fig3 reproduces Figure 3: CPVF layouts and coverage in the three
 // canonical scenarios.
 func Fig3(o Options) []Row {
-	return layoutScenarios(o, "fig3", func() core.Scheme { return cpvf.New(cpvf.DefaultConfig()) },
+	return layoutScenarios(o, "fig3", mobisense.SchemeCPVF,
 		[3]float64{0.745, 0.264, 0.371})
 }
 
 // Fig8 reproduces Figure 8: FLOOR in the same scenarios.
 func Fig8(o Options) []Row {
-	return layoutScenarios(o, "fig8", func() core.Scheme { return floor.New(floor.DefaultConfig()) },
+	return layoutScenarios(o, "fig8", mobisense.SchemeFLOOR,
 		[3]float64{0.788, 0.462, 0.725})
 }
 
-func layoutScenarios(o Options, figure string, mk func() core.Scheme, paper [3]float64) []Row {
+func layoutScenarios(o Options, figure string, scheme mobisense.Scheme, paper [3]float64) []Row {
 	type scenario struct {
-		label  string
-		rc     float64
-		field  *field.Field
-		paper  float64
-		suffix string
+		label string
+		name  string
+		rc    float64
+		paper float64
 	}
 	scenarios := []scenario{
-		{"(a) rc=60 rs=40 obstacle-free", 60, field.ObstacleFree(), paper[0], "a"},
-		{"(b) rc=30 rs=40 obstacle-free", 30, field.ObstacleFree(), paper[1], "b"},
-		{"(c) rc=60 rs=40 two obstacles", 60, field.TwoObstacles(), paper[2], "c"},
+		{"(a) rc=60 rs=40 obstacle-free", "free", 60, paper[0]},
+		{"(b) rc=30 rs=40 obstacle-free", "free", 30, paper[1]},
+		{"(c) rc=60 rs=40 two obstacles", "two-obstacles", 60, paper[2]},
 	}
-	rows := make([]Row, 0, len(scenarios))
+	fields := map[string]mobisense.Field{}
 	for _, sc := range scenarios {
-		p := paperParams(o.seed())
-		p.Rc = sc.rc
-		out := runScheme(sc.field, p, mk())
+		if _, ok := fields[sc.name]; !ok {
+			fields[sc.name] = scenarioField(o, sc.name)
+		}
+	}
+	cfgs := make([]mobisense.Config, len(scenarios))
+	for i, sc := range scenarios {
+		cfg := paperConfig(o, scheme, fields[sc.name])
+		cfg.Rc = sc.rc
+		cfgs[i] = cfg
+	}
+	results := runAll(o, cfgs)
+	rows := make([]Row, 0, len(scenarios))
+	for i, sc := range scenarios {
+		out := results[i]
 		rows = append(rows, Row{
 			Figure: figure,
 			Label:  sc.label,
 			Columns: []Column{
-				{"coverage", out.coverage},
+				{"coverage", out.Coverage},
 				{"paper_coverage", sc.paper},
-				{"avg_distance", out.avgDist},
-				{"connected", boolVal(out.connected)},
+				{"avg_distance", out.AvgMoveDistance},
+				{"connected", boolVal(out.Connected)},
 			},
 		})
 	}
@@ -187,22 +175,28 @@ func Fig9(o Options) []Row {
 		ns = []int{120, 240}
 		pairs = [][2]float64{{20, 60}, {60, 60}}
 	}
+	schemes := []mobisense.Scheme{mobisense.SchemeCPVF, mobisense.SchemeFLOOR, mobisense.SchemeOPT}
+	free := scenarioField(o, "free")
+	var cfgs []mobisense.Config
+	for _, pair := range pairs {
+		for _, n := range ns {
+			for _, s := range schemes {
+				cfg := paperConfig(o, s, free)
+				cfg.N = n
+				cfg.Rc = pair[0]
+				cfg.Rs = pair[1]
+				cfgs = append(cfgs, cfg)
+			}
+		}
+	}
+	results := runAll(o, cfgs)
 	var rows []Row
+	i := 0
 	for _, pair := range pairs {
 		rc, rs := pair[0], pair[1]
 		for _, n := range ns {
-			p := paperParams(o.seed())
-			p.N = n
-			p.Rc = rc
-			p.Rs = rs
-			f := field.ObstacleFree()
-			est := coverage.NewEstimator(f, p.CoverageRes)
-
-			cp := runScheme(f, p, cpvf.New(cpvf.DefaultConfig()))
-			fl := runScheme(f, p, floor.New(floor.DefaultConfig()))
-			opt := baseline.StripPattern(f.Bounds(), n, rc, rs)
-			optCov := est.Fraction(opt, rs)
-
+			cp, fl, opt := results[i], results[i+1], results[i+2]
+			i += len(schemes)
 			rows = append(rows, Row{
 				Figure: "fig9",
 				Label:  fmt.Sprintf("rc=%.0f rs=%.0f N=%d", rc, rs, n),
@@ -210,9 +204,9 @@ func Fig9(o Options) []Row {
 					{"n", float64(n)},
 					{"rc", rc},
 					{"rs", rs},
-					{"cpvf_coverage", cp.coverage},
-					{"floor_coverage", fl.coverage},
-					{"opt_coverage", optCov},
+					{"cpvf_coverage", cp.Coverage},
+					{"floor_coverage", fl.Coverage},
+					{"opt_coverage", opt.Coverage},
 				},
 			})
 		}
@@ -228,48 +222,39 @@ func Fig10(o Options) []Row {
 		ratios = []float64{0.8, 2, 4}
 	}
 	rs := 60.0
-	var rows []Row
+	free := scenarioField(o, "free")
+	var cfgs []mobisense.Config
 	for _, ratio := range ratios {
-		rc := ratio * rs
-		p := paperParams(o.seed())
-		p.Rc = rc
-		p.Rs = rs
-		f := field.ObstacleFree()
-		est := coverage.NewEstimator(f, p.CoverageRes)
-
 		// Small rc/rs slows FLOOR's relocation pipeline; measure the
 		// stabilized layout like the paper does.
-		fl := runSchemeStable(f, p, floor.New(floor.DefaultConfig()), 2250)
-
-		w, err := core.NewWorld(f, p)
-		if err != nil {
-			panic(err)
-		}
-		starts := w.Layout()
-		cfg := baseline.DefaultVDConfig(rc, rs)
-		cfg.Seed = o.seed()
-		vor, err := baseline.RunVOR(f, starts, cfg)
-		if err != nil {
-			panic(err)
-		}
-		mmx, err := baseline.RunMinimax(f, starts, cfg)
-		if err != nil {
-			panic(err)
-		}
-
+		fl := paperConfig(o, mobisense.SchemeFLOOR, free)
+		fl.Rc = ratio * rs
+		fl.Rs = rs
+		fl.Stabilize = &mobisense.StabilizeOptions{Cap: 2250}
+		vor := paperConfig(o, mobisense.SchemeVOR, free)
+		vor.Rc = ratio * rs
+		vor.Rs = rs
+		mmx := vor
+		mmx.Scheme = mobisense.SchemeMinimax
+		cfgs = append(cfgs, fl, vor, mmx)
+	}
+	results := runAll(o, cfgs)
+	var rows []Row
+	for i, ratio := range ratios {
+		fl, vor, mmx := results[3*i], results[3*i+1], results[3*i+2]
 		rows = append(rows, Row{
 			Figure: "fig10",
 			Label:  fmt.Sprintf("rc/rs=%.1f", ratio),
 			Columns: []Column{
 				{"rc_over_rs", ratio},
-				{"floor_coverage", fl.coverage},
-				{"vor_coverage", est.Fraction(vor.Positions, rs)},
-				{"minimax_coverage", est.Fraction(mmx.Positions, rs)},
-				{"floor_connected", boolVal(fl.connected)},
-				{"vor_connected", boolVal(core.AllConnected(vor.Positions, f.Reference(), rc))},
-				{"minimax_connected", boolVal(core.AllConnected(mmx.Positions, f.Reference(), rc))},
-				{"vor_incorrect_cells", float64(vor.IncorrectCells)},
-				{"minimax_incorrect_cells", float64(mmx.IncorrectCells)},
+				{"floor_coverage", fl.Coverage},
+				{"vor_coverage", vor.Coverage},
+				{"minimax_coverage", mmx.Coverage},
+				{"floor_connected", boolVal(fl.Connected)},
+				{"vor_connected", boolVal(vor.Connected)},
+				{"minimax_connected", boolVal(mmx.Connected)},
+				{"vor_incorrect_cells", float64(vor.IncorrectVoronoiCells)},
+				{"minimax_incorrect_cells", float64(mmx.IncorrectVoronoiCells)},
 			},
 		})
 	}
@@ -279,34 +264,33 @@ func Fig10(o Options) []Row {
 // Fig11 reproduces Figure 11: the average moving distance of six schemes
 // from the clustered start — CPVF, FLOOR, VOR and Minimax (with the
 // minimum-cost explosion), plus the two Hungarian lower bounds (to the
-// optimal pattern and to FLOOR's own final layout).
+// optimal pattern and to FLOOR's own final layout). All four scheme runs
+// share a seed, hence an identical initial layout.
 func Fig11(o Options) []Row {
-	p := paperParams(o.seed())
-	if o.Quick {
-		p.N = 120
+	free := scenarioField(o, "free")
+	mkCfg := func(s mobisense.Scheme) mobisense.Config {
+		cfg := paperConfig(o, s, free)
+		if o.Quick {
+			cfg.N = 120
+		}
+		return cfg
 	}
-	f := field.ObstacleFree()
+	results := runAll(o, []mobisense.Config{
+		mkCfg(mobisense.SchemeCPVF),
+		mkCfg(mobisense.SchemeFLOOR),
+		mkCfg(mobisense.SchemeVOR),
+		mkCfg(mobisense.SchemeMinimax),
+	})
+	cp, fl, vor, mmx := results[0], results[1], results[2], results[3]
 
-	cp := runScheme(f, p, cpvf.New(cpvf.DefaultConfig()))
-	fl := runScheme(f, p, floor.New(floor.DefaultConfig()))
-
-	cfg := baseline.DefaultVDConfig(p.Rc, p.Rs)
-	cfg.Seed = o.seed()
-	vor, err := baseline.RunVOR(f, fl.starts, cfg)
+	cfg := mkCfg(mobisense.SchemeFLOOR)
+	starts := toVecs(fl.InitialPositions)
+	pattern := baseline.StripPattern(field.StandardBounds(), cfg.N, cfg.Rc, cfg.Rs)
+	optDists, err := baseline.MinMatchingDistance(starts, pattern)
 	if err != nil {
 		panic(err)
 	}
-	mmx, err := baseline.RunMinimax(f, fl.starts, cfg)
-	if err != nil {
-		panic(err)
-	}
-
-	pattern := baseline.StripPattern(f.Bounds(), p.N, p.Rc, p.Rs)
-	optDists, err := baseline.MinMatchingDistance(fl.starts, pattern)
-	if err != nil {
-		panic(err)
-	}
-	floorLB, err := baseline.MinMatchingDistance(fl.starts, fl.layout)
+	floorLB, err := baseline.MinMatchingDistance(starts, toVecs(fl.Positions))
 	if err != nil {
 		panic(err)
 	}
@@ -319,10 +303,10 @@ func Fig11(o Options) []Row {
 		}
 	}
 	return []Row{
-		mk("CPVF", cp.avgDist),
-		mk("FLOOR", fl.avgDist),
-		mk("VOR (incl. explosion)", vor.AvgDistance()),
-		mk("Minimax (incl. explosion)", mmx.AvgDistance()),
+		mk("CPVF", cp.AvgMoveDistance),
+		mk("FLOOR", fl.AvgMoveDistance),
+		mk("VOR (incl. explosion)", vor.AvgMoveDistance),
+		mk("Minimax (incl. explosion)", mmx.AvgMoveDistance),
 		mk("Hungarian to OPT pattern", stats.Mean(optDists)),
 		mk("Hungarian to FLOOR layout", stats.Mean(floorLB)),
 	}
@@ -336,72 +320,99 @@ func Fig12(o Options) []Row {
 	if o.Quick {
 		deltas = []float64{2, 8}
 	}
-	var rows []Row
-	for _, mode := range []struct {
+	// The technique codes are the cpvf.OscMode values the old harness
+	// emitted (one-step = 2, two-step = 3), kept for CSV compatibility.
+	modes := []struct {
 		name string
-		m    cpvf.OscMode
-	}{{"one-step", cpvf.OscOneStep}, {"two-step", cpvf.OscTwoStep}} {
+		code float64
+	}{{"one-step", float64(cpvf.OscOneStep)}, {"two-step", float64(cpvf.OscTwoStep)}}
+
+	free := scenarioField(o, "free")
+	mkCfg := func(osc string, delta float64) mobisense.Config {
+		cfg := paperConfig(o, mobisense.SchemeCPVF, free)
+		if o.Quick {
+			cfg.N = 120
+		}
+		if osc != "" {
+			cfg.CPVF = &mobisense.CPVFOptions{Oscillation: osc, Delta: delta}
+		}
+		return cfg
+	}
+	var cfgs []mobisense.Config
+	for _, mode := range modes {
 		for _, delta := range deltas {
-			p := paperParams(o.seed())
-			if o.Quick {
-				p.N = 120
-			}
-			cfg := cpvf.DefaultConfig()
-			cfg.Oscillation = mode.m
-			cfg.Delta = delta
-			out := runScheme(field.ObstacleFree(), p, cpvf.New(cfg))
+			cfgs = append(cfgs, mkCfg(mode.name, delta))
+		}
+	}
+	// Baseline without avoidance for reference.
+	cfgs = append(cfgs, mkCfg("", 0))
+	results := runAll(o, cfgs)
+
+	var rows []Row
+	i := 0
+	for _, mode := range modes {
+		for _, delta := range deltas {
+			out := results[i]
+			i++
 			rows = append(rows, Row{
 				Figure: "fig12",
 				Label:  fmt.Sprintf("%s δ=%.0f", mode.name, delta),
 				Columns: []Column{
 					{"delta", delta},
-					{"technique", float64(mode.m)},
-					{"avg_distance", out.avgDist},
-					{"coverage", out.coverage},
+					{"technique", mode.code},
+					{"avg_distance", out.AvgMoveDistance},
+					{"coverage", out.Coverage},
 				},
 			})
 		}
 	}
-	// Baseline without avoidance for reference.
-	p := paperParams(o.seed())
-	if o.Quick {
-		p.N = 120
-	}
-	base := runScheme(field.ObstacleFree(), p, cpvf.New(cpvf.DefaultConfig()))
+	base := results[len(results)-1]
 	rows = append(rows, Row{
 		Figure: "fig12",
 		Label:  "no avoidance",
 		Columns: []Column{
 			{"delta", 0},
 			{"technique", 0},
-			{"avg_distance", base.avgDist},
-			{"coverage", base.coverage},
+			{"avg_distance", base.AvgMoveDistance},
+			{"coverage", base.Coverage},
 		},
 	})
 	return rows
 }
 
 // Fig13 reproduces Figure 13: CDFs of coverage and moving distance for
-// CPVF and FLOOR over repeated runs on random-obstacle fields (§6.4).
+// CPVF and FLOOR over repeated runs on random-obstacle fields (§6.4). The
+// sweep derives one field per repeat, shared by both schemes (paired
+// comparison), and fans the runs out across cores.
 func Fig13(o Options) []Row {
 	runs := 300
 	if o.Quick {
 		runs = 6
 	}
-	rng := rand.New(rand.NewPCG(o.seed(), o.seed()^0x5bf03635))
+	sweep := mobisense.Sweep{
+		Base:      mobisense.DefaultConfig(mobisense.SchemeCPVF),
+		Schemes:   []mobisense.Scheme{mobisense.SchemeCPVF, mobisense.SchemeFLOOR},
+		Scenarios: []string{"random-obstacles"},
+		Repeats:   runs,
+		Seed:      o.seed(),
+	}
+	sr, err := sweep.Run(o.batch())
+	if err != nil {
+		panic(fmt.Sprintf("experiments: %v", err))
+	}
 	var covC, covF, distC, distF []float64
-	for r := 0; r < runs; r++ {
-		f, err := field.RandomObstacles(rng, field.DefaultRandomObstacleConfig())
-		if err != nil {
-			panic(err)
+	for _, br := range sr.Runs {
+		if br.Err != nil {
+			panic(fmt.Sprintf("experiments: %v", br.Err))
 		}
-		p := paperParams(o.seed() + uint64(r))
-		cp := runScheme(f, p, cpvf.New(cpvf.DefaultConfig()))
-		fl := runScheme(f, p, floor.New(floor.DefaultConfig()))
-		covC = append(covC, cp.coverage)
-		covF = append(covF, fl.coverage)
-		distC = append(distC, cp.avgDist)
-		distF = append(distF, fl.avgDist)
+		switch br.Spec.Scheme {
+		case mobisense.SchemeCPVF:
+			covC = append(covC, br.Result.Coverage)
+			distC = append(distC, br.Result.AvgMoveDistance)
+		case mobisense.SchemeFLOOR:
+			covF = append(covF, br.Result.Coverage)
+			distF = append(distF, br.Result.AvgMoveDistance)
+		}
 	}
 	quantiles := []float64{0.1, 0.25, 0.5, 0.75, 0.9}
 	rows := []Row{
@@ -443,11 +454,11 @@ func Table1(o Options) []Row {
 		fracs = []float64{0.1, 0.4}
 	}
 	envs := []struct {
-		name string
-		f    func() *field.Field
+		name     string
+		scenario string
 	}{
-		{"non-obstacle", field.ObstacleFree},
-		{"two-obstacle", field.TwoObstacles},
+		{"non-obstacle", "free"},
+		{"two-obstacle", "two-obstacles"},
 	}
 	// Paper totals (×1000) indexed by [env][n][frac].
 	paper := map[string]map[int]map[float64]float64{
@@ -464,16 +475,26 @@ func Table1(o Options) []Row {
 			240: {0.1: 428, 0.2: 700, 0.3: 973, 0.4: 1246},
 		},
 	}
+	var cfgs []mobisense.Config
+	for _, env := range envs {
+		envField := scenarioField(o, env.scenario)
+		for _, n := range ns {
+			for _, frac := range fracs {
+				cfg := paperConfig(o, mobisense.SchemeFLOOR, envField)
+				cfg.N = n
+				cfg.Floor = &mobisense.FloorOptions{TTL: int(frac * float64(n))}
+				cfgs = append(cfgs, cfg)
+			}
+		}
+	}
+	results := runAll(o, cfgs)
 	var rows []Row
+	i := 0
 	for _, env := range envs {
 		for _, n := range ns {
 			for _, frac := range fracs {
-				p := paperParams(o.seed())
-				p.N = n
-				cfg := floor.DefaultConfig()
-				cfg.TTL = int(frac * float64(n))
-				out := runScheme(env.f(), p, floor.New(cfg))
-				total := float64(out.messages) / 1000
+				total := float64(results[i].Messages) / 1000
+				i++
 				rows = append(rows, Row{
 					Figure: "table1",
 					Label:  fmt.Sprintf("%s N=%d TTL=%.1fN", env.name, n, frac),

@@ -45,6 +45,43 @@ func TwoObstacles() *Field {
 	return MustNew(StandardBounds(), obstacles)
 }
 
+// Corridor returns a standard-size field folded into a serpentine corridor
+// by three wall slabs with alternating gaps — a maze-like environment that
+// forces deployments to thread long narrow passages.
+func Corridor() *Field {
+	obstacles := []geom.Polygon{
+		geom.R(150, 200, StandardSize, 260).Polygon(), // gap at the left edge
+		geom.R(0, 450, 850, 510).Polygon(),            // gap at the right edge
+		geom.R(150, 700, StandardSize, 760).Polygon(), // gap at the left edge
+	}
+	return MustNew(StandardBounds(), obstacles)
+}
+
+// Campus returns an 800×600 m field with three rectangular buildings
+// forming two corridors and an open quad; the base station (gateway) sits
+// at the south-west corner.
+func Campus() *Field {
+	obstacles := []geom.Polygon{
+		geom.R(150, 100, 350, 250).Polygon(), // west hall
+		geom.R(450, 100, 650, 250).Polygon(), // east hall
+		geom.R(250, 350, 550, 480).Polygon(), // north hall
+	}
+	return MustNew(geom.R(0, 0, 800, 600), obstacles)
+}
+
+// DisasterObstacleConfig returns a denser variant of the §6.4 generator:
+// more, smaller debris rectangles, modeling a disaster zone strewn with
+// rubble rather than a few large buildings.
+func DisasterObstacleConfig() RandomObstacleConfig {
+	return RandomObstacleConfig{
+		MinCount:  3,
+		MaxCount:  6,
+		MinSide:   60,
+		MaxSide:   250,
+		KeepClear: 30,
+	}
+}
+
 // RandomObstacleConfig controls RandomObstacles (§6.4).
 type RandomObstacleConfig struct {
 	MinCount, MaxCount int     // number of rectangles, uniform in [MinCount, MaxCount]

@@ -6,6 +6,7 @@ package spatial
 
 import (
 	"math"
+	"slices"
 
 	"mobisense/internal/geom"
 )
@@ -17,6 +18,7 @@ type Index struct {
 	cells    map[cellKey][]int32
 	pos      []geom.Vec
 	present  []bool
+	count    int
 }
 
 type cellKey struct{ x, y int32 }
@@ -51,6 +53,8 @@ func (ix *Index) Insert(id int, p geom.Vec) {
 	}
 	if ix.present[id] {
 		ix.removeFromCell(id, ix.key(ix.pos[id]))
+	} else {
+		ix.count++
 	}
 	ix.pos[id] = p
 	ix.present[id] = true
@@ -65,6 +69,7 @@ func (ix *Index) Remove(id int) {
 	}
 	ix.removeFromCell(id, ix.key(ix.pos[id]))
 	ix.present[id] = false
+	ix.count--
 }
 
 func (ix *Index) removeFromCell(id int, k cellKey) {
@@ -110,26 +115,9 @@ func (ix *Index) ForNeighbors(p geom.Vec, r float64, fn func(id int, q geom.Vec)
 func (ix *Index) Neighbors(p geom.Vec, r float64) []int {
 	var out []int
 	ix.ForNeighbors(p, r, func(id int, _ geom.Vec) { out = append(out, id) })
-	sortInts(out)
+	slices.Sort(out)
 	return out
 }
 
 // Len returns the number of points currently in the index.
-func (ix *Index) Len() int {
-	n := 0
-	for _, ok := range ix.present {
-		if ok {
-			n++
-		}
-	}
-	return n
-}
-
-// sortInts is insertion sort; neighbor lists are short.
-func sortInts(a []int) {
-	for i := 1; i < len(a); i++ {
-		for j := i; j > 0 && a[j] < a[j-1]; j-- {
-			a[j], a[j-1] = a[j-1], a[j]
-		}
-	}
-}
+func (ix *Index) Len() int { return ix.count }

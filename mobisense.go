@@ -24,89 +24,28 @@ import (
 	"fmt"
 	"time"
 
-	"mobisense/internal/baseline"
 	"mobisense/internal/core"
-	"mobisense/internal/coverage"
-	"mobisense/internal/cpvf"
 	ifield "mobisense/internal/field"
-	"mobisense/internal/floor"
 	"mobisense/internal/geom"
 	"mobisense/internal/render"
 )
 
 // Run executes one deployment according to cfg and returns its metrics.
+// The scheme is resolved through the scheme registry; see
+// RegisteredSchemes for the available names.
 func Run(cfg Config) (Result, error) {
 	start := time.Now()
 	if err := cfg.validate(); err != nil {
 		return Result{}, err
 	}
-	f := cfg.Field.internal()
-	params := cfg.params()
-
-	w, err := core.NewWorld(f, params)
-	if err != nil {
-		return Result{}, fmt.Errorf("mobisense: %w", err)
-	}
-
-	var res Result
-	switch cfg.Scheme {
-	case SchemeCPVF, SchemeFLOOR:
-		var scheme core.Scheme
-		var onKill func(int, []int)
-		if cfg.Scheme == SchemeCPVF {
-			cs := cpvf.New(cfg.cpvfConfig())
-			scheme, onKill = cs, cs.HandleFailure
-		} else {
-			fs := floor.New(cfg.floorConfig())
-			scheme, onKill = fs, fs.HandleFailure
-		}
-		scheme.Attach(w)
-		if fo := cfg.Failures; fo != nil {
-			inj := &core.FailureInjector{
-				Interval: fo.Interval,
-				MaxKills: fo.MaxKills,
-				OnKill:   onKill,
-			}
-			inj.Attach(w)
-		}
-		w.E.RunUntil(params.Duration)
-		res = resultFromWorld(cfg, w)
-		if fs, ok := scheme.(*floor.Scheme); ok {
-			res.Placements = fs.PlacementsByKind()
-		}
-
-	case SchemeVOR, SchemeMinimax:
-		starts := w.Layout()
-		vdCfg := cfg.vdConfig()
-		var vd baseline.VDResult
-		if cfg.Scheme == SchemeVOR {
-			vd, err = baseline.RunVOR(f, starts, vdCfg)
-		} else {
-			vd, err = baseline.RunMinimax(f, starts, vdCfg)
-		}
-		if err != nil {
-			return Result{}, fmt.Errorf("mobisense: %w", err)
-		}
-		res = resultFromLayout(cfg, f, vd.Positions, vd.AvgDistance())
-		res.IncorrectVoronoiCells = vd.IncorrectCells
-
-	case SchemeOPT:
-		starts := w.Layout()
-		layout := baseline.StripPattern(f.Bounds(), params.N, params.Rc, params.Rs)
-		dists, err := baseline.MinMatchingDistance(starts, layout)
-		if err != nil {
-			return Result{}, fmt.Errorf("mobisense: %w", err)
-		}
-		var sum float64
-		for _, d := range dists {
-			sum += d
-		}
-		res = resultFromLayout(cfg, f, layout, sum/float64(len(dists)))
-
-	default:
+	runner, ok := lookupScheme(cfg.Scheme)
+	if !ok {
 		return Result{}, fmt.Errorf("mobisense: unknown scheme %q", cfg.Scheme)
 	}
-
+	res, err := runner(cfg, cfg.Field.internal())
+	if err != nil {
+		return Result{}, err
+	}
 	res.Elapsed = time.Since(start)
 	return res, nil
 }
@@ -126,11 +65,8 @@ func resultFromWorld(cfg Config, w *core.World) Result {
 // resultFromLayout computes the layout-dependent metrics shared by all
 // schemes.
 func resultFromLayout(cfg Config, f *ifield.Field, layout []geom.Vec, avgDist float64) Result {
-	est := coverage.NewEstimator(f, cfg.coverageRes())
-	positions := make([]Point, len(layout))
-	for i, p := range layout {
-		positions[i] = Point{X: p.X, Y: p.Y}
-	}
+	est := cfg.estimatorFor(f)
+	positions := toPoints(layout)
 	return Result{
 		Scheme:          cfg.Scheme,
 		Coverage:        est.Fraction(layout, cfg.Rs),

@@ -37,6 +37,9 @@ type Result struct {
 	Connected bool
 	// Positions is the final sensor layout.
 	Positions []Point
+	// InitialPositions is the starting layout the run deployed from
+	// (before any failures), useful for relocation-cost lower bounds.
+	InitialPositions []Point
 	// Placements counts FLOOR's completed relocations per expansion type
 	// (nil for other schemes).
 	Placements map[string]int

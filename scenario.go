@@ -1,0 +1,154 @@
+package mobisense
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sort"
+	"sync"
+
+	"mobisense/internal/field"
+)
+
+// Scenario is a named, parameterized deployment environment. Scenarios are
+// resolved by string from the CLIs and from Sweep, so new environments
+// plug in with a single registration.
+type Scenario struct {
+	// Name identifies the scenario (e.g. "two-obstacles").
+	Name string
+	// Description is a one-line summary for catalogs and -help output.
+	Description string
+	// Seeded reports whether Build's output varies with the seed
+	// (randomly generated environments). Unseeded scenarios are built once
+	// per sweep and shared across runs.
+	Seeded bool
+	// Build constructs the scenario's field. Unseeded scenarios ignore the
+	// seed.
+	Build func(seed uint64) (Field, error)
+}
+
+var (
+	scenarioMu      sync.RWMutex
+	scenarioByName  = map[string]Scenario{}
+	scenarioAliases = map[string]string{}
+)
+
+// RegisterScenario adds a scenario to the registry; it panics on an empty
+// name, nil builder, or duplicate registration.
+func RegisterScenario(sc Scenario) {
+	if sc.Name == "" || sc.Build == nil {
+		panic("mobisense: RegisterScenario with empty name or nil Build")
+	}
+	scenarioMu.Lock()
+	defer scenarioMu.Unlock()
+	if _, dup := scenarioByName[sc.Name]; dup {
+		panic(fmt.Sprintf("mobisense: scenario %q registered twice", sc.Name))
+	}
+	if _, dup := scenarioAliases[sc.Name]; dup {
+		panic(fmt.Sprintf("mobisense: scenario %q shadows an alias", sc.Name))
+	}
+	scenarioByName[sc.Name] = sc
+}
+
+// registerScenarioAlias makes alias resolve to the scenario named name.
+func registerScenarioAlias(alias, name string) {
+	scenarioMu.Lock()
+	defer scenarioMu.Unlock()
+	if _, dup := scenarioByName[alias]; dup {
+		panic(fmt.Sprintf("mobisense: alias %q shadows a scenario", alias))
+	}
+	scenarioAliases[alias] = name
+}
+
+// LookupScenario resolves a scenario by name or alias.
+func LookupScenario(name string) (Scenario, bool) {
+	scenarioMu.RLock()
+	defer scenarioMu.RUnlock()
+	if target, ok := scenarioAliases[name]; ok {
+		name = target
+	}
+	sc, ok := scenarioByName[name]
+	return sc, ok
+}
+
+// Scenarios returns the registered scenarios sorted by name (aliases are
+// not listed).
+func Scenarios() []Scenario {
+	scenarioMu.RLock()
+	defer scenarioMu.RUnlock()
+	out := make([]Scenario, 0, len(scenarioByName))
+	for _, sc := range scenarioByName {
+		out = append(out, sc)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// ScenarioNames returns the registered scenario names, sorted.
+func ScenarioNames() []string {
+	scs := Scenarios()
+	out := make([]string, len(scs))
+	for i, sc := range scs {
+		out[i] = sc.Name
+	}
+	return out
+}
+
+// BuildScenario constructs the named scenario's field. For seeded
+// scenarios the seed selects the generated environment.
+func BuildScenario(name string, seed uint64) (Field, error) {
+	sc, ok := LookupScenario(name)
+	if !ok {
+		return Field{}, fmt.Errorf("mobisense: unknown scenario %q (have %v)", name, ScenarioNames())
+	}
+	return sc.Build(seed)
+}
+
+func init() {
+	RegisterScenario(Scenario{
+		Name:        "free",
+		Description: "the paper's obstacle-free 1000×1000 m field (§4.3)",
+		Build:       func(uint64) (Field, error) { return ObstacleFreeField(), nil },
+	})
+	registerScenarioAlias("obstacle-free", "free")
+
+	RegisterScenario(Scenario{
+		Name:        "two-obstacles",
+		Description: "two wall slabs boxing in the initial cluster with three exits (Fig 3c/8c)",
+		Build:       func(uint64) (Field, error) { return TwoObstacleField(), nil },
+	})
+
+	RegisterScenario(Scenario{
+		Name:        "random-obstacles",
+		Description: "1–4 random rectangular obstacles per §6.4; the seed picks the layout",
+		Seeded:      true,
+		Build:       RandomObstacleField,
+	})
+	registerScenarioAlias("random", "random-obstacles")
+
+	RegisterScenario(Scenario{
+		Name:        "corridor",
+		Description: "serpentine corridor folded by three wall slabs with alternating gaps",
+		Build:       func(uint64) (Field, error) { return Field{f: field.Corridor()}, nil },
+	})
+	registerScenarioAlias("maze", "corridor")
+
+	RegisterScenario(Scenario{
+		Name:        "campus",
+		Description: "800×600 m campus: three buildings forming two corridors and a quad",
+		Build:       func(uint64) (Field, error) { return Field{f: field.Campus()}, nil },
+	})
+
+	RegisterScenario(Scenario{
+		Name:        "disaster",
+		Description: "disaster zone strewn with 3–6 random debris fields; the seed picks the layout",
+		Seeded:      true,
+		Build: func(seed uint64) (Field, error) {
+			rng := rand.New(rand.NewPCG(seed, seed^0x6d0b15a7e9c3))
+			f, err := field.RandomObstacles(rng, field.DisasterObstacleConfig())
+			if err != nil {
+				return Field{}, fmt.Errorf("mobisense: %w", err)
+			}
+			return Field{f: f}, nil
+		},
+	})
+}
