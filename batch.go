@@ -1,28 +1,47 @@
 package mobisense
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
+	"strconv"
+	"strings"
 	"sync"
+	"time"
 
 	"mobisense/internal/coverage"
 	"mobisense/internal/field"
 	"mobisense/internal/stats"
+	istore "mobisense/internal/store"
 )
 
 // The batch subsystem executes many independent deployments on a worker
 // pool. The paper's evaluation is exactly this shape — Figure 13 alone
 // averages 300 random-obstacle runs — and every run is deterministic given
 // its config, so a sweep produces identical results at any worker count.
+//
+// Batches are cancellable (the context stops dispatching new runs while
+// every in-flight run finishes), persistable (a Store streams each finished
+// run to disk), resumable (runs already in the store are replayed instead
+// of re-executed) and shardable across machines (a Shard selects a
+// deterministic subset of the expansion; cmd/report merges shard stores).
 
 // BatchOptions tune RunBatch and Sweep.Run.
 type BatchOptions struct {
-	// Workers is the worker-pool size; 1 runs sequentially and values < 1
-	// default to GOMAXPROCS.
+	// Workers is the worker-pool size; 1 runs sequentially, 0 defaults to
+	// GOMAXPROCS, and negative values are an error.
 	Workers int
 	// OnProgress, if set, is called after each completed run with the
-	// number done so far and the total. Calls are serialized.
+	// number done so far and the total. Calls are serialized. Runs replayed
+	// from a store count as already done.
 	OnProgress func(done, total int)
+	// Store, if set, persists every finished run to disk and — when
+	// Store.Resume is set — skips runs whose records are already present.
+	Store *Store
+	// Shard restricts execution to a deterministic subset of the runs for
+	// cross-machine sharding; the zero value runs everything.
+	Shard Shard
 }
 
 func (o BatchOptions) workers(jobs int) int {
@@ -36,9 +55,72 @@ func (o BatchOptions) workers(jobs int) int {
 	return w
 }
 
+// Shard identifies one slice of a sweep: runs whose expansion index is
+// congruent to Index modulo Count. Count <= 1 means no sharding.
+type Shard struct {
+	Index, Count int
+}
+
+func (sh Shard) validate() error {
+	if sh.Count <= 1 && sh.Index == 0 {
+		return nil
+	}
+	if sh.Count < 1 || sh.Index < 0 || sh.Index >= sh.Count {
+		return fmt.Errorf("mobisense: invalid shard %d/%d (want 0 <= index < count)", sh.Index, sh.Count)
+	}
+	return nil
+}
+
+// count normalizes Count for manifests (0 → 1).
+func (sh Shard) count() int {
+	if sh.Count < 1 {
+		return 1
+	}
+	return sh.Count
+}
+
+// ParseShard parses the CLI shard syntax "i/n" ("" = no sharding). Unlike
+// the zero Shard value, an explicit spec must be well-formed: n >= 1 and
+// 0 <= i < n, with no trailing input.
+func ParseShard(s string) (Shard, error) {
+	if s == "" {
+		return Shard{}, nil
+	}
+	idx, cnt, ok := strings.Cut(s, "/")
+	var sh Shard
+	var err1, err2 error
+	if ok {
+		sh.Index, err1 = strconv.Atoi(idx)
+		sh.Count, err2 = strconv.Atoi(cnt)
+	}
+	if !ok || err1 != nil || err2 != nil {
+		return Shard{}, fmt.Errorf("mobisense: bad shard %q: want \"i/n\", e.g. 0/4", s)
+	}
+	if sh.Count < 1 || sh.Index < 0 || sh.Index >= sh.Count {
+		return Shard{}, fmt.Errorf("mobisense: bad shard %q: want 0 <= i < n", s)
+	}
+	return sh, nil
+}
+
+// filter keeps the specs belonging to this shard, preserving their global
+// expansion indices so merged shards reproduce the unsharded order.
+func (sh Shard) filter(specs []RunSpec) []RunSpec {
+	if sh.Count <= 1 {
+		return specs
+	}
+	out := make([]RunSpec, 0, (len(specs)+sh.Count-1)/sh.Count)
+	for _, sp := range specs {
+		if sp.Index%sh.Count == sh.Index {
+			out = append(out, sp)
+		}
+	}
+	return out
+}
+
 // RunSpec identifies one expanded run of a batch or sweep.
 type RunSpec struct {
-	// Index is the run's position in the batch (results keep this order).
+	// Index is the run's position in the full batch or sweep expansion
+	// (results keep this order; shards keep their global indices).
 	Index int
 	// Scheme, Scenario, N and Repeat are the sweep axis values that
 	// produced this run (Scenario is "" when the config's field was given
@@ -53,18 +135,32 @@ type RunSpec struct {
 	Config Config
 }
 
-// BatchResult pairs one run's spec with its outcome.
+// BatchResult pairs one run's spec with its outcome. Runs skipped by a
+// context cancellation carry the context's error; runs replayed from a
+// store carry the stored metrics (but not layouts).
 type BatchResult struct {
 	Spec   RunSpec
 	Result Result
 	Err    error
 }
 
+// skipped reports whether this run was never executed (batch cancelled).
+func (br BatchResult) skipped() bool {
+	return errors.Is(br.Err, context.Canceled) || errors.Is(br.Err, context.DeadlineExceeded)
+}
+
 // RunBatch executes the given configs on a worker pool and returns the
 // results in input order. Per-run failures are reported in the
 // corresponding BatchResult, never as a panic. All runs sharing a field
 // and coverage resolution share one coverage estimator.
-func RunBatch(cfgs []Config, opts BatchOptions) []BatchResult {
+//
+// Cancelling the context stops dispatching new runs; in-flight runs finish
+// (and reach the store, if any) and the remaining results carry the
+// context's error, which is also returned.
+func RunBatch(ctx context.Context, cfgs []Config, opts BatchOptions) ([]BatchResult, error) {
+	if len(cfgs) == 0 {
+		return nil, fmt.Errorf("mobisense: RunBatch with no configs")
+	}
 	specs := make([]RunSpec, len(cfgs))
 	for i, cfg := range cfgs {
 		specs[i] = RunSpec{
@@ -75,30 +171,87 @@ func RunBatch(cfgs []Config, opts BatchOptions) []BatchResult {
 			Config: cfg,
 		}
 	}
-	return runSpecs(specs, opts)
+	// The fingerprint covers the full config list — not just this shard's
+	// slice — so every shard of one batch shares a manifest identity and
+	// cmd/report will merge their stores. It is only worth hashing when a
+	// store will actually record it.
+	var m istore.Manifest
+	if opts.Store != nil {
+		m = istore.Manifest{
+			Kind:              "batch",
+			ConfigFingerprint: combinedFingerprint(specs),
+			ShardIndex:        opts.Shard.Index,
+			ShardCount:        opts.Shard.count(),
+		}
+	}
+	specs = opts.Shard.filter(specs)
+	m.TotalRuns = len(specs)
+	return runSpecs(ctx, specs, opts, m)
 }
 
 // runSpecs is the shared worker-pool executor behind RunBatch and
-// Sweep.Run.
-func runSpecs(specs []RunSpec, opts BatchOptions) []BatchResult {
-	out := make([]BatchResult, len(specs))
-	if len(specs) == 0 {
-		return out
+// Sweep.Run. The specs' Index fields address the full expansion; the slice
+// itself holds only this shard's runs.
+func runSpecs(ctx context.Context, specs []RunSpec, opts BatchOptions, m istore.Manifest) ([]BatchResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
 	}
+	if opts.Workers < 0 {
+		return nil, fmt.Errorf("mobisense: negative worker count %d", opts.Workers)
+	}
+	if err := opts.Shard.validate(); err != nil {
+		return nil, err
+	}
+	out := make([]BatchResult, len(specs))
+	sess, err := opts.Store.begin(m)
+	if err != nil {
+		return nil, err
+	}
+	if len(specs) == 0 {
+		// A legitimately empty shard still leaves a (complete, zero-run)
+		// store behind so the merge workflow sees every shard.
+		if sess != nil {
+			if err := sess.close(); err != nil {
+				return out, err
+			}
+		}
+		return out, nil
+	}
+
+	// Partition into replayed (already in the store) and live runs. toRun
+	// holds positions into specs; a live run's position in toRun is its
+	// deterministic dispatch sequence number, which the store writer uses
+	// to keep the on-disk order independent of the worker count.
+	toRun := make([]int, 0, len(specs))
+	for i, sp := range specs {
+		if sess != nil {
+			if rec, ok := sess.lookup(sp); ok {
+				out[i] = replayedResult(sp, rec)
+				continue
+			}
+		}
+		toRun = append(toRun, i)
+	}
+
 	cache := newEstimatorCache()
 	jobs := make(chan int)
 	var wg sync.WaitGroup
 	var progressMu sync.Mutex
-	done := 0
-	for k := opts.workers(len(specs)); k > 0; k-- {
+	done := len(specs) - len(toRun)
+	for k := opts.workers(len(toRun)); k > 0; k-- {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for i := range jobs {
+			for seq := range jobs {
+				i := toRun[seq]
 				cfg := specs[i].Config
 				cfg.estimators = cache
+				start := time.Now()
 				res, err := Run(cfg)
 				out[i] = BatchResult{Spec: specs[i], Result: res, Err: err}
+				if sess != nil {
+					sess.append(seq, specs[i], res, err, time.Since(start))
+				}
 				if opts.OnProgress != nil {
 					progressMu.Lock()
 					done++
@@ -108,12 +261,36 @@ func runSpecs(specs []RunSpec, opts BatchOptions) []BatchResult {
 			}
 		}()
 	}
-	for i := range specs {
-		jobs <- i
+	// Dispatch in order; once the context is cancelled no further run
+	// starts, but every dispatched run completes, so the store never holds
+	// a torn batch.
+	dispatched := 0
+dispatch:
+	for seq := range toRun {
+		select {
+		case <-ctx.Done():
+			break dispatch
+		default:
+		}
+		select {
+		case jobs <- seq:
+			dispatched++
+		case <-ctx.Done():
+			break dispatch
+		}
 	}
 	close(jobs)
 	wg.Wait()
-	return out
+	for _, i := range toRun[dispatched:] {
+		out[i] = BatchResult{Spec: specs[i], Err: ctx.Err()}
+	}
+
+	if sess != nil {
+		if err := sess.close(); err != nil {
+			return out, err
+		}
+	}
+	return out, ctx.Err()
 }
 
 // Sweep describes a cross-product experiment: every combination of
@@ -149,27 +326,51 @@ const (
 	seedDomainField
 )
 
-// Expand materializes the sweep's cross-product into run specs, building
-// scenario fields as needed.
-func (s Sweep) Expand() ([]RunSpec, error) {
-	schemes := s.Schemes
+// axes resolves the sweep's effective axis values (defaults applied) and
+// validates them: empty axis entries and non-positive sensor counts are
+// explicit errors rather than silent zero-length or degenerate sweeps.
+func (s Sweep) axes() (schemes []Scheme, ns []int, repeats int, base uint64, err error) {
+	schemes = s.Schemes
 	if len(schemes) == 0 {
 		schemes = []Scheme{s.Base.Scheme}
 	}
-	ns := s.Ns
+	for _, sc := range schemes {
+		if sc == "" {
+			return nil, nil, 0, 0, fmt.Errorf("mobisense: sweep has an empty scheme (set Sweep.Schemes or Base.Scheme)")
+		}
+	}
+	ns = s.Ns
 	if len(ns) == 0 {
 		ns = []int{s.Base.N}
 	}
-	repeats := s.Repeats
-	if repeats < 1 {
+	for _, n := range ns {
+		if n <= 0 {
+			return nil, nil, 0, 0, fmt.Errorf("mobisense: sweep has non-positive sensor count %d (set Sweep.Ns or Base.N)", n)
+		}
+	}
+	repeats = s.Repeats
+	if repeats < 0 {
+		return nil, nil, 0, 0, fmt.Errorf("mobisense: negative sweep repeats %d", s.Repeats)
+	}
+	if repeats == 0 {
 		repeats = 1
 	}
-	base := s.Seed
+	base = s.Seed
 	if base == 0 {
 		base = s.Base.Seed
 	}
 	if base == 0 {
 		base = 1
+	}
+	return schemes, ns, repeats, base, nil
+}
+
+// Expand materializes the sweep's cross-product into run specs, building
+// scenario fields as needed.
+func (s Sweep) Expand() ([]RunSpec, error) {
+	schemes, ns, repeats, base, err := s.axes()
+	if err != nil {
+		return nil, err
 	}
 
 	type slot struct {
@@ -239,18 +440,65 @@ func (s Sweep) Expand() ([]RunSpec, error) {
 			}
 		}
 	}
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("mobisense: sweep expands to no runs")
+	}
 	return specs, nil
+}
+
+// manifest describes this sweep (and the selected shard of it) for a
+// persistent store.
+func (s Sweep) manifest(sh Shard, totalRuns int) istore.Manifest {
+	schemes, ns, repeats, base, err := s.axes()
+	if err != nil {
+		// Run validates via Expand before building the manifest.
+		panic(err)
+	}
+	names := make([]string, len(schemes))
+	for i, sc := range schemes {
+		names[i] = string(sc)
+	}
+	scenarios := make([]string, 0, len(s.Scenarios))
+	for _, name := range s.Scenarios {
+		if sc, ok := LookupScenario(name); ok {
+			name = sc.Name
+		}
+		scenarios = append(scenarios, name)
+	}
+	return istore.Manifest{
+		Kind: "sweep",
+		Sweep: istore.SweepAxes{
+			Schemes:   names,
+			Scenarios: scenarios,
+			Ns:        ns,
+			Repeats:   repeats,
+			Seed:      base,
+		},
+		ConfigFingerprint: configFingerprint(s.Base),
+		ShardIndex:        sh.Index,
+		ShardCount:        sh.count(),
+		TotalRuns:         totalRuns,
+	}
 }
 
 // Run expands the sweep and executes it on a worker pool, returning the
 // per-run results (in expansion order) and per-combination aggregates.
-func (s Sweep) Run(opts BatchOptions) (SweepResult, error) {
+// Cancelling the context stops dispatching new runs and returns the
+// partial result alongside the context's error; with a Store attached the
+// finished runs persist, so re-running with Store.Resume picks up exactly
+// where the cancelled sweep stopped.
+func (s Sweep) Run(ctx context.Context, opts BatchOptions) (SweepResult, error) {
 	specs, err := s.Expand()
 	if err != nil {
 		return SweepResult{}, err
 	}
-	runs := runSpecs(specs, opts)
-	return SweepResult{Runs: runs, Aggregates: aggregateRuns(runs)}, nil
+	specs = opts.Shard.filter(specs)
+	var m istore.Manifest
+	if opts.Store != nil {
+		m = s.manifest(opts.Shard, len(specs))
+	}
+	runs, err := runSpecs(ctx, specs, opts, m)
+	return SweepResult{Runs: runs, Aggregates: aggregateRuns(runs)}, err
 }
 
 // SweepResult holds a sweep's per-run outcomes and aggregated summaries.
@@ -282,8 +530,9 @@ type Aggregate struct {
 	Scheme   Scheme
 	Scenario string
 	N        int
-	// Runs and Errors count the successful and failed runs.
-	Runs, Errors int
+	// Runs and Errors count the successful and failed runs; Skipped counts
+	// runs never executed because the batch was cancelled.
+	Runs, Errors, Skipped int
 	// Metric summaries over the successful runs.
 	Coverage        MetricSummary
 	Coverage2       MetricSummary
@@ -319,6 +568,10 @@ func aggregateRuns(runs []BatchResult) []Aggregate {
 		var cov, cov2, dist, msgs, conv []float64
 		connected := 0
 		for _, r := range groups[k] {
+			if r.skipped() {
+				agg.Skipped++
+				continue
+			}
 			if r.Err != nil {
 				agg.Errors++
 				continue

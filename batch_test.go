@@ -1,6 +1,8 @@
 package mobisense
 
 import (
+	"context"
+	"errors"
 	"reflect"
 	"runtime"
 	"sync"
@@ -40,13 +42,13 @@ func TestSweepDeterministicAcrossWorkers(t *testing.T) {
 		Repeats:   2,
 		Seed:      42,
 	}
-	seq, err := sweep.Run(BatchOptions{Workers: 1})
+	seq, err := sweep.Run(context.Background(), BatchOptions{Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
 	// max(4, GOMAXPROCS) keeps the parallel leg genuinely concurrent even
 	// on single-core machines.
-	par, err := sweep.Run(BatchOptions{Workers: max(4, runtime.GOMAXPROCS(0))})
+	par, err := sweep.Run(context.Background(), BatchOptions{Workers: max(4, runtime.GOMAXPROCS(0))})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -74,7 +76,7 @@ func TestSweepMixedRace(t *testing.T) {
 	}
 	var mu sync.Mutex
 	var last int
-	sr, err := sweep.Run(BatchOptions{OnProgress: func(done, total int) {
+	sr, err := sweep.Run(context.Background(), BatchOptions{OnProgress: func(done, total int) {
 		mu.Lock()
 		defer mu.Unlock()
 		if done != last+1 || total != 5*4*2 {
@@ -182,7 +184,10 @@ func TestRunBatchReportsPerRunErrors(t *testing.T) {
 	good := sweepConfig()
 	bad := sweepConfig()
 	bad.Scheme = "bogus"
-	out := RunBatch([]Config{good, bad}, BatchOptions{})
+	out, err := RunBatch(context.Background(), []Config{good, bad}, BatchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if out[0].Err != nil {
 		t.Errorf("good run failed: %v", out[0].Err)
 	}
@@ -193,8 +198,120 @@ func TestRunBatchReportsPerRunErrors(t *testing.T) {
 
 func TestSweepUnknownScenario(t *testing.T) {
 	sweep := Sweep{Base: sweepConfig(), Scenarios: []string{"atlantis"}}
-	if _, err := sweep.Run(BatchOptions{}); err == nil {
+	if _, err := sweep.Run(context.Background(), BatchOptions{}); err == nil {
 		t.Error("unknown scenario should error")
+	}
+}
+
+// TestBatchEmptyAndInvalidInputs covers the explicit guards against
+// silently degenerate batches.
+func TestBatchEmptyAndInvalidInputs(t *testing.T) {
+	ctx := context.Background()
+	if _, err := RunBatch(ctx, nil, BatchOptions{}); err == nil {
+		t.Error("RunBatch with no configs should error")
+	}
+	if _, err := RunBatch(ctx, []Config{}, BatchOptions{}); err == nil {
+		t.Error("RunBatch with empty config slice should error")
+	}
+	if _, err := RunBatch(ctx, []Config{sweepConfig()}, BatchOptions{Workers: -1}); err == nil {
+		t.Error("negative Workers should error")
+	}
+	if _, err := RunBatch(ctx, []Config{sweepConfig()}, BatchOptions{Shard: Shard{Index: 2, Count: 2}}); err == nil {
+		t.Error("out-of-range shard should error")
+	}
+	if _, err := RunBatch(ctx, []Config{sweepConfig()}, BatchOptions{Shard: Shard{Index: -1, Count: 2}}); err == nil {
+		t.Error("negative shard index should error")
+	}
+
+	if _, err := (Sweep{}).Expand(); err == nil {
+		t.Error("zero-value sweep (no scheme) should error")
+	}
+	if _, err := (Sweep{Base: Config{Scheme: SchemeFLOOR}}).Expand(); err == nil {
+		t.Error("sweep with N=0 should error")
+	}
+	if _, err := (Sweep{Base: sweepConfig(), Ns: []int{30, 0}}).Expand(); err == nil {
+		t.Error("sweep with a non-positive N axis value should error")
+	}
+	if _, err := (Sweep{Base: sweepConfig(), Schemes: []Scheme{SchemeFLOOR, ""}}).Expand(); err == nil {
+		t.Error("sweep with an empty scheme axis value should error")
+	}
+	if _, err := (Sweep{Base: sweepConfig(), Repeats: -1}).Expand(); err == nil {
+		t.Error("sweep with negative repeats should error")
+	}
+	// The defaults still work: a sweep over just the base config is one run.
+	specs, err := (Sweep{Base: sweepConfig()}).Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 1 {
+		t.Errorf("default expansion = %d specs, want 1", len(specs))
+	}
+}
+
+func TestParseShard(t *testing.T) {
+	for spec, want := range map[string]Shard{
+		"":    {},
+		"0/1": {Index: 0, Count: 1},
+		"1/2": {Index: 1, Count: 2},
+		"3/8": {Index: 3, Count: 8},
+	} {
+		got, err := ParseShard(spec)
+		if err != nil || got != want {
+			t.Errorf("ParseShard(%q) = %+v, %v; want %+v", spec, got, err, want)
+		}
+	}
+	for _, spec := range []string{"0/0", "0/-5", "-1/2", "2/2", "1/2x", "x/2", "1", "1/", "/2", "1/2/3"} {
+		if _, err := ParseShard(spec); err == nil {
+			t.Errorf("ParseShard(%q) should error", spec)
+		}
+	}
+}
+
+// TestRunBatchCancellation checks that cancelling the context aborts
+// dispatch while keeping every finished run's result.
+func TestRunBatchCancellation(t *testing.T) {
+	cfgs := make([]Config, 8)
+	for i := range cfgs {
+		cfgs[i] = sweepConfig()
+		cfgs[i].Seed = uint64(i + 1)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	var mu sync.Mutex
+	finished := 0
+	out, err := RunBatch(ctx, cfgs, BatchOptions{
+		Workers: 1,
+		OnProgress: func(done, total int) {
+			mu.Lock()
+			defer mu.Unlock()
+			finished = done
+			if done == 2 {
+				cancel()
+			}
+		},
+	})
+	if err == nil {
+		t.Fatal("cancelled batch should return the context error")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	done, skipped := 0, 0
+	for _, br := range out {
+		switch {
+		case br.Err == nil:
+			done++
+		case errors.Is(br.Err, context.Canceled):
+			skipped++
+		default:
+			t.Errorf("unexpected error: %v", br.Err)
+		}
+	}
+	if done < 2 || skipped == 0 || done+skipped != len(cfgs) {
+		t.Errorf("done=%d skipped=%d of %d (finished callback saw %d)", done, skipped, len(cfgs), finished)
+	}
+	// Finished runs must carry real results.
+	if out[0].Err != nil || out[0].Result.Coverage <= 0 {
+		t.Errorf("first run should have completed: %+v", out[0])
 	}
 }
 

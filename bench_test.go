@@ -11,11 +11,14 @@ package mobisense_test
 // grids); the cmd/experiments binary runs the full grids.
 
 import (
+	"context"
 	"strings"
 	"testing"
+	"time"
 
 	"mobisense"
 	"mobisense/internal/experiments"
+	"mobisense/internal/store"
 )
 
 // metricName sanitizes a row label into a benchmark metric unit (metric
@@ -282,7 +285,7 @@ func batchSweep() mobisense.Sweep {
 
 func benchmarkBatchSweep(b *testing.B, workers int) {
 	for i := 0; i < b.N; i++ {
-		sr, err := batchSweep().Run(mobisense.BatchOptions{Workers: workers})
+		sr, err := batchSweep().Run(context.Background(), mobisense.BatchOptions{Workers: workers})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -300,6 +303,41 @@ func BenchmarkBatchSweepSequential(b *testing.B) { benchmarkBatchSweep(b, 1) }
 
 // BenchmarkBatchSweepParallel runs the same sweep on GOMAXPROCS workers.
 func BenchmarkBatchSweepParallel(b *testing.B) { benchmarkBatchSweep(b, 0) }
+
+// BenchmarkStoreWrite measures the sweep store's per-record JSONL
+// encode+flush cost — the persistence overhead each finished run pays on
+// top of its simulation time.
+func BenchmarkStoreWrite(b *testing.B) {
+	w, err := store.Create(b.TempDir(), store.Manifest{Kind: "batch", TotalRuns: b.N})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer w.Close()
+	rec := store.Record{
+		Scheme:            "floor",
+		Scenario:          "random-obstacles",
+		N:                 240,
+		Seed:              0x9e3779b97f4a7c15,
+		ConfigFingerprint: "a1b2c3d4e5f60718",
+		Coverage:          0.7312345678,
+		Coverage2:         0.3312345678,
+		Alive:             240,
+		AvgMoveDistance:   123.456789,
+		Messages:          457000,
+		ConvergenceTime:   714.25,
+		Connected:         true,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec.Index = i
+		rec.Repeat = i
+		if err := w.Append(i, rec, 250*time.Millisecond); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N), "records")
+}
 
 func itoa(v int) string {
 	if v == 0 {

@@ -3,6 +3,12 @@
 // scenarios resolve through the mobisense registries, and multi-run
 // invocations fan out across cores via the batch runner.
 //
+// Sweeps can stream every finished run to an on-disk store (-store),
+// survive Ctrl-C (finished runs persist; re-run with -resume to continue),
+// stop deterministically after a number of runs (-max-runs), and split
+// across machines (-shard i/n, one store per shard; merge the stores with
+// cmd/report).
+//
 // Examples:
 //
 //	deploy -scheme floor
@@ -10,12 +16,18 @@
 //	deploy -scheme vor -rc 240 -rs 60 -map=false
 //	deploy -scheme floor -scenario random-obstacles -field-seed 7 -csv layout.csv
 //	deploy -scheme floor -scenario disaster -runs 30 -workers 8
+//	deploy -scheme floor -scenario random -runs 300 -store sweep/
+//	deploy -scheme floor -scenario random -runs 300 -store sweep/ -resume
+//	deploy -scheme floor -scenario random -runs 300 -store shard0/ -shard 0/2
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 
 	"mobisense"
@@ -49,6 +61,10 @@ func run() int {
 		ttl       = flag.Int("ttl", 0, "FLOOR invitation TTL in hops (0 = 0.2*N)")
 		showMap   = flag.Bool("map", true, "print an ASCII layout map (single run only)")
 		csvPath   = flag.String("csv", "", "write final positions CSV to this path (single run only)")
+		storeDir  = flag.String("store", "", "stream finished runs to this store directory (-runs > 1)")
+		resume    = flag.Bool("resume", false, "continue an interrupted sweep in the -store directory")
+		shardSpec = flag.String("shard", "", "run only shard i of n, as \"i/n\" (requires -store; merge with cmd/report)")
+		maxRuns   = flag.Int("max-runs", 0, "stop dispatching after this many completed runs (0 = all); finished runs stay in the store")
 	)
 	flag.Parse()
 
@@ -59,6 +75,19 @@ func run() int {
 	if _, ok := mobisense.LookupScenario(scenarioName); !ok {
 		fmt.Fprintf(os.Stderr, "unknown scenario %q (have %s)\n",
 			scenarioName, strings.Join(mobisense.ScenarioNames(), ", "))
+		return 2
+	}
+	shard, err := mobisense.ParseShard(*shardSpec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	if *resume && *storeDir == "" {
+		fmt.Fprintln(os.Stderr, "-resume needs -store: there is nothing to resume from")
+		return 2
+	}
+	if shard.Count > 1 && *storeDir == "" {
+		fmt.Fprintln(os.Stderr, "-shard needs -store: a shard's slice of the aggregates is useless unpersisted")
 		return 2
 	}
 
@@ -73,7 +102,16 @@ func run() int {
 	cfg.CPVF = &mobisense.CPVFOptions{Oscillation: *osc, Delta: *delta}
 	cfg.Floor = &mobisense.FloorOptions{TTL: *ttl}
 
+	// Ctrl-C cancels the sweep; every finished run is kept (and persisted
+	// when a store is attached).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	if *runs <= 1 {
+		if *storeDir != "" || shard.Count > 1 {
+			fmt.Fprintln(os.Stderr, "-store and -shard need a sweep: set -runs > 1")
+			return 2
+		}
 		// For one run, honor -seed and -field-seed verbatim rather than
 		// deriving, so single-run invocations stay reproducible by hand.
 		f, err := mobisense.BuildScenario(scenarioName, *fieldSeed)
@@ -82,7 +120,11 @@ func run() int {
 			return 1
 		}
 		cfg.Field = f
-		out := mobisense.RunBatch([]mobisense.Config{cfg}, mobisense.BatchOptions{Workers: 1})
+		out, err := mobisense.RunBatch(ctx, []mobisense.Config{cfg}, mobisense.BatchOptions{Workers: 1})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "run: %v\n", err)
+			return 1
+		}
 		if err := out[0].Err; err != nil {
 			fmt.Fprintf(os.Stderr, "run: %v\n", err)
 			return 1
@@ -97,20 +139,54 @@ func run() int {
 		Repeats:   *runs,
 		Seed:      *seed,
 	}
-	sr, err := sweep.Run(mobisense.BatchOptions{
+	opts := mobisense.BatchOptions{
 		Workers: *workers,
-		OnProgress: func(done, total int) {
-			fmt.Fprintf(os.Stderr, "\r%d/%d runs", done, total)
-			if done == total {
-				fmt.Fprintln(os.Stderr)
-			}
-		},
-	})
-	if err != nil {
+		Shard:   shard,
+	}
+	if *storeDir != "" {
+		opts.Store = &mobisense.Store{Dir: *storeDir, Resume: *resume}
+	}
+	// -max-runs cancels dispatch once enough runs completed — the
+	// deterministic stand-in for Ctrl-C in scripts and CI.
+	capCtx, capStop := context.WithCancel(ctx)
+	defer capStop()
+	completed := 0
+	opts.OnProgress = func(done, total int) {
+		fmt.Fprintf(os.Stderr, "\r%d/%d runs", done, total)
+		if done == total {
+			fmt.Fprintln(os.Stderr)
+		}
+		completed++
+		if *maxRuns > 0 && completed >= *maxRuns {
+			capStop()
+		}
+	}
+	sr, err := sweep.Run(capCtx, opts)
+	interrupted := errors.Is(err, context.Canceled)
+	if err != nil && !interrupted {
 		fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
 		return 1
 	}
+	if interrupted {
+		fmt.Fprintln(os.Stderr)
+	}
 	printAggregates(sr)
+	if interrupted {
+		done := 0
+		for _, br := range sr.Runs {
+			if !errors.Is(br.Err, context.Canceled) {
+				done++
+			}
+		}
+		fmt.Fprintf(os.Stderr, "interrupted after %d/%d runs\n", done, len(sr.Runs))
+		if *storeDir != "" {
+			fmt.Fprintf(os.Stderr, "finished runs are stored in %s (re-run with -resume to continue)\n", *storeDir)
+		}
+		if *maxRuns > 0 && ctx.Err() == nil {
+			return 0 // the -max-runs cap, not a Ctrl-C
+		}
+		return 130
+	}
 	// Surface every distinct failure cause, not just the first.
 	counts := map[string]int{}
 	var order []string
@@ -177,7 +253,13 @@ func printAggregates(sr mobisense.SweepResult) {
 		if a.Errors > 0 {
 			fmt.Printf(" (%d failed)", a.Errors)
 		}
+		if a.Skipped > 0 {
+			fmt.Printf(" (%d not executed)", a.Skipped)
+		}
 		fmt.Println()
+		if a.Runs == 0 {
+			continue
+		}
 		fmt.Printf("  coverage       %.1f%% ± %.1f  (min %.1f%%, max %.1f%%)\n",
 			100*a.Coverage.Mean, 100*a.Coverage.CI95, 100*a.Coverage.Min, 100*a.Coverage.Max)
 		fmt.Printf("  avg distance   %.1f m ± %.1f\n", a.AvgMoveDistance.Mean, a.AvgMoveDistance.CI95)

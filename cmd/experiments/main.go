@@ -5,20 +5,32 @@
 //
 //	experiments -run all -out results/
 //	experiments -run fig9,fig10 -quick
+//	experiments -run fig13 -store results/store -progress
+//	experiments -run fig13 -store results/store -resume
+//	experiments -run fig13 -store shard1 -shard 1/4
 //
 // The -quick flag shrinks sweeps for a fast smoke run; the full runs use
 // the paper's parameters (240 sensors, 750 s, 300 random-obstacle
 // deployments for Figure 13) and take a few minutes in total.
+//
+// With -store, every finished deployment streams to disk under
+// <store>/<figure>; Ctrl-C keeps the finished runs and -resume continues
+// an interrupted suite without re-running them. With -shard i/n the
+// process executes only its slice of each experiment's runs into the
+// store (no tables are printed); merge the shard stores with cmd/report.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"sort"
 	"strings"
 
+	"mobisense"
 	"mobisense/internal/experiments"
 )
 
@@ -28,12 +40,15 @@ func main() {
 
 func run() int {
 	var (
-		runFlag  = flag.String("run", "all", "comma-separated experiments: fig3,fig8,fig9,fig10,fig11,fig12,fig13,table1 or all")
-		quick    = flag.Bool("quick", false, "shrink sweeps and run counts for a fast smoke run")
-		seed     = flag.Uint64("seed", 1, "base random seed")
-		workers  = flag.Int("workers", 0, "batch worker-pool size (0 = GOMAXPROCS, 1 = sequential)")
-		progress = flag.Bool("progress", false, "print batch progress to stderr")
-		outDir   = flag.String("out", "", "directory for CSV output (omit to skip CSV files)")
+		runFlag   = flag.String("run", "all", "comma-separated experiments: fig3,fig8,fig9,fig10,fig11,fig12,fig13,table1 or all")
+		quick     = flag.Bool("quick", false, "shrink sweeps and run counts for a fast smoke run")
+		seed      = flag.Uint64("seed", 1, "base random seed")
+		workers   = flag.Int("workers", 0, "batch worker-pool size (0 = GOMAXPROCS, 1 = sequential)")
+		progress  = flag.Bool("progress", false, "print batch progress to stderr")
+		outDir    = flag.String("out", "", "directory for CSV output (omit to skip CSV files)")
+		storeDir  = flag.String("store", "", "stream finished runs to per-figure stores under this directory")
+		resume    = flag.Bool("resume", false, "continue interrupted stores under -store")
+		shardSpec = flag.String("shard", "", "execute only shard i of n, as \"i/n\" (requires -store; merge with cmd/report)")
 	)
 	flag.Parse()
 
@@ -65,7 +80,34 @@ func run() int {
 		}
 	}
 
-	opts := experiments.Options{Quick: *quick, Seed: *seed, Workers: *workers}
+	shard, err := mobisense.ParseShard(*shardSpec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	if shard.Count > 1 && *storeDir == "" {
+		fmt.Fprintln(os.Stderr, "-shard needs -store (shards only make sense persisted)")
+		return 2
+	}
+	if *resume && *storeDir == "" {
+		fmt.Fprintln(os.Stderr, "-resume needs -store: there is nothing to resume from")
+		return 2
+	}
+
+	// Ctrl-C cancels the suite; with -store, every finished run persists
+	// and -resume continues where the interrupt landed.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	opts := experiments.Options{
+		Quick:    *quick,
+		Seed:     *seed,
+		Workers:  *workers,
+		Context:  ctx,
+		StoreDir: *storeDir,
+		Resume:   *resume,
+		Shard:    shard,
+	}
 	if *progress {
 		opts.OnProgress = func(done, total int) {
 			fmt.Fprintf(os.Stderr, "\r%d/%d runs", done, total)
@@ -83,7 +125,28 @@ func run() int {
 
 	for _, name := range names {
 		fmt.Printf("== %s ==\n", name)
-		rows := all[name](opts)
+		rows, err := runExperiment(all[name], opts)
+		if experiments.Interrupted(err) {
+			fmt.Fprintln(os.Stderr, "\ninterrupted")
+			if *storeDir != "" {
+				fmt.Fprintf(os.Stderr, "finished runs are stored under %s (re-run with -resume to continue)\n", *storeDir)
+			}
+			return 130
+		}
+		if err != nil {
+			// runAll's panics already name the experiment.
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		if shard.Count > 1 {
+			if !experiments.Shardable(name) {
+				fmt.Printf("(%s needs every run's full layout and is skipped under -shard; run it unsharded)\n\n", name)
+			} else {
+				fmt.Printf("(shard %d/%d stored under %s; merge shard stores with cmd/report)\n\n",
+					shard.Index, shard.Count, filepath.Join(*storeDir, name))
+			}
+			continue
+		}
 		printTable(rows)
 		if *outDir != "" {
 			path := filepath.Join(*outDir, name+".csv")
@@ -96,6 +159,22 @@ func run() int {
 		fmt.Println()
 	}
 	return 0
+}
+
+// runExperiment runs one experiment function, converting the error panics
+// the experiments package uses (cancellation, store failures) into clean
+// returned errors; anything else keeps crashing loudly.
+func runExperiment(fn func(experiments.Options) []experiments.Row, opts experiments.Options) (rows []experiments.Row, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			if e, ok := v.(error); ok {
+				err = e
+				return
+			}
+			panic(v)
+		}
+	}()
+	return fn(opts), nil
 }
 
 // printTable renders rows with a left label column and one column per

@@ -1,0 +1,164 @@
+// Command report merges one or more sweep store directories — typically
+// the shards of one sweep run on different machines, or a single store
+// written by deploy -store / experiments -store — and prints the
+// per-(scheme, scenario, N) aggregates recomputed from the stored records.
+//
+// Usage:
+//
+//	report sweep/
+//	report shard0/ shard1/ shard2/ shard3/
+//	report -csv aggregates.csv shard0/ shard1/
+//	report -runs sweep/             # per-run records instead of aggregates
+//
+// Records are deduplicated by run key across directories, sorted into the
+// unsharded sweep order, and aggregated exactly as a live Sweep.Run would:
+// merging the shards of a sweep reproduces the unsharded aggregates bit
+// for bit. The timing sidecars are read only for the informational
+// "compute time" line — they never influence the aggregates.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"mobisense"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		csvPath  = flag.String("csv", "", "write the aggregate table as CSV to this path")
+		showRuns = flag.Bool("runs", false, "print one line per stored run instead of aggregates only")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: report [flags] store-dir [store-dir ...]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	dirs := flag.Args()
+	if len(dirs) == 0 {
+		flag.Usage()
+		return 2
+	}
+
+	data, err := mobisense.LoadStores(dirs...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+
+	for _, st := range data.Stores {
+		state := "complete"
+		if !st.Complete {
+			state = fmt.Sprintf("%d/%d runs", st.Records, st.TotalRuns)
+		}
+		shard := ""
+		if st.ShardCount > 1 {
+			shard = fmt.Sprintf(" shard %d/%d", st.ShardIndex, st.ShardCount)
+		}
+		fmt.Printf("%s: %s store%s, %s, compute time %s\n",
+			st.Dir, st.Kind, shard, state, st.Elapsed.Round(1e6))
+	}
+	fmt.Printf("merged: %d runs, %d aggregate group(s)\n\n", len(data.Runs), len(data.Aggregates))
+
+	if *showRuns {
+		for _, br := range data.Runs {
+			sp := br.Spec
+			if br.Err != nil {
+				fmt.Printf("%5d  %-8s %-16s N=%-4d r%-3d FAILED: %v\n",
+					sp.Index, sp.Scheme, scenarioLabel(sp.Scenario), sp.N, sp.Repeat, br.Err)
+				continue
+			}
+			fmt.Printf("%5d  %-8s %-16s N=%-4d r%-3d cov=%.3f dist=%.1f connected=%v\n",
+				sp.Index, sp.Scheme, scenarioLabel(sp.Scenario), sp.N, sp.Repeat,
+				br.Result.Coverage, br.Result.AvgMoveDistance, br.Result.Connected)
+		}
+		fmt.Println()
+	}
+
+	printAggregateTable(data.Aggregates)
+
+	if *csvPath != "" {
+		if err := os.WriteFile(*csvPath, []byte(aggregatesCSV(data.Aggregates)), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "write csv: %v\n", err)
+			return 1
+		}
+		fmt.Printf("\nwrote %s\n", *csvPath)
+	}
+	return 0
+}
+
+func scenarioLabel(s string) string {
+	if s == "" {
+		return "(custom field)"
+	}
+	return s
+}
+
+// printAggregateTable renders the aggregates as an aligned text table.
+func printAggregateTable(aggs []mobisense.Aggregate) {
+	header := []string{"scheme", "scenario", "N", "runs", "errs",
+		"coverage", "±95%", "distance", "±95%", "messages", "conv_time", "connected"}
+	lines := [][]string{header}
+	for _, a := range aggs {
+		lines = append(lines, []string{
+			string(a.Scheme),
+			scenarioLabel(a.Scenario),
+			fmt.Sprintf("%d", a.N),
+			fmt.Sprintf("%d", a.Runs),
+			fmt.Sprintf("%d", a.Errors),
+			fmt.Sprintf("%.4f", a.Coverage.Mean),
+			fmt.Sprintf("%.4f", a.Coverage.CI95),
+			fmt.Sprintf("%.1f", a.AvgMoveDistance.Mean),
+			fmt.Sprintf("%.1f", a.AvgMoveDistance.CI95),
+			fmt.Sprintf("%.0f", a.Messages.Mean),
+			fmt.Sprintf("%.0f", a.ConvergenceTime.Mean),
+			fmt.Sprintf("%.0f%%", 100*a.ConnectedFraction),
+		})
+	}
+	widths := make([]int, len(header))
+	for _, line := range lines {
+		for i, cell := range line {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	for _, line := range lines {
+		var sb strings.Builder
+		for i, cell := range line {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			pad := strings.Repeat(" ", widths[i]-len(cell))
+			if i < 2 { // left-align the name columns
+				sb.WriteString(cell + pad)
+			} else {
+				sb.WriteString(pad + cell)
+			}
+		}
+		fmt.Println(sb.String())
+	}
+}
+
+// aggregatesCSV renders the aggregates as a CSV document.
+func aggregatesCSV(aggs []mobisense.Aggregate) string {
+	var sb strings.Builder
+	sb.WriteString("scheme,scenario,n,runs,errors,skipped," +
+		"coverage_mean,coverage_ci95,coverage_min,coverage_max," +
+		"coverage2_mean,distance_mean,distance_ci95," +
+		"messages_mean,convergence_mean,connected_fraction\n")
+	for _, a := range aggs {
+		fmt.Fprintf(&sb, "%s,%s,%d,%d,%d,%d,%.6f,%.6f,%.6f,%.6f,%.6f,%.6f,%.6f,%.6f,%.6f,%.6f\n",
+			a.Scheme, strings.ReplaceAll(a.Scenario, ",", ";"), a.N, a.Runs, a.Errors, a.Skipped,
+			a.Coverage.Mean, a.Coverage.CI95, a.Coverage.Min, a.Coverage.Max,
+			a.Coverage2.Mean, a.AvgMoveDistance.Mean, a.AvgMoveDistance.CI95,
+			a.Messages.Mean, a.ConvergenceTime.Mean, a.ConnectedFraction)
+	}
+	return sb.String()
+}

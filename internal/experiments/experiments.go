@@ -14,7 +14,10 @@
 package experiments
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"path/filepath"
 
 	"mobisense"
 	"mobisense/internal/baseline"
@@ -48,16 +51,29 @@ func (r Row) Get(name string) float64 {
 	return 0
 }
 
-// Options control experiment size and parallelism.
+// Options control experiment size, parallelism and persistence.
 type Options struct {
 	// Quick shrinks sweeps and run counts for smoke tests and benches.
 	Quick bool
 	// Seed drives all runs.
 	Seed uint64
-	// Workers sizes the batch runner's worker pool (< 1 = GOMAXPROCS).
+	// Workers sizes the batch runner's worker pool (0 = GOMAXPROCS).
 	Workers int
 	// OnProgress, if set, observes batch completions.
 	OnProgress func(done, total int)
+	// Context cancels in-flight experiments (nil = background). A
+	// cancelled experiment panics with an error matching context.Canceled;
+	// Interrupted recognizes it.
+	Context context.Context
+	// StoreDir, when set, persists each experiment's runs under
+	// StoreDir/<figure> so interrupted suites resume without re-running
+	// finished deployments (set Resume to pick an existing store up).
+	StoreDir string
+	// Resume continues existing stores under StoreDir.
+	Resume bool
+	// Shard restricts every experiment to a deterministic subset of its
+	// runs for cross-machine sharding.
+	Shard mobisense.Shard
 }
 
 func (o Options) seed() uint64 {
@@ -67,9 +83,36 @@ func (o Options) seed() uint64 {
 	return o.Seed
 }
 
-func (o Options) batch() mobisense.BatchOptions {
-	return mobisense.BatchOptions{Workers: o.Workers, OnProgress: o.OnProgress}
+func (o Options) ctx() context.Context {
+	if o.Context == nil {
+		return context.Background()
+	}
+	return o.Context
 }
+
+// batch assembles the runner options for one experiment; name scopes the
+// experiment's store subdirectory.
+func (o Options) batch(name string) mobisense.BatchOptions {
+	opts := mobisense.BatchOptions{Workers: o.Workers, OnProgress: o.OnProgress, Shard: o.Shard}
+	if o.StoreDir != "" {
+		opts.Store = &mobisense.Store{Dir: filepath.Join(o.StoreDir, name), Resume: o.Resume}
+	}
+	return opts
+}
+
+// Interrupted reports whether a panic value recovered from an experiment
+// function means the run's context was cancelled (finished runs persist in
+// the store; re-run with Resume to continue).
+func Interrupted(v any) bool {
+	err, ok := v.(error)
+	return ok && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded))
+}
+
+// Shardable reports whether the named experiment participates in sharded
+// store runs. Fig11 does not: its Hungarian lower bounds need every run's
+// full initial and final layout in one process, which store records do
+// not carry, so under sharding it is skipped rather than half-run.
+func Shardable(name string) bool { return name != "fig11" }
 
 // scenarioField builds the named scenario's field once; configs sharing
 // the returned handle also share one cached coverage estimator per batch.
@@ -91,13 +134,26 @@ func paperConfig(o Options, scheme mobisense.Scheme, f mobisense.Field) mobisens
 
 // runAll fans the configs out on the batch runner and unwraps the results,
 // panicking on any per-run error (experiment configs are fixed and must
-// run).
-func runAll(o Options, cfgs []mobisense.Config) []mobisense.Result {
-	out := make([]mobisense.Result, len(cfgs))
-	for i, br := range mobisense.RunBatch(cfgs, o.batch()) {
+// run). Cancellation panics with the context's error so callers can
+// distinguish an interrupt (Interrupted) from a broken config.
+// It returns nil under sharding (Options.Shard): a shard executes and
+// stores its slice of the runs, and the cross-shard tables come from
+// cmd/report over the merged stores.
+func runAll(o Options, name string, cfgs []mobisense.Config) []mobisense.Result {
+	results, err := mobisense.RunBatch(o.ctx(), cfgs, o.batch(name))
+	if err != nil {
+		panic(fmt.Errorf("experiments: %s: %w", name, err))
+	}
+	for _, br := range results {
 		if br.Err != nil {
-			panic(fmt.Sprintf("experiments: run %d: %v", i, br.Err))
+			panic(fmt.Sprintf("experiments: %s run %d: %v", name, br.Spec.Index, br.Err))
 		}
+	}
+	if o.Shard.Count > 1 {
+		return nil
+	}
+	out := make([]mobisense.Result, len(cfgs))
+	for i, br := range results {
 		out[i] = br.Result
 	}
 	return out
@@ -148,7 +204,10 @@ func layoutScenarios(o Options, figure string, scheme mobisense.Scheme, paper [3
 		cfg.Rc = sc.rc
 		cfgs[i] = cfg
 	}
-	results := runAll(o, cfgs)
+	results := runAll(o, figure, cfgs)
+	if results == nil {
+		return nil
+	}
 	rows := make([]Row, 0, len(scenarios))
 	for i, sc := range scenarios {
 		out := results[i]
@@ -189,7 +248,10 @@ func Fig9(o Options) []Row {
 			}
 		}
 	}
-	results := runAll(o, cfgs)
+	results := runAll(o, "fig9", cfgs)
+	if results == nil {
+		return nil
+	}
 	var rows []Row
 	i := 0
 	for _, pair := range pairs {
@@ -238,7 +300,10 @@ func Fig10(o Options) []Row {
 		mmx.Scheme = mobisense.SchemeMinimax
 		cfgs = append(cfgs, fl, vor, mmx)
 	}
-	results := runAll(o, cfgs)
+	results := runAll(o, "fig10", cfgs)
+	if results == nil {
+		return nil
+	}
 	var rows []Row
 	for i, ratio := range ratios {
 		fl, vor, mmx := results[3*i], results[3*i+1], results[3*i+2]
@@ -275,12 +340,25 @@ func Fig11(o Options) []Row {
 		}
 		return cfg
 	}
-	results := runAll(o, []mobisense.Config{
+	// Fig11's Hungarian lower bounds need the runs' full initial and final
+	// layouts, which store records do not persist — so this experiment
+	// always executes live instead of replaying from a store, and is
+	// skipped outright under sharding (Shardable) rather than burning a
+	// shard's worth of runs it could never report on.
+	if o.Shard.Count > 1 {
+		return nil
+	}
+	oLive := o
+	oLive.StoreDir = ""
+	results := runAll(oLive, "fig11", []mobisense.Config{
 		mkCfg(mobisense.SchemeCPVF),
 		mkCfg(mobisense.SchemeFLOOR),
 		mkCfg(mobisense.SchemeVOR),
 		mkCfg(mobisense.SchemeMinimax),
 	})
+	if results == nil {
+		return nil
+	}
 	cp, fl, vor, mmx := results[0], results[1], results[2], results[3]
 
 	cfg := mkCfg(mobisense.SchemeFLOOR)
@@ -346,7 +424,10 @@ func Fig12(o Options) []Row {
 	}
 	// Baseline without avoidance for reference.
 	cfgs = append(cfgs, mkCfg("", 0))
-	results := runAll(o, cfgs)
+	results := runAll(o, "fig12", cfgs)
+	if results == nil {
+		return nil
+	}
 
 	var rows []Row
 	i := 0
@@ -396,9 +477,14 @@ func Fig13(o Options) []Row {
 		Repeats:   runs,
 		Seed:      o.seed(),
 	}
-	sr, err := sweep.Run(o.batch())
+	sr, err := sweep.Run(o.ctx(), o.batch("fig13"))
 	if err != nil {
-		panic(fmt.Sprintf("experiments: %v", err))
+		panic(fmt.Errorf("experiments: fig13: %w", err))
+	}
+	if o.Shard.Count > 1 {
+		// A shard stores its slice of the runs; the merged CDFs come from
+		// cmd/report over all shard stores.
+		return nil
 	}
 	var covC, covF, distC, distF []float64
 	for _, br := range sr.Runs {
@@ -487,7 +573,10 @@ func Table1(o Options) []Row {
 			}
 		}
 	}
-	results := runAll(o, cfgs)
+	results := runAll(o, "table1", cfgs)
+	if results == nil {
+		return nil
+	}
 	var rows []Row
 	i := 0
 	for _, env := range envs {

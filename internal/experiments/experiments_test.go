@@ -1,6 +1,10 @@
 package experiments
 
 import (
+	"context"
+	"os"
+	"path/filepath"
+	"reflect"
 	"testing"
 )
 
@@ -160,6 +164,39 @@ func TestFig13Shape(t *testing.T) {
 			}
 		}
 	}
+}
+
+// TestStoreReplayReproducesRows runs one experiment twice against the same
+// store: the second pass replays every run from disk and must reproduce
+// the rows exactly.
+func TestStoreReplayReproducesRows(t *testing.T) {
+	dir := t.TempDir()
+	o := Options{Quick: true, StoreDir: dir, Resume: true}
+	first := Table1(o)
+	if _, err := os.Stat(filepath.Join(dir, "table1", "records.jsonl")); err != nil {
+		t.Fatalf("store not written: %v", err)
+	}
+	replayed := Table1(o)
+	if !reflect.DeepEqual(first, replayed) {
+		t.Errorf("replayed rows differ:\nfirst:    %+v\nreplayed: %+v", first, replayed)
+	}
+}
+
+// TestInterrupted: a cancelled context panics out of the experiment
+// functions with a value Interrupted recognizes.
+func TestInterrupted(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	defer func() {
+		v := recover()
+		if v == nil {
+			t.Fatal("cancelled experiment should panic")
+		}
+		if !Interrupted(v) {
+			t.Fatalf("Interrupted(%v) = false", v)
+		}
+	}()
+	Fig11(Options{Quick: true, Context: ctx})
 }
 
 func TestTable1Shape(t *testing.T) {

@@ -1,0 +1,422 @@
+// Package store persists batch and sweep runs to disk as they finish.
+//
+// A store is a directory with three files:
+//
+//   - manifest.json — the sweep's identity: axes, base-config fingerprint,
+//     shard index/count, expected run count and completion state. Every
+//     field is a pure function of the sweep definition, so the manifest is
+//     byte-identical across machines and worker counts.
+//   - records.jsonl — one JSON record per completed run, appended as runs
+//     finish. Records hold only deterministic quantities (axes, derived
+//     seed, metrics), and the writer flushes them in dispatch order, so the
+//     file diffs byte-identically across worker counts. Memory stays
+//     constant for arbitrarily large sweeps: at most one pending record per
+//     in-flight worker is buffered.
+//   - timing.jsonl — the explicitly non-deterministic section of each
+//     record (wall-clock elapsed time), keyed by record key and appended in
+//     completion order. Tooling that compares or merges stores ignores it.
+//
+// Records are keyed by the run's axes plus its deterministic derived seed
+// and per-run config fingerprint, which is what makes sweeps resumable:
+// re-running against an existing store skips every key already on disk.
+package store
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"time"
+)
+
+// Version is the store layout version written to manifests.
+const Version = 1
+
+const (
+	manifestFile = "manifest.json"
+	recordsFile  = "records.jsonl"
+	timingFile   = "timing.jsonl"
+)
+
+// SweepAxes records the sweep definition that produced a store, for
+// resume-compatibility checks and reporting.
+type SweepAxes struct {
+	Schemes   []string `json:"schemes,omitempty"`
+	Scenarios []string `json:"scenarios,omitempty"`
+	Ns        []int    `json:"ns,omitempty"`
+	Repeats   int      `json:"repeats,omitempty"`
+	Seed      uint64   `json:"seed,omitempty"`
+}
+
+// Manifest identifies a store: what sweep it holds, which shard of it, and
+// whether all expected records are present. It contains no wall-clock
+// fields so that a sweep's manifest is reproducible bit for bit.
+type Manifest struct {
+	Version int `json:"version"`
+	// Kind is "sweep" for Sweep.Run stores and "batch" for RunBatch stores.
+	Kind  string    `json:"kind"`
+	Sweep SweepAxes `json:"sweep,omitzero"`
+	// ConfigFingerprint hashes the non-axis base configuration (ranges,
+	// speeds, horizons, scheme options); resuming with a different base
+	// config is refused.
+	ConfigFingerprint string `json:"config_fingerprint"`
+	// ShardIndex/ShardCount place this store in a cross-machine sharding
+	// (0/1 when unsharded).
+	ShardIndex int `json:"shard_index"`
+	ShardCount int `json:"shard_count"`
+	// TotalRuns is the number of records this shard will hold when done.
+	TotalRuns int `json:"total_runs"`
+	// Complete is set once all TotalRuns records are on disk.
+	Complete bool `json:"complete"`
+}
+
+// compatible reports whether a store created with manifest m can be
+// resumed by a runner expecting manifest n (everything but the completion
+// state must match).
+func (m Manifest) compatible(n Manifest) bool {
+	m.Complete, n.Complete = false, false
+	return reflect.DeepEqual(m, n)
+}
+
+// Record is the deterministic result of one completed run: its axes, the
+// derived seed and config fingerprint that key it, and the metrics the
+// aggregates are computed from. Wall-clock time lives in Timing, not here.
+type Record struct {
+	// Index is the run's position in the full (unsharded) sweep expansion;
+	// merging shards sorts by it to reproduce the unsharded order.
+	Index             int     `json:"index"`
+	Scheme            string  `json:"scheme"`
+	Scenario          string  `json:"scenario,omitempty"`
+	N                 int     `json:"n"`
+	Repeat            int     `json:"repeat"`
+	Seed              uint64  `json:"seed"`
+	ConfigFingerprint string  `json:"config_fingerprint"`
+	Coverage          float64 `json:"coverage"`
+	Coverage2         float64 `json:"coverage2"`
+	Alive             int     `json:"alive"`
+	AvgMoveDistance   float64 `json:"avg_move_distance"`
+	Messages          int64   `json:"messages"`
+	ConvergenceTime   float64 `json:"convergence_time"`
+	Connected         bool    `json:"connected"`
+	IncorrectCells    int     `json:"incorrect_voronoi_cells,omitempty"`
+	// Err is the run's error message ("" on success); failed runs are
+	// recorded too so a resume does not retry deterministic failures.
+	Err string `json:"err,omitempty"`
+}
+
+// Key identifies a run within a sweep: every axis value plus the derived
+// seed and the per-run config fingerprint. Two runs share a key exactly
+// when they are the same deterministic computation.
+func (r Record) Key() string {
+	return fmt.Sprintf("%s|%s|n%d|r%d|s%016x|c%s",
+		r.Scheme, r.Scenario, r.N, r.Repeat, r.Seed, r.ConfigFingerprint)
+}
+
+// Timing is the non-deterministic sidecar section of one record.
+type Timing struct {
+	Key       string `json:"key"`
+	ElapsedNS int64  `json:"elapsed_ns"`
+}
+
+// Writer appends records to a store directory. Append may be called from
+// many goroutines; records flush to disk in seq order (the deterministic
+// dispatch order) regardless of completion order, buffering at most the
+// in-flight window.
+type Writer struct {
+	dir      string
+	manifest Manifest
+
+	mu      sync.Mutex
+	records *os.File
+	timing  *os.File
+	next    int            // next seq to flush
+	pending map[int][]byte // out-of-order completed records
+	times   map[int][]byte // their timing lines
+	written int            // records on disk (including replayed ones)
+	closed  bool
+}
+
+// Create initializes a new store directory with the given manifest. It
+// fails if the directory already holds a store.
+func Create(dir string, m Manifest) (*Writer, error) {
+	if _, err := os.Stat(filepath.Join(dir, manifestFile)); err == nil {
+		return nil, fmt.Errorf("store: %s already holds a store (resume instead?)", dir)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	m.Version = Version
+	if err := writeManifest(dir, m); err != nil {
+		return nil, err
+	}
+	return newWriter(dir, m, 0)
+}
+
+// Open resumes an existing store, validating that its manifest matches the
+// expected one, and returns the records already on disk alongside the
+// writer. A truncated trailing line (killed mid-write) is dropped — and
+// physically truncated away, so appended records never merge into it.
+func Open(dir string, want Manifest) (*Writer, []Record, error) {
+	want.Version = Version
+	got, err := readManifest(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	if !got.compatible(want) {
+		return nil, nil, fmt.Errorf("store: %s holds a different sweep (manifest mismatch: have %+v, want %+v)", dir, got, want)
+	}
+	path := filepath.Join(dir, recordsFile)
+	recs, intact, err := readRecords(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	if fi, statErr := os.Stat(path); statErr == nil && fi.Size() > intact {
+		if err := os.Truncate(path, intact); err != nil {
+			return nil, nil, fmt.Errorf("store: drop torn record tail: %w", err)
+		}
+	}
+	w, err := newWriter(dir, want, len(recs))
+	if err != nil {
+		return nil, nil, err
+	}
+	return w, recs, nil
+}
+
+func newWriter(dir string, m Manifest, existing int) (*Writer, error) {
+	rf, err := os.OpenFile(filepath.Join(dir, recordsFile), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	tf, err := os.OpenFile(filepath.Join(dir, timingFile), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		rf.Close()
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	return &Writer{
+		dir:      dir,
+		manifest: m,
+		records:  rf,
+		timing:   tf,
+		pending:  map[int][]byte{},
+		times:    map[int][]byte{},
+		written:  existing,
+	}, nil
+}
+
+// Append stores one completed run. seq is the record's position in this
+// session's dispatch order; records reach the file in seq order no matter
+// which worker finishes first, so the stored bytes are independent of the
+// worker count.
+func (w *Writer) Append(seq int, rec Record, elapsed time.Duration) error {
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("store: encode record: %w", err)
+	}
+	tline, err := json.Marshal(Timing{Key: rec.Key(), ElapsedNS: int64(elapsed)})
+	if err != nil {
+		return fmt.Errorf("store: encode timing: %w", err)
+	}
+
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return fmt.Errorf("store: append after close")
+	}
+	w.pending[seq] = append(line, '\n')
+	w.times[seq] = append(tline, '\n')
+	for {
+		line, ok := w.pending[w.next]
+		if !ok {
+			return nil
+		}
+		if _, err := w.records.Write(line); err != nil {
+			return fmt.Errorf("store: write record: %w", err)
+		}
+		if _, err := w.timing.Write(w.times[w.next]); err != nil {
+			return fmt.Errorf("store: write timing: %w", err)
+		}
+		delete(w.pending, w.next)
+		delete(w.times, w.next)
+		w.next++
+		w.written++
+	}
+}
+
+// Written returns the number of records on disk, including any replayed
+// from a previous session.
+func (w *Writer) Written() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.written
+}
+
+// Close flushes and closes the store files and, when every expected record
+// is present, rewrites the manifest with Complete set.
+func (w *Writer) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	var firstErr error
+	if len(w.pending) > 0 {
+		// A dispatch-order gap means a dispatched run never reported; keep
+		// the contiguous prefix (everything on disk stays valid) and
+		// surface the anomaly.
+		firstErr = fmt.Errorf("store: %d completed record(s) stranded behind a dispatch gap", len(w.pending))
+	}
+	if err := w.records.Close(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	if err := w.timing.Close(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	if w.written >= w.manifest.TotalRuns && !w.manifest.Complete {
+		w.manifest.Complete = true
+		if err := writeManifest(w.dir, w.manifest); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+func writeManifest(dir string, m Manifest) error {
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("store: encode manifest: %w", err)
+	}
+	data = append(data, '\n')
+	// Write-then-rename so a crash never leaves a half-written manifest.
+	tmp := filepath.Join(dir, manifestFile+".tmp")
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, manifestFile)); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
+}
+
+// ReadDir loads a store directory: its manifest and every intact record.
+// A truncated trailing record line (process killed mid-write) is dropped;
+// corruption anywhere else is an error.
+func ReadDir(dir string) (Manifest, []Record, error) {
+	m, err := readManifest(dir)
+	if err != nil {
+		return m, nil, err
+	}
+	recs, _, err := readRecords(filepath.Join(dir, recordsFile))
+	if err != nil {
+		return m, nil, err
+	}
+	return m, recs, nil
+}
+
+func readManifest(dir string) (Manifest, error) {
+	var m Manifest
+	data, err := os.ReadFile(filepath.Join(dir, manifestFile))
+	if err != nil {
+		return m, fmt.Errorf("store: %s is not a store: %w", dir, err)
+	}
+	if err := json.Unmarshal(data, &m); err != nil {
+		return m, fmt.Errorf("store: %s manifest: %w", dir, err)
+	}
+	if m.Version != Version {
+		return m, fmt.Errorf("store: %s has layout version %d, want %d", dir, m.Version, Version)
+	}
+	return m, nil
+}
+
+// readRecords parses a records file, returning the intact records and the
+// byte offset just past the last one — the point a resuming writer must
+// truncate to so new appends never merge into a torn tail.
+func readRecords(path string) ([]Record, int64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, 0, nil
+		}
+		return nil, 0, fmt.Errorf("store: %w", err)
+	}
+	defer f.Close()
+
+	var recs []Record
+	r := bufio.NewReaderSize(f, 64*1024)
+	var offset, intact int64
+	lineNo := 0
+	for {
+		line, err := r.ReadBytes('\n')
+		offset += int64(len(line))
+		lineNo++
+		complete := err == nil
+		if err != nil && err != io.EOF {
+			return nil, 0, fmt.Errorf("store: %s: %w", path, err)
+		}
+		trimmed := bytes.TrimSpace(line)
+		if len(trimmed) > 0 {
+			var rec Record
+			if jsonErr := json.Unmarshal(trimmed, &rec); jsonErr != nil {
+				if complete {
+					// A parseable-length, newline-terminated line that is
+					// garbage mid-file means real corruption, not a torn
+					// final append.
+					if _, peekErr := r.Peek(1); peekErr != io.EOF {
+						return nil, 0, fmt.Errorf("store: %s line %d: corrupt record followed by more data", path, lineNo)
+					}
+				}
+				// Torn tail (no newline, or undecodable final line): drop it.
+				return recs, intact, nil
+			}
+			if !complete {
+				// Valid JSON but no trailing newline: the final byte(s) of
+				// the append may be missing; treat as torn.
+				return recs, intact, nil
+			}
+			recs = append(recs, rec)
+		}
+		if complete {
+			intact = offset
+		}
+		if err == io.EOF {
+			return recs, intact, nil
+		}
+	}
+}
+
+// ReadTimings loads the non-deterministic timing sidecar (missing file →
+// no timings).
+func ReadTimings(dir string) (map[string]time.Duration, error) {
+	f, err := os.Open(filepath.Join(dir, timingFile))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	defer f.Close()
+
+	out := map[string]time.Duration{}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 8*1024*1024)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var t Timing
+		if err := json.Unmarshal(line, &t); err != nil {
+			continue // sidecar is advisory; skip torn lines
+		}
+		out[t.Key] = time.Duration(t.ElapsedNS)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	return out, nil
+}

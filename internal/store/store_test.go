@@ -1,0 +1,262 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+func testManifest(total int) Manifest {
+	return Manifest{
+		Kind:              "sweep",
+		Sweep:             SweepAxes{Schemes: []string{"floor"}, Scenarios: []string{"free"}, Ns: []int{30}, Repeats: total, Seed: 42},
+		ConfigFingerprint: "deadbeef00000000",
+		ShardCount:        1,
+		TotalRuns:         total,
+	}
+}
+
+func testRecord(i int) Record {
+	return Record{
+		Index:             i,
+		Scheme:            "floor",
+		Scenario:          "free",
+		N:                 30,
+		Repeat:            i,
+		Seed:              uint64(1000 + i),
+		ConfigFingerprint: "deadbeef00000000",
+		Coverage:          0.5 + float64(i)/100,
+		Alive:             30,
+		Connected:         true,
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Create(dir, testManifest(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Record{testRecord(0), testRecord(1), testRecord(2)}
+	for i, r := range want {
+		if err := w.Append(i, r, time.Duration(i)*time.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	m, recs, err := ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Complete {
+		t.Error("manifest should be complete after all records")
+	}
+	if !reflect.DeepEqual(recs, want) {
+		t.Errorf("records = %+v, want %+v", recs, want)
+	}
+	times, err := ReadTimings(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if times[want[2].Key()] != 2*time.Millisecond {
+		t.Errorf("timing for %s = %v", want[2].Key(), times[want[2].Key()])
+	}
+}
+
+// TestOutOfOrderAppendsFlushInSeqOrder is the determinism core: records
+// appended out of completion order must reach the file in dispatch order.
+func TestOutOfOrderAppendsFlushInSeqOrder(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Create(dir, testManifest(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, seq := range []int{2, 0, 3, 1} {
+		if err := w.Append(seq, testRecord(seq), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, recs, err := ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range recs {
+		if r.Index != i {
+			t.Errorf("record %d has index %d; file not in dispatch order", i, r.Index)
+		}
+	}
+}
+
+func TestCreateRefusesExistingStore(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Create(dir, testManifest(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	if _, err := Create(dir, testManifest(1)); err == nil {
+		t.Error("Create over an existing store should fail")
+	}
+}
+
+func TestOpenResumesAndValidates(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Create(dir, testManifest(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(0, testRecord(0), time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Resume with the matching manifest sees the finished record.
+	w2, recs, err := Open(dir, testManifest(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].Index != 0 {
+		t.Fatalf("resumed records = %+v", recs)
+	}
+	if err := w2.Append(0, testRecord(1), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Append(1, testRecord(2), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	m, recs, err := ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 || !m.Complete {
+		t.Errorf("after resume: %d records, complete=%v", len(recs), m.Complete)
+	}
+
+	// A different sweep must be refused.
+	other := testManifest(3)
+	other.Sweep.Seed = 7
+	if _, _, err := Open(dir, other); err == nil {
+		t.Error("Open with mismatched manifest should fail")
+	}
+	otherFP := testManifest(3)
+	otherFP.ConfigFingerprint = "0000000000000000"
+	if _, _, err := Open(dir, otherFP); err == nil {
+		t.Error("Open with mismatched config fingerprint should fail")
+	}
+}
+
+// TestTruncatedTrailingLine simulates a process killed mid-append: the torn
+// final line is dropped, everything before it survives.
+func TestTruncatedTrailingLine(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Create(dir, testManifest(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if err := w.Append(i, testRecord(i), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.Close()
+
+	path := filepath.Join(dir, "records.jsonl")
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString(`{"index":2,"scheme":"floo`) // torn write, no newline
+	f.Close()
+
+	_, recs, err := ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Errorf("got %d records, want 2 (torn line dropped)", len(recs))
+	}
+
+	// Resuming over the torn tail must truncate it away so appended
+	// records never merge into the partial line.
+	w2, recs, err := Open(dir, testManifest(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("resume saw %d records, want 2", len(recs))
+	}
+	if err := w2.Append(0, testRecord(2), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	m, recs, err := ReadDir(dir)
+	if err != nil {
+		t.Fatalf("store unreadable after resume over torn tail: %v", err)
+	}
+	if len(recs) != 3 || !m.Complete {
+		t.Errorf("after resume: %d records, complete=%v; want 3, true", len(recs), m.Complete)
+	}
+
+	// Corruption in the middle is NOT tolerated.
+	data, _ := os.ReadFile(path)
+	lines := strings.SplitAfter(string(data), "\n")
+	os.WriteFile(path, []byte("garbage\n"+strings.Join(lines, "")), 0o644)
+	if _, _, err := ReadDir(dir); err == nil {
+		t.Error("mid-file corruption should error")
+	}
+}
+
+func TestRecordKeyDistinguishesAxes(t *testing.T) {
+	base := testRecord(0)
+	keys := map[string]string{}
+	add := func(name string, r Record) {
+		k := r.Key()
+		if prev, dup := keys[k]; dup {
+			t.Errorf("%s collides with %s: %s", name, prev, k)
+		}
+		keys[k] = name
+	}
+	add("base", base)
+	r := base
+	r.Scheme = "cpvf"
+	add("scheme", r)
+	r = base
+	r.Scenario = "corridor"
+	add("scenario", r)
+	r = base
+	r.N = 60
+	add("n", r)
+	r = base
+	r.Repeat = 9
+	add("repeat", r)
+	r = base
+	r.Seed = 77
+	add("seed", r)
+	r = base
+	r.ConfigFingerprint = "aaaaaaaaaaaaaaaa"
+	add("config", r)
+
+	// Index and metrics are NOT part of the key (same computation).
+	r = base
+	r.Index = 99
+	r.Coverage = 0.99
+	if r.Key() != base.Key() {
+		t.Error("key should ignore index and metrics")
+	}
+}
