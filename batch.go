@@ -182,6 +182,7 @@ func RunBatch(ctx context.Context, cfgs []Config, opts BatchOptions) ([]BatchRes
 			ConfigFingerprint: combinedFingerprint(specs),
 			ShardIndex:        opts.Shard.Index,
 			ShardCount:        opts.Shard.count(),
+			Layouts:           opts.Store.Layouts,
 		}
 	}
 	specs = opts.Shard.filter(specs)
@@ -496,6 +497,7 @@ func (s Sweep) Run(ctx context.Context, opts BatchOptions) (SweepResult, error) 
 	var m istore.Manifest
 	if opts.Store != nil {
 		m = s.manifest(opts.Shard, len(specs))
+		m.Layouts = opts.Store.Layouts
 	}
 	runs, err := runSpecs(ctx, specs, opts, m)
 	return SweepResult{Runs: runs, Aggregates: aggregateRuns(runs)}, err
@@ -507,17 +509,20 @@ type SweepResult struct {
 	Aggregates []Aggregate
 }
 
-// MetricSummary is the mean/CI summary of one metric over a group of runs.
+// MetricSummary is the mean/CI summary of one metric over a group of
+// runs. The JSON form feeds the deployment server's aggregate responses.
 type MetricSummary struct {
 	// N is the number of samples.
-	N int
+	N int `json:"n"`
 	// Mean and StdDev are the sample mean and standard deviation.
-	Mean, StdDev float64
+	Mean   float64 `json:"mean"`
+	StdDev float64 `json:"std_dev"`
 	// CI95 is the half-width of the normal-approximation 95% confidence
 	// interval of the mean.
-	CI95 float64
+	CI95 float64 `json:"ci95"`
 	// Min and Max are the sample range.
-	Min, Max float64
+	Min float64 `json:"min"`
+	Max float64 `json:"max"`
 }
 
 func metricSummary(xs []float64) MetricSummary {
@@ -527,21 +532,23 @@ func metricSummary(xs []float64) MetricSummary {
 
 // Aggregate summarizes all runs of one (scheme, scenario, N) combination.
 type Aggregate struct {
-	Scheme   Scheme
-	Scenario string
-	N        int
+	Scheme   Scheme `json:"scheme"`
+	Scenario string `json:"scenario,omitempty"`
+	N        int    `json:"n"`
 	// Runs and Errors count the successful and failed runs; Skipped counts
 	// runs never executed because the batch was cancelled.
-	Runs, Errors, Skipped int
+	Runs    int `json:"runs"`
+	Errors  int `json:"errors,omitempty"`
+	Skipped int `json:"skipped,omitempty"`
 	// Metric summaries over the successful runs.
-	Coverage        MetricSummary
-	Coverage2       MetricSummary
-	AvgMoveDistance MetricSummary
-	Messages        MetricSummary
-	ConvergenceTime MetricSummary
+	Coverage        MetricSummary `json:"coverage"`
+	Coverage2       MetricSummary `json:"coverage2"`
+	AvgMoveDistance MetricSummary `json:"avg_move_distance"`
+	Messages        MetricSummary `json:"messages"`
+	ConvergenceTime MetricSummary `json:"convergence_time"`
 	// ConnectedFraction is the fraction of successful runs whose final
 	// layout was fully connected.
-	ConnectedFraction float64
+	ConnectedFraction float64 `json:"connected_fraction"`
 }
 
 // aggregateRuns groups runs by (scheme, scenario, N) in first-seen order

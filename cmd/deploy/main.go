@@ -62,6 +62,7 @@ func run() int {
 		showMap   = flag.Bool("map", true, "print an ASCII layout map (single run only)")
 		csvPath   = flag.String("csv", "", "write final positions CSV to this path (single run only)")
 		storeDir  = flag.String("store", "", "stream finished runs to this store directory (-runs > 1)")
+		layouts   = flag.Bool("store-layouts", false, "persist each run's initial and final sensor layouts in its store record (requires -store)")
 		resume    = flag.Bool("resume", false, "continue an interrupted sweep in the -store directory")
 		shardSpec = flag.String("shard", "", "run only shard i of n, as \"i/n\" (requires -store; merge with cmd/report)")
 		maxRuns   = flag.Int("max-runs", 0, "stop dispatching after this many completed runs (0 = all); finished runs stay in the store")
@@ -88,6 +89,10 @@ func run() int {
 	}
 	if shard.Count > 1 && *storeDir == "" {
 		fmt.Fprintln(os.Stderr, "-shard needs -store: a shard's slice of the aggregates is useless unpersisted")
+		return 2
+	}
+	if *layouts && *storeDir == "" {
+		fmt.Fprintln(os.Stderr, "-store-layouts needs -store: layouts persist in store records")
 		return 2
 	}
 
@@ -144,7 +149,7 @@ func run() int {
 		Shard:   shard,
 	}
 	if *storeDir != "" {
-		opts.Store = &mobisense.Store{Dir: *storeDir, Resume: *resume}
+		opts.Store = &mobisense.Store{Dir: *storeDir, Resume: *resume, Layouts: *layouts}
 	}
 	// -max-runs cancels dispatch once enough runs completed — the
 	// deterministic stand-in for Ctrl-C in scripts and CI.

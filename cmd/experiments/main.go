@@ -47,6 +47,7 @@ func run() int {
 		progress  = flag.Bool("progress", false, "print batch progress to stderr")
 		outDir    = flag.String("out", "", "directory for CSV output (omit to skip CSV files)")
 		storeDir  = flag.String("store", "", "stream finished runs to per-figure stores under this directory")
+		layouts   = flag.Bool("store-layouts", false, "persist full sensor layouts in store records (makes fig11 resumable and shardable; requires -store)")
 		resume    = flag.Bool("resume", false, "continue interrupted stores under -store")
 		shardSpec = flag.String("shard", "", "execute only shard i of n, as \"i/n\" (requires -store; merge with cmd/report)")
 	)
@@ -93,6 +94,10 @@ func run() int {
 		fmt.Fprintln(os.Stderr, "-resume needs -store: there is nothing to resume from")
 		return 2
 	}
+	if *layouts && *storeDir == "" {
+		fmt.Fprintln(os.Stderr, "-store-layouts needs -store: layouts persist in store records")
+		return 2
+	}
 
 	// Ctrl-C cancels the suite; with -store, every finished run persists
 	// and -resume continues where the interrupt landed.
@@ -100,13 +105,14 @@ func run() int {
 	defer stop()
 
 	opts := experiments.Options{
-		Quick:    *quick,
-		Seed:     *seed,
-		Workers:  *workers,
-		Context:  ctx,
-		StoreDir: *storeDir,
-		Resume:   *resume,
-		Shard:    shard,
+		Quick:        *quick,
+		Seed:         *seed,
+		Workers:      *workers,
+		Context:      ctx,
+		StoreDir:     *storeDir,
+		Resume:       *resume,
+		StoreLayouts: *layouts,
+		Shard:        shard,
 	}
 	if *progress {
 		opts.OnProgress = func(done, total int) {
@@ -139,8 +145,8 @@ func run() int {
 			return 1
 		}
 		if shard.Count > 1 {
-			if !experiments.Shardable(name) {
-				fmt.Printf("(%s needs every run's full layout and is skipped under -shard; run it unsharded)\n\n", name)
+			if !experiments.Shardable(name, *layouts) {
+				fmt.Printf("(%s needs every run's full layout and is skipped under -shard; run it unsharded or with -store-layouts)\n\n", name)
 			} else {
 				fmt.Printf("(shard %d/%d stored under %s; merge shard stores with cmd/report)\n\n",
 					shard.Index, shard.Count, filepath.Join(*storeDir, name))

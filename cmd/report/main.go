@@ -9,6 +9,13 @@
 //	report shard0/ shard1/ shard2/ shard3/
 //	report -csv aggregates.csv shard0/ shard1/
 //	report -runs sweep/             # per-run records instead of aggregates
+//	report -watch sweep/            # live-refresh while another process writes
+//
+// With -watch, the stores are re-read every -interval and the aggregate
+// table redrawn with a progress/ETA line (the ETA is extrapolated from
+// the run-completion rate observed between polls). Watching exits once
+// every store is complete, so it doubles as a wait-for-completion in
+// scripts.
 //
 // Records are deduplicated by run key across directories, sorted into the
 // unsharded sweep order, and aggregated exactly as a live Sweep.Run would:
@@ -22,6 +29,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"mobisense"
 )
@@ -34,6 +42,8 @@ func run() int {
 	var (
 		csvPath  = flag.String("csv", "", "write the aggregate table as CSV to this path")
 		showRuns = flag.Bool("runs", false, "print one line per stored run instead of aggregates only")
+		watch    = flag.Bool("watch", false, "poll the store directories and live-refresh the table until they complete")
+		interval = flag.Duration("interval", 2*time.Second, "poll interval for -watch")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), "usage: report [flags] store-dir [store-dir ...]\n")
@@ -44,6 +54,10 @@ func run() int {
 	if len(dirs) == 0 {
 		flag.Usage()
 		return 2
+	}
+
+	if *watch {
+		return watchStores(dirs, *interval, *showRuns)
 	}
 
 	data, err := mobisense.LoadStores(dirs...)
@@ -67,18 +81,7 @@ func run() int {
 	fmt.Printf("merged: %d runs, %d aggregate group(s)\n\n", len(data.Runs), len(data.Aggregates))
 
 	if *showRuns {
-		for _, br := range data.Runs {
-			sp := br.Spec
-			if br.Err != nil {
-				fmt.Printf("%5d  %-8s %-16s N=%-4d r%-3d FAILED: %v\n",
-					sp.Index, sp.Scheme, scenarioLabel(sp.Scenario), sp.N, sp.Repeat, br.Err)
-				continue
-			}
-			fmt.Printf("%5d  %-8s %-16s N=%-4d r%-3d cov=%.3f dist=%.1f connected=%v\n",
-				sp.Index, sp.Scheme, scenarioLabel(sp.Scenario), sp.N, sp.Repeat,
-				br.Result.Coverage, br.Result.AvgMoveDistance, br.Result.Connected)
-		}
-		fmt.Println()
+		printRuns(data.Runs)
 	}
 
 	printAggregateTable(data.Aggregates)
@@ -93,11 +96,111 @@ func run() int {
 	return 0
 }
 
+// watchStores polls store directories another process is writing and
+// live-refreshes the aggregate table with a progress/ETA line, using the
+// same progress-snapshot helper the deployment server's SSE stream uses.
+// It returns once every store is complete.
+func watchStores(dirs []string, interval time.Duration, showRuns bool) int {
+	if interval <= 0 {
+		interval = 2 * time.Second
+	}
+	prevDone := -1
+	prevTime := time.Now()
+	for {
+		done, total := 0, 0
+		complete := true
+		statusLines := make([]string, 0, len(dirs))
+		// One LoadStores pass per poll supplies the per-store counts, the
+		// runs and the aggregates together (parsing the records once).
+		data, loadErr := mobisense.LoadStores(dirs...)
+		if loadErr == nil {
+			for _, st := range data.Stores {
+				done += st.Records
+				total += st.TotalRuns
+				if !st.Complete && st.Records < st.TotalRuns {
+					complete = false
+				}
+				statusLines = append(statusLines, fmt.Sprintf("%s: %d/%d runs, compute time %s",
+					st.Dir, st.Records, st.TotalRuns, st.Elapsed.Round(1e6)))
+			}
+		} else {
+			// Stores still appearing (or torn mid-write): fall back to the
+			// cheap per-directory progress probe until they merge cleanly.
+			complete = false
+			for _, dir := range dirs {
+				ps, err := mobisense.ReadStoreProgress(dir)
+				if err != nil {
+					statusLines = append(statusLines, fmt.Sprintf("%s: waiting for store...", dir))
+					continue
+				}
+				done += ps.Done
+				total += ps.Total
+				statusLines = append(statusLines, fmt.Sprintf("%s: %d/%d runs, compute time %s",
+					dir, ps.Done, ps.Total, ps.Elapsed.Round(1e6)))
+			}
+		}
+
+		// The ETA extrapolates from the record-count delta between polls —
+		// the writer's actual wall-clock rate, whatever its worker count.
+		rate := 0
+		elapsed := time.Since(prevTime)
+		if prevDone >= 0 && done > prevDone {
+			rate = done - prevDone
+		}
+		snap := mobisense.SnapshotProgress(done, total, rate, elapsed)
+		prevDone, prevTime = done, time.Now()
+
+		// Redraw from the top of the terminal.
+		fmt.Print("\033[H\033[2J")
+		for _, line := range statusLines {
+			fmt.Println(line)
+		}
+		switch {
+		case complete:
+			fmt.Printf("total: %d/%d runs, complete\n\n", done, total)
+		case snap.ETA > 0:
+			fmt.Printf("total: %d/%d runs, ETA %s\n\n", done, total, snap.ETA.Round(time.Second))
+		default:
+			fmt.Printf("total: %d/%d runs\n\n", done, total)
+		}
+
+		if loadErr != nil {
+			// Mid-write inconsistencies resolve on the next poll.
+			fmt.Printf("(stores not mergeable yet: %v)\n", loadErr)
+		} else {
+			if showRuns {
+				printRuns(data.Runs)
+			}
+			printAggregateTable(data.Aggregates)
+		}
+		if complete && loadErr == nil {
+			return 0
+		}
+		time.Sleep(interval)
+	}
+}
+
 func scenarioLabel(s string) string {
 	if s == "" {
 		return "(custom field)"
 	}
 	return s
+}
+
+// printRuns prints one line per stored run.
+func printRuns(runs []mobisense.BatchResult) {
+	for _, br := range runs {
+		sp := br.Spec
+		if br.Err != nil {
+			fmt.Printf("%5d  %-8s %-16s N=%-4d r%-3d FAILED: %v\n",
+				sp.Index, sp.Scheme, scenarioLabel(sp.Scenario), sp.N, sp.Repeat, br.Err)
+			continue
+		}
+		fmt.Printf("%5d  %-8s %-16s N=%-4d r%-3d cov=%.3f dist=%.1f connected=%v\n",
+			sp.Index, sp.Scheme, scenarioLabel(sp.Scenario), sp.N, sp.Repeat,
+			br.Result.Coverage, br.Result.AvgMoveDistance, br.Result.Connected)
+	}
+	fmt.Println()
 }
 
 // printAggregateTable renders the aggregates as an aligned text table.

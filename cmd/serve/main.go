@@ -1,0 +1,85 @@
+// Command serve runs the deployment service: an HTTP API that accepts
+// single deployments and full sweeps as asynchronous jobs, executes them
+// on the batch runner's worker pool, streams per-run progress over SSE,
+// caches results by config fingerprint, and persists every job through
+// the sweep store so a restarted server resumes interrupted sweeps
+// without re-running finished work.
+//
+// Usage:
+//
+//	serve -addr :8080 -data serve-data
+//
+// API (see the README's Serving section for curl examples):
+//
+//	POST   /v1/runs               submit one deployment
+//	POST   /v1/sweeps             submit a sweep
+//	GET    /v1/jobs               list jobs
+//	GET    /v1/jobs/{id}          status, progress, aggregates
+//	DELETE /v1/jobs/{id}          cancel (finished runs stay on disk)
+//	GET    /v1/jobs/{id}/events   SSE progress stream
+//	GET    /v1/jobs/{id}/records  stored records (JSONL, ?format=csv)
+//	GET    /v1/schemes            scheme registry
+//	GET    /v1/scenarios          scenario registry
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"time"
+
+	"mobisense"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		dataDir = flag.String("data", "serve-data", "server data directory (jobs, stores, cache source)")
+		workers = flag.Int("workers", 0, "batch worker-pool size per job (0 = GOMAXPROCS)")
+		jobs    = flag.Int("jobs", 1, "number of jobs executing concurrently")
+	)
+	flag.Parse()
+
+	svc, err := mobisense.NewService(*dataDir, mobisense.ServiceOptions{
+		Workers: *workers,
+		Jobs:    *jobs,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+
+	hs := &http.Server{Addr: *addr, Handler: svc.Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "serving deployment API on %s (data in %s)\n", *addr, *dataDir)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	select {
+	case <-ctx.Done():
+		// Graceful shutdown: stop accepting requests, then cancel running
+		// jobs — their finished runs persist and resume on the next start.
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		hs.Shutdown(shutdownCtx)
+		svc.Close()
+		fmt.Fprintln(os.Stderr, "shut down; interrupted jobs resume on the next start")
+		return 0
+	case err := <-errCh:
+		svc.Close()
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		return 0
+	}
+}

@@ -65,8 +65,9 @@ type World struct {
 	Msg     *MsgStats
 	Tree    *Tree
 
-	idx      *spatial.Index
-	lastMove float64
+	idx        *spatial.Index
+	lastMove   float64
+	nbrScratch []int // Neighbors result buffer, reused across calls
 }
 
 // NewWorld builds a world with sensors placed uniformly at random in
@@ -95,6 +96,18 @@ func NewWorld(f *field.Field, p Params) (*World, error) {
 		w.idx.Insert(i, pos)
 	}
 	return w, nil
+}
+
+// Release returns the world's pooled internals — the event engine's heap
+// and the spatial index — for reuse by future runs, cutting GC pressure
+// in large batch sweeps (one world is built per run). The caller must be
+// done with the world, its engine and its schemes: no field of the world
+// may be touched after Release.
+func (w *World) Release() {
+	w.E.Release()
+	w.idx.Release()
+	w.E = nil
+	w.idx = nil
 }
 
 // Now returns the current simulation time.
@@ -178,13 +191,16 @@ func (w *World) ForNeighbors(id int, r float64, fn func(j int, pos geom.Vec)) {
 }
 
 // Neighbors returns the IDs of sensors within radius r of sensor id at the
-// current time, in ascending order.
+// current time, in ascending order. The returned slice is scratch reused
+// by the next Neighbors call on this world (callers never retain it past
+// their period handler; this is a per-sensor-per-period hot path).
 func (w *World) Neighbors(id int, r float64) []int {
-	var out []int
+	out := w.nbrScratch[:0]
 	w.ForNeighbors(id, r, func(j int, _ geom.Vec) { out = append(out, j) })
 	// ForNeighbors iterates in grid order; sort for determinism across
 	// index states.
 	slices.Sort(out)
+	w.nbrScratch = out
 	return out
 }
 

@@ -71,6 +71,10 @@ type Options struct {
 	StoreDir string
 	// Resume continues existing stores under StoreDir.
 	Resume bool
+	// StoreLayouts persists every run's initial and final layouts in its
+	// store record, making layout-dependent experiments (fig11's
+	// Hungarian lower bounds) replayable from disk.
+	StoreLayouts bool
 	// Shard restricts every experiment to a deterministic subset of its
 	// runs for cross-machine sharding.
 	Shard mobisense.Shard
@@ -95,7 +99,11 @@ func (o Options) ctx() context.Context {
 func (o Options) batch(name string) mobisense.BatchOptions {
 	opts := mobisense.BatchOptions{Workers: o.Workers, OnProgress: o.OnProgress, Shard: o.Shard}
 	if o.StoreDir != "" {
-		opts.Store = &mobisense.Store{Dir: filepath.Join(o.StoreDir, name), Resume: o.Resume}
+		opts.Store = &mobisense.Store{
+			Dir:     filepath.Join(o.StoreDir, name),
+			Resume:  o.Resume,
+			Layouts: o.StoreLayouts,
+		}
 	}
 	return opts
 }
@@ -109,10 +117,12 @@ func Interrupted(v any) bool {
 }
 
 // Shardable reports whether the named experiment participates in sharded
-// store runs. Fig11 does not: its Hungarian lower bounds need every run's
-// full initial and final layout in one process, which store records do
-// not carry, so under sharding it is skipped rather than half-run.
-func Shardable(name string) bool { return name != "fig11" }
+// store runs. Fig11 normally does not: its Hungarian lower bounds need
+// every run's full initial and final layout, which plain store records do
+// not carry, so it is skipped rather than half-run. With layout
+// persistence on (Options.StoreLayouts) the records do carry full
+// layouts, and fig11 shards like everything else.
+func Shardable(name string, layouts bool) bool { return name != "fig11" || layouts }
 
 // scenarioField builds the named scenario's field once; configs sharing
 // the returned handle also share one cached coverage estimator per batch.
@@ -341,16 +351,20 @@ func Fig11(o Options) []Row {
 		return cfg
 	}
 	// Fig11's Hungarian lower bounds need the runs' full initial and final
-	// layouts, which store records do not persist — so this experiment
-	// always executes live instead of replaying from a store, and is
-	// skipped outright under sharding (Shardable) rather than burning a
-	// shard's worth of runs it could never report on.
-	if o.Shard.Count > 1 {
+	// layouts. Plain store records do not persist them, so without layout
+	// persistence this experiment executes live instead of replaying from
+	// a store, and is skipped outright under sharding (Shardable) rather
+	// than burning a shard's worth of runs it could never report on. With
+	// Options.StoreLayouts the records carry full layouts: fig11 then
+	// persists, resumes and shards like every other experiment.
+	if o.Shard.Count > 1 && !o.StoreLayouts {
 		return nil
 	}
-	oLive := o
-	oLive.StoreDir = ""
-	results := runAll(oLive, "fig11", []mobisense.Config{
+	oRun := o
+	if !o.StoreLayouts {
+		oRun.StoreDir = ""
+	}
+	results := runAll(oRun, "fig11", []mobisense.Config{
 		mkCfg(mobisense.SchemeCPVF),
 		mkCfg(mobisense.SchemeFLOOR),
 		mkCfg(mobisense.SchemeVOR),

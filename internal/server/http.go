@@ -1,0 +1,215 @@
+package server
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"mobisense/internal/store"
+)
+
+// maxRequestBytes bounds submitted request bodies.
+const maxRequestBytes = 1 << 20
+
+// NewHandler exposes the manager over HTTP:
+//
+//	POST   /v1/runs             submit a single deployment
+//	POST   /v1/sweeps           submit a sweep
+//	GET    /v1/jobs             list jobs
+//	GET    /v1/jobs/{id}        job status, progress and (when done) aggregates
+//	DELETE /v1/jobs/{id}        cancel (finished runs stay on disk)
+//	GET    /v1/jobs/{id}/events SSE progress stream
+//	GET    /v1/jobs/{id}/records  stored per-run records (JSONL, ?format=csv)
+//	GET    /v1/schemes          scheme registry introspection
+//	GET    /v1/scenarios        scenario registry introspection
+func NewHandler(m *Manager) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/runs", func(w http.ResponseWriter, r *http.Request) {
+		submit(m, w, r, "run")
+	})
+	mux.HandleFunc("POST /v1/sweeps", func(w http.ResponseWriter, r *http.Request) {
+		submit(m, w, r, "sweep")
+	})
+	mux.HandleFunc("GET /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"jobs": m.List()})
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		v, ok := m.Get(r.PathValue("id"))
+		if !ok {
+			writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+			return
+		}
+		writeJSON(w, http.StatusOK, v)
+	})
+	mux.HandleFunc("DELETE /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		v, ok := m.Cancel(r.PathValue("id"))
+		if !ok {
+			writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+			return
+		}
+		writeJSON(w, http.StatusOK, v)
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}/events", func(w http.ResponseWriter, r *http.Request) {
+		serveEvents(m, w, r)
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}/records", func(w http.ResponseWriter, r *http.Request) {
+		serveRecords(m, w, r)
+	})
+	mux.HandleFunc("GET /v1/schemes", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"schemes": m.Engine().Schemes()})
+	})
+	mux.HandleFunc("GET /v1/scenarios", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"scenarios": m.Engine().Scenarios()})
+	})
+	return mux
+}
+
+// submit handles POST /v1/runs and /v1/sweeps. A cache hit answers 200
+// with the finished job; a queued job answers 202.
+func submit(m *Manager, w http.ResponseWriter, r *http.Request, kind string) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxRequestBytes+1))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "read request: %v", err)
+		return
+	}
+	if len(body) > maxRequestBytes {
+		writeError(w, http.StatusRequestEntityTooLarge, "request over %d bytes", maxRequestBytes)
+		return
+	}
+	v, err := m.Submit(kind, body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	status := http.StatusAccepted
+	if v.State.Terminal() {
+		status = http.StatusOK
+	}
+	writeJSON(w, status, v)
+}
+
+// serveEvents streams a job's lifecycle as server-sent events: an initial
+// "state" event, "progress" events as runs finish, and a final terminal
+// "state" event after which the stream ends.
+func serveEvents(m *Manager, w http.ResponseWriter, r *http.Request) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	ch, unsub, ok := m.Subscribe(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	defer unsub()
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+	for {
+		select {
+		case ev, open := <-ch:
+			if !open {
+				return
+			}
+			data, err := json.Marshal(ev.Payload)
+			if err != nil {
+				data = []byte(fmt.Sprintf(`{"error":%q}`, err.Error()))
+			}
+			fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Type, data)
+			fl.Flush()
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// serveRecords returns the job's stored per-run records: the raw
+// records.jsonl by default, or a CSV rendering with ?format=csv. Jobs
+// answered from the cache have no store of their own.
+func serveRecords(m *Manager, w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	v, ok := m.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", id)
+		return
+	}
+	if v.CacheHit {
+		writeError(w, http.StatusNotFound, "job %s was answered from the result cache and has no records of its own", id)
+		return
+	}
+	dir := m.StoreDir(id)
+	switch format := r.URL.Query().Get("format"); format {
+	case "", "jsonl":
+		data, err := os.ReadFile(filepath.Join(dir, "records.jsonl"))
+		if err != nil {
+			writeError(w, http.StatusNotFound, "job %s has no records yet", id)
+			return
+		}
+		// A running job's writer may be mid-append; serve only complete
+		// lines so clients never see a torn trailing record.
+		if i := bytes.LastIndexByte(data, '\n'); i < 0 {
+			data = nil
+		} else {
+			data = data[:i+1]
+		}
+		w.Header().Set("Content-Type", "application/jsonl")
+		w.WriteHeader(http.StatusOK)
+		w.Write(data)
+	case "csv":
+		_, recs, err := store.ReadDir(dir)
+		if err != nil {
+			writeError(w, http.StatusNotFound, "job %s has no records yet", id)
+			return
+		}
+		w.Header().Set("Content-Type", "text/csv")
+		w.WriteHeader(http.StatusOK)
+		io.WriteString(w, recordsCSV(recs))
+	default:
+		writeError(w, http.StatusBadRequest, "unknown format %q (want jsonl or csv)", format)
+	}
+}
+
+// recordsCSV renders store records as per-run CSV rows (layouts
+// omitted). encoding/csv handles quoting, so error messages with commas,
+// quotes or newlines stay one row.
+func recordsCSV(recs []store.Record) string {
+	var sb strings.Builder
+	cw := csv.NewWriter(&sb)
+	cw.Write([]string{"index", "scheme", "scenario", "n", "repeat", "seed",
+		"coverage", "coverage2", "alive", "avg_move_distance", "messages",
+		"convergence_time", "connected", "err"})
+	f6 := func(v float64) string { return strconv.FormatFloat(v, 'f', 6, 64) }
+	for _, rec := range recs {
+		cw.Write([]string{
+			strconv.Itoa(rec.Index), rec.Scheme, rec.Scenario,
+			strconv.Itoa(rec.N), strconv.Itoa(rec.Repeat),
+			strconv.FormatUint(rec.Seed, 10),
+			f6(rec.Coverage), f6(rec.Coverage2), strconv.Itoa(rec.Alive),
+			f6(rec.AvgMoveDistance), strconv.FormatInt(rec.Messages, 10),
+			f6(rec.ConvergenceTime), strconv.FormatBool(rec.Connected), rec.Err,
+		})
+	}
+	cw.Flush()
+	return sb.String()
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}

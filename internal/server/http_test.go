@@ -1,0 +1,32 @@
+package server
+
+import (
+	"strings"
+	"testing"
+
+	"mobisense/internal/store"
+)
+
+// TestRecordsCSVEscaping: error messages containing CSV metacharacters
+// (commas, quotes, newlines) must stay one well-formed row.
+func TestRecordsCSVEscaping(t *testing.T) {
+	recs := []store.Record{
+		{Index: 0, Scheme: "floor", Scenario: "free", N: 10, Coverage: 0.5, Connected: true},
+		{Index: 1, Scheme: "vor", Scenario: "two-obstacles", N: 10,
+			Err: "line one,\nline \"two\""},
+	}
+	out := recordsCSV(recs)
+	lines := strings.Split(strings.TrimSuffix(out, "\n"), "\n")
+	// Header + one plain row + the error row, whose embedded newline is
+	// quoted so the record spans exactly one CSV record (two physical
+	// lines inside quotes).
+	if !strings.HasPrefix(lines[0], "index,scheme,scenario") {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.Contains(out, "0,floor,free,10") {
+		t.Errorf("plain row missing:\n%s", out)
+	}
+	if !strings.Contains(out, `"line one,`) || !strings.Contains(out, `line ""two""`) {
+		t.Errorf("error field not CSV-quoted:\n%s", out)
+	}
+}

@@ -1,0 +1,563 @@
+// Package server turns the batch runner into a long-running deployment
+// service: an asynchronous job queue with on-disk persistence, a
+// fingerprint-keyed result cache, per-job cancellation and live progress
+// events, fronted by an HTTP API (see NewHandler).
+//
+// The package is deliberately independent of the root mobisense package
+// (mirroring internal/store): job execution is delegated through the
+// Engine interface, which the root package's service façade implements.
+// Each job owns a directory under <data>/jobs/<id> holding job.json (the
+// request plus its lifecycle state) and, for executed jobs, a sweep store
+// (internal/store) the runner streams finished runs into. Because the
+// store is resumable, a server killed mid-job picks the job up on restart
+// and re-executes only the missing runs.
+package server
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+)
+
+// JobState is a job's lifecycle state. Queued and running jobs are
+// re-queued (and resumed from their store) when the server restarts; the
+// other states are terminal.
+type JobState string
+
+const (
+	StateQueued    JobState = "queued"
+	StateRunning   JobState = "running"
+	StateDone      JobState = "done"
+	StateFailed    JobState = "failed"
+	StateCancelled JobState = "cancelled"
+)
+
+// Terminal reports whether a job in this state will never run again.
+func (s JobState) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// Prepared is the engine's validation result for a submitted request.
+type Prepared struct {
+	// Fingerprint deterministically identifies the computation the request
+	// describes; two requests share one exactly when their results are
+	// interchangeable. It keys the result cache and restart identity.
+	Fingerprint string
+	// TotalRuns is the number of runs the request expands to.
+	TotalRuns int
+}
+
+// Progress is one progress observation of a running job, computed by the
+// engine (which owns rate/ETA estimation) and broadcast to subscribers.
+type Progress struct {
+	Done      int   `json:"done"`
+	Total     int   `json:"total"`
+	ElapsedMS int64 `json:"elapsed_ms"`
+	EtaMS     int64 `json:"eta_ms,omitempty"`
+}
+
+// ExecJob is one job execution handed to the engine.
+type ExecJob struct {
+	Kind    string
+	Request json.RawMessage
+	// StoreDir is the job-owned sweep store directory; Resume is set when
+	// the directory may already hold records from an interrupted session.
+	StoreDir string
+	Resume   bool
+	// OnProgress observes run completions (calls are serialized).
+	OnProgress func(Progress)
+}
+
+// Engine executes submitted jobs; the mobisense service façade implements
+// it on top of RunBatch / Sweep.Run.
+type Engine interface {
+	// Prepare validates a request of the given kind ("run" or "sweep")
+	// and returns its fingerprint and run count.
+	Prepare(kind string, req json.RawMessage) (Prepared, error)
+	// Execute runs the job to completion (or ctx cancellation), streaming
+	// finished runs into job.StoreDir, and returns the JSON result
+	// summary. A ctx cancellation must surface as ctx.Err().
+	Execute(ctx context.Context, job ExecJob) (json.RawMessage, error)
+	// Schemes and Scenarios describe the registries for the introspection
+	// endpoints; the returned values must be JSON-encodable.
+	Schemes() any
+	Scenarios() any
+}
+
+// Event is one server-sent update about a job.
+type Event struct {
+	// Type is "state" (payload JobView) or "progress" (payload Progress).
+	Type string
+	// Payload is JSON-encodable.
+	Payload any
+}
+
+// JobView is the externally visible snapshot of a job, returned by the
+// status endpoints and embedded in state events.
+type JobView struct {
+	ID          string          `json:"id"`
+	Kind        string          `json:"kind"`
+	State       JobState        `json:"state"`
+	Fingerprint string          `json:"fingerprint"`
+	CacheHit    bool            `json:"cache_hit,omitempty"`
+	Created     time.Time       `json:"created"`
+	Request     json.RawMessage `json:"request"`
+	Progress    *Progress       `json:"progress,omitempty"`
+	Error       string          `json:"error,omitempty"`
+	// Result is the job's JSON result summary (aggregates), present once
+	// the job is done.
+	Result json.RawMessage `json:"result,omitempty"`
+}
+
+// jobFile is the persisted section of a job (jobs/<id>/job.json).
+type jobFile struct {
+	ID          string          `json:"id"`
+	Kind        string          `json:"kind"`
+	State       JobState        `json:"state"`
+	Fingerprint string          `json:"fingerprint"`
+	TotalRuns   int             `json:"total_runs"`
+	CacheHit    bool            `json:"cache_hit,omitempty"`
+	Created     time.Time       `json:"created"`
+	Request     json.RawMessage `json:"request"`
+	Error       string          `json:"error,omitempty"`
+	Result      json.RawMessage `json:"result,omitempty"`
+}
+
+// job is the in-memory state of one job. All mutable fields are guarded
+// by the manager's mutex.
+type job struct {
+	meta            jobFile
+	progress        *Progress
+	cancelRun       context.CancelFunc // non-nil while running
+	cancelRequested bool
+	subs            []chan Event
+}
+
+func (j *job) view() JobView {
+	v := JobView{
+		ID:          j.meta.ID,
+		Kind:        j.meta.Kind,
+		State:       j.meta.State,
+		Fingerprint: j.meta.Fingerprint,
+		CacheHit:    j.meta.CacheHit,
+		Created:     j.meta.Created,
+		Request:     j.meta.Request,
+		Error:       j.meta.Error,
+		Result:      j.meta.Result,
+	}
+	if j.progress != nil {
+		p := *j.progress
+		v.Progress = &p
+	} else if j.meta.TotalRuns > 0 {
+		v.Progress = &Progress{Total: j.meta.TotalRuns}
+		if j.meta.State == StateDone {
+			v.Progress.Done = j.meta.TotalRuns
+		}
+	}
+	return v
+}
+
+// Manager owns the job queue: submission, persistence, the result cache,
+// execution workers and event fan-out.
+type Manager struct {
+	dir    string
+	engine Engine
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	wake   *sync.Cond
+	wg     sync.WaitGroup
+
+	mu     sync.Mutex
+	jobs   map[string]*job
+	order  []string // submission order (restart: created order)
+	queue  []string // pending job IDs, FIFO
+	cache  map[string]json.RawMessage
+	closed bool
+}
+
+// NewManager opens (or creates) the server data directory, reloads every
+// persisted job — terminal jobs populate the result cache, interrupted
+// ones re-queue with store resume — and starts `workers` job executors
+// (each job saturates the batch runner's own worker pool, so 1 is the
+// sensible default).
+func NewManager(dir string, engine Engine, workers int) (*Manager, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("server: no data directory")
+	}
+	if err := os.MkdirAll(filepath.Join(dir, "jobs"), 0o755); err != nil {
+		return nil, fmt.Errorf("server: %w", err)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	m := &Manager{
+		dir:    dir,
+		engine: engine,
+		ctx:    ctx,
+		cancel: cancel,
+		jobs:   map[string]*job{},
+		cache:  map[string]json.RawMessage{},
+	}
+	m.wake = sync.NewCond(&m.mu)
+	if err := m.scan(); err != nil {
+		cancel()
+		return nil, err
+	}
+	for i := 0; i < workers; i++ {
+		m.wg.Add(1)
+		go m.worker()
+	}
+	return m, nil
+}
+
+// scan reloads persisted jobs from the data directory.
+func (m *Manager) scan() error {
+	entries, err := os.ReadDir(filepath.Join(m.dir, "jobs"))
+	if err != nil {
+		return fmt.Errorf("server: %w", err)
+	}
+	var loaded []*job
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		path := filepath.Join(m.dir, "jobs", e.Name(), "job.json")
+		data, err := os.ReadFile(path)
+		if err != nil {
+			if os.IsNotExist(err) {
+				continue // half-created job dir; ignore
+			}
+			return fmt.Errorf("server: %w", err)
+		}
+		var meta jobFile
+		if err := json.Unmarshal(data, &meta); err != nil {
+			return fmt.Errorf("server: %s: %w", path, err)
+		}
+		if meta.ID != e.Name() {
+			return fmt.Errorf("server: %s names job %q", path, meta.ID)
+		}
+		loaded = append(loaded, &job{meta: meta})
+	}
+	sort.Slice(loaded, func(i, j int) bool {
+		a, b := loaded[i].meta, loaded[j].meta
+		if !a.Created.Equal(b.Created) {
+			return a.Created.Before(b.Created)
+		}
+		return a.ID < b.ID
+	})
+	for _, j := range loaded {
+		m.jobs[j.meta.ID] = j
+		m.order = append(m.order, j.meta.ID)
+		switch {
+		case j.meta.State == StateDone && !j.meta.CacheHit && len(j.meta.Result) > 0:
+			m.cache[j.meta.Fingerprint] = j.meta.Result
+		case !j.meta.State.Terminal():
+			// Interrupted mid-flight (crash or shutdown): re-queue; the
+			// job's store resumes, so only missing runs execute.
+			j.meta.State = StateQueued
+			m.queue = append(m.queue, j.meta.ID)
+		}
+	}
+	return nil
+}
+
+// Close stops accepting jobs, cancels the running ones (their finished
+// runs persist; they re-queue on the next start) and waits for the
+// workers to exit.
+func (m *Manager) Close() {
+	m.mu.Lock()
+	m.closed = true
+	m.mu.Unlock()
+	m.cancel()
+	m.wake.Broadcast()
+	m.wg.Wait()
+}
+
+// Dir returns the server data directory.
+func (m *Manager) Dir() string { return m.dir }
+
+// Engine returns the execution engine (for the introspection endpoints).
+func (m *Manager) Engine() Engine { return m.engine }
+
+// StoreDir returns the job's sweep-store directory (which may not exist
+// yet, or ever, for cache-hit jobs).
+func (m *Manager) StoreDir(id string) string {
+	return filepath.Join(m.dir, "jobs", id, "store")
+}
+
+func newJobID() string {
+	var b [6]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(fmt.Sprintf("server: job id entropy: %v", err))
+	}
+	return "j" + hex.EncodeToString(b[:])
+}
+
+// Submit validates a request, answers it from the result cache when an
+// identical computation already completed, and otherwise persists and
+// enqueues a new job.
+func (m *Manager) Submit(kind string, req json.RawMessage) (JobView, error) {
+	prep, err := m.engine.Prepare(kind, req)
+	if err != nil {
+		return JobView{}, err
+	}
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return JobView{}, fmt.Errorf("server: shutting down")
+	}
+	id := newJobID()
+	for m.jobs[id] != nil {
+		id = newJobID()
+	}
+	j := &job{meta: jobFile{
+		ID:          id,
+		Kind:        kind,
+		State:       StateQueued,
+		Fingerprint: prep.Fingerprint,
+		TotalRuns:   prep.TotalRuns,
+		Created:     time.Now().UTC(),
+		Request:     req,
+	}}
+	if result, hit := m.cache[prep.Fingerprint]; hit {
+		// An identical computation already completed: answer O(1) from
+		// the cache, no store, no execution.
+		j.meta.State = StateDone
+		j.meta.CacheHit = true
+		j.meta.Result = result
+	}
+	if err := m.persistLocked(j); err != nil {
+		return JobView{}, err
+	}
+	m.jobs[id] = j
+	m.order = append(m.order, id)
+	if !j.meta.State.Terminal() {
+		m.queue = append(m.queue, id)
+		m.wake.Signal()
+	}
+	return j.view(), nil
+}
+
+// Get returns a job's current view.
+func (m *Manager) Get(id string) (JobView, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return JobView{}, false
+	}
+	return j.view(), true
+}
+
+// List returns every job in submission order.
+func (m *Manager) List() []JobView {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]JobView, 0, len(m.order))
+	for _, id := range m.order {
+		out = append(out, m.jobs[id].view())
+	}
+	return out
+}
+
+// Cancel stops a queued or running job. Finished runs stay in the job's
+// store; cancelling an already-terminal job is a no-op.
+func (m *Manager) Cancel(id string) (JobView, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return JobView{}, false
+	}
+	switch j.meta.State {
+	case StateQueued:
+		j.cancelRequested = true
+		j.meta.State = StateCancelled
+		m.persistLocked(j) // best effort; state change survives either way
+		m.broadcastLocked(j, Event{Type: "state", Payload: j.view()})
+		m.closeSubsLocked(j)
+	case StateRunning:
+		j.cancelRequested = true
+		if j.cancelRun != nil {
+			j.cancelRun()
+		}
+		// The worker observes the cancellation, finishes in-flight runs
+		// (they reach the store) and marks the job cancelled.
+	}
+	return j.view(), true
+}
+
+// Subscribe returns a channel of events for a job plus an unsubscribe
+// function. The current state (and latest progress) is delivered first;
+// the channel closes after a terminal state event.
+func (m *Manager) Subscribe(id string) (<-chan Event, func(), bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return nil, nil, false
+	}
+	ch := make(chan Event, 64)
+	ch <- Event{Type: "state", Payload: j.view()}
+	if j.progress != nil {
+		ch <- Event{Type: "progress", Payload: *j.progress}
+	}
+	if j.meta.State.Terminal() {
+		close(ch)
+		return ch, func() {}, true
+	}
+	j.subs = append(j.subs, ch)
+	unsub := func() {
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		for i, s := range j.subs {
+			if s == ch {
+				j.subs = append(j.subs[:i], j.subs[i+1:]...)
+				return
+			}
+		}
+	}
+	return ch, unsub, true
+}
+
+// worker executes queued jobs until the manager closes.
+func (m *Manager) worker() {
+	defer m.wg.Done()
+	for {
+		m.mu.Lock()
+		for len(m.queue) == 0 && !m.closed {
+			m.wake.Wait()
+		}
+		if m.closed {
+			m.mu.Unlock()
+			return
+		}
+		id := m.queue[0]
+		m.queue = m.queue[1:]
+		j := m.jobs[id]
+		if j.meta.State != StateQueued || j.cancelRequested {
+			m.mu.Unlock()
+			continue
+		}
+		ctx, cancel := context.WithCancel(m.ctx)
+		j.cancelRun = cancel
+		j.meta.State = StateRunning
+		m.persistLocked(j)
+		m.broadcastLocked(j, Event{Type: "state", Payload: j.view()})
+		storeDir := m.StoreDir(id)
+		// Resume whenever the store already exists (prior interrupted
+		// session); the Store layer treats a fresh directory as a new
+		// store either way.
+		_, statErr := os.Stat(storeDir)
+		exec := ExecJob{
+			Kind:     j.meta.Kind,
+			Request:  j.meta.Request,
+			StoreDir: storeDir,
+			Resume:   statErr == nil,
+			OnProgress: func(p Progress) {
+				m.mu.Lock()
+				j.progress = &p
+				m.broadcastLocked(j, Event{Type: "progress", Payload: p})
+				m.mu.Unlock()
+			},
+		}
+		m.mu.Unlock()
+
+		result, err := m.engine.Execute(ctx, exec)
+		cancel()
+
+		m.mu.Lock()
+		j.cancelRun = nil
+		switch {
+		case err == nil:
+			j.meta.State = StateDone
+			j.meta.Result = result
+			m.cache[j.meta.Fingerprint] = result
+		case j.cancelRequested:
+			j.meta.State = StateCancelled
+			j.meta.Error = "cancelled"
+		case ctx.Err() != nil && m.ctx.Err() != nil:
+			// Server shutdown, not a job failure: back to queued so the
+			// next start resumes it from the store.
+			j.meta.State = StateQueued
+		default:
+			j.meta.State = StateFailed
+			j.meta.Error = err.Error()
+		}
+		m.persistLocked(j)
+		m.broadcastLocked(j, Event{Type: "state", Payload: j.view()})
+		if j.meta.State.Terminal() {
+			m.closeSubsLocked(j)
+		}
+		m.mu.Unlock()
+	}
+}
+
+// persistLocked writes the job's metadata atomically (write + rename).
+func (m *Manager) persistLocked(j *job) error {
+	dir := filepath.Join(m.dir, "jobs", j.meta.ID)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("server: %w", err)
+	}
+	data, err := json.MarshalIndent(j.meta, "", "  ")
+	if err != nil {
+		return fmt.Errorf("server: encode job: %w", err)
+	}
+	data = append(data, '\n')
+	tmp := filepath.Join(dir, "job.json.tmp")
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("server: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, "job.json")); err != nil {
+		return fmt.Errorf("server: %w", err)
+	}
+	return nil
+}
+
+// broadcastLocked fans an event out to the job's subscribers. Progress
+// events may be dropped for a slow subscriber (the next one supersedes
+// them); the oldest buffered event is evicted for state events so
+// terminal notifications always arrive.
+func (m *Manager) broadcastLocked(j *job, ev Event) {
+	for _, ch := range j.subs {
+		deliver(ch, ev)
+	}
+}
+
+// deliver sends ev without ever blocking: progress events are dropped
+// when the subscriber's buffer is full, state events evict the oldest
+// buffered event until they fit.
+func deliver(ch chan Event, ev Event) {
+	for {
+		select {
+		case ch <- ev:
+			return
+		default:
+		}
+		if ev.Type == "progress" {
+			return // drop; a newer snapshot will follow
+		}
+		select { // evict oldest to make room for the state event
+		case <-ch:
+		default:
+		}
+	}
+}
+
+// closeSubsLocked ends every subscription after a terminal event.
+func (m *Manager) closeSubsLocked(j *job) {
+	for _, ch := range j.subs {
+		close(ch)
+	}
+	j.subs = nil
+}

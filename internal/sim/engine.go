@@ -5,8 +5,8 @@
 package sim
 
 import (
-	"container/heap"
 	"math/rand/v2"
+	"sync"
 )
 
 // Engine is a discrete-event scheduler. Time is in seconds. Events
@@ -19,11 +19,34 @@ type Engine struct {
 	rng    *rand.Rand
 }
 
+// heapPool recycles event-heap backing arrays across engines: batch
+// sweeps build one engine per run, and regrowing the heap to thousands
+// of events every run is pure GC pressure.
+var heapPool sync.Pool
+
 // NewEngine creates an engine whose random source is seeded with seed.
+// The event heap reuses a pooled backing array when one is available
+// (see Release); heap capacity never influences event ordering, so
+// pooled engines stay byte-for-byte deterministic.
 func NewEngine(seed uint64) *Engine {
-	return &Engine{
+	e := &Engine{
 		rng: rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15)),
 	}
+	if v := heapPool.Get(); v != nil {
+		e.events = (*v.(*eventHeap))[:0]
+	}
+	return e
+}
+
+// Release returns the engine's event-heap backing array to the shared
+// pool for future engines. Pending events are dropped and their closures
+// released. The engine must not be used after Release.
+func (e *Engine) Release() {
+	h := e.events[:cap(e.events)]
+	clear(h) // drop closure references so pooled arrays retain nothing
+	h = h[:0]
+	e.events = nil
+	heapPool.Put(&h)
 }
 
 // Now returns the current simulation time in seconds.
@@ -49,7 +72,7 @@ func (e *Engine) ScheduleAt(t float64, fn func()) {
 		t = e.now
 	}
 	e.seq++
-	heap.Push(&e.events, event{time: t, seq: e.seq, fn: fn})
+	e.events.push(event{time: t, seq: e.seq, fn: fn})
 }
 
 // Step executes the earliest pending event. It returns false when the queue
@@ -58,7 +81,7 @@ func (e *Engine) Step() bool {
 	if len(e.events) == 0 {
 		return false
 	}
-	ev := heap.Pop(&e.events).(event)
+	ev := e.events.pop()
 	e.now = ev.time
 	ev.fn()
 	return true
@@ -84,25 +107,59 @@ type event struct {
 	fn   func()
 }
 
+// eventHeap is a hand-rolled binary min-heap over (time, seq). The
+// container/heap interface would box every pushed and popped event in an
+// interface value — one allocation per event, on a path that fires once
+// per sensor per period — so the sift operations are implemented
+// directly. The (time, seq) order is a strict total order, hence the pop
+// sequence is unique and independent of the heap's internal layout.
 type eventHeap []event
 
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
+func (h eventHeap) less(i, j int) bool {
 	if h[i].time != h[j].time {
 		return h[i].time < h[j].time
 	}
 	return h[i].seq < h[j].seq
 }
 
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) push(ev event) {
+	*h = append(*h, ev)
+	s := *h
+	// Sift up.
+	for i := len(s) - 1; i > 0; {
+		parent := (i - 1) / 2
+		if !s.less(i, parent) {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
+	}
+}
 
-func (h *eventHeap) Push(x any) { *h = append(*h, x.(event)) }
-
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	*h = old[:n-1]
+func (h *eventHeap) pop() event {
+	s := *h
+	n := len(s) - 1
+	ev := s[0]
+	s[0] = s[n]
+	s[n] = event{} // release the closure
+	s = s[:n]
+	*h = s
+	// Sift down.
+	i := 0
+	for {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		min := left
+		if right := left + 1; right < n && s.less(right, left) {
+			min = right
+		}
+		if !s.less(min, i) {
+			break
+		}
+		s[i], s[min] = s[min], s[i]
+		i = min
+	}
 	return ev
 }

@@ -7,6 +7,7 @@ package spatial
 import (
 	"math"
 	"slices"
+	"sync"
 
 	"mobisense/internal/geom"
 )
@@ -23,11 +24,24 @@ type Index struct {
 
 type cellKey struct{ x, y int32 }
 
+// indexPool recycles released indexes (their cell map, bucket slices and
+// dense arrays) across runs: the deployment simulator builds one index
+// per run, and sweeps run thousands.
+var indexPool sync.Pool
+
 // New creates an index with the given cell size. Choosing the typical query
-// radius as the cell size keeps each query to a 3×3 cell scan.
+// radius as the cell size keeps each query to a 3×3 cell scan. A pooled
+// index is reused when available (see Release); reuse never changes query
+// results or iteration determinism, because every pooled bucket is
+// emptied first.
 func New(cellSize float64, capacityHint int) *Index {
 	if cellSize <= 0 {
 		cellSize = 1
+	}
+	if v := indexPool.Get(); v != nil {
+		ix := v.(*Index)
+		ix.reset(cellSize)
+		return ix
 	}
 	return &Index{
 		cellSize: cellSize,
@@ -35,6 +49,24 @@ func New(cellSize float64, capacityHint int) *Index {
 		pos:      make([]geom.Vec, 0, capacityHint),
 		present:  make([]bool, 0, capacityHint),
 	}
+}
+
+// Release returns the index to the shared pool for reuse by a future
+// New. The index must not be used after Release.
+func (ix *Index) Release() {
+	indexPool.Put(ix)
+}
+
+// reset empties a pooled index for a new run, keeping the cell map (and
+// its bucket slices) and the dense arrays' capacity.
+func (ix *Index) reset(cellSize float64) {
+	ix.cellSize = cellSize
+	for k, bucket := range ix.cells {
+		ix.cells[k] = bucket[:0]
+	}
+	ix.pos = ix.pos[:0]
+	ix.present = ix.present[:0]
+	ix.count = 0
 }
 
 func (ix *Index) key(p geom.Vec) cellKey {

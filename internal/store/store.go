@@ -71,6 +71,11 @@ type Manifest struct {
 	ShardCount int `json:"shard_count"`
 	// TotalRuns is the number of records this shard will hold when done.
 	TotalRuns int `json:"total_runs"`
+	// Layouts is set when the store's records carry full sensor layouts
+	// (positions sections). Mixing layout and non-layout sessions in one
+	// store would leave records with inconsistent replay fidelity, so
+	// resuming across the flag is refused.
+	Layouts bool `json:"layouts,omitempty"`
 	// Complete is set once all TotalRuns records are on disk.
 	Complete bool `json:"complete"`
 }
@@ -104,9 +109,23 @@ type Record struct {
 	ConvergenceTime   float64 `json:"convergence_time"`
 	Connected         bool    `json:"connected"`
 	IncorrectCells    int     `json:"incorrect_voronoi_cells,omitempty"`
+	// Positions and InitialPositions are the run's final and starting
+	// sensor layouts, persisted only when the store was created with
+	// Manifest.Layouts — they make stored runs fully replayable (layout
+	// post-processing like Hungarian lower bounds) at the cost of record
+	// size. Both are deterministic, so layout stores still diff
+	// byte-identically across worker counts.
+	Positions        []Point `json:"positions,omitempty"`
+	InitialPositions []Point `json:"initial_positions,omitempty"`
 	// Err is the run's error message ("" on success); failed runs are
 	// recorded too so a resume does not retry deterministic failures.
 	Err string `json:"err,omitempty"`
+}
+
+// Point is one stored sensor position in meters.
+type Point struct {
+	X float64 `json:"x"`
+	Y float64 `json:"y"`
 }
 
 // Key identifies a run within a sweep: every axis value plus the derived

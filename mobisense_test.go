@@ -1,8 +1,11 @@
 package mobisense
 
 import (
+	"math"
 	"strings"
 	"testing"
+
+	"mobisense/internal/render"
 )
 
 // quickConfig shrinks the default scenario for fast API tests.
@@ -206,5 +209,31 @@ func TestCoverage2Reported(t *testing.T) {
 	}
 	if res.Coverage2 < 0 || res.Coverage2 > res.Coverage {
 		t.Errorf("coverage2 = %v vs coverage %v", res.Coverage2, res.Coverage)
+	}
+}
+
+// TestPositionsCSVRoundTrip: a real deployment's PositionsCSV output
+// parses back into the identical layout (at the CSV's millimeter write
+// precision) — the contract that makes exported layouts replayable.
+func TestPositionsCSVRoundTrip(t *testing.T) {
+	res, err := Run(quickConfig(SchemeFLOOR))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Positions) == 0 {
+		t.Fatal("run produced no positions")
+	}
+	parsed, err := render.ParsePositionsCSV(res.PositionsCSV())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parsed) != len(res.Positions) {
+		t.Fatalf("parsed %d positions, want %d", len(parsed), len(res.Positions))
+	}
+	for i, p := range parsed {
+		if math.Abs(p.X-res.Positions[i].X) > 0.0005 || math.Abs(p.Y-res.Positions[i].Y) > 0.0005 {
+			t.Errorf("position %d = (%v,%v), want (%v,%v) ±0.0005",
+				i, p.X, p.Y, res.Positions[i].X, res.Positions[i].Y)
+		}
 	}
 }

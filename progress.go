@@ -1,0 +1,69 @@
+package mobisense
+
+import (
+	"time"
+
+	istore "mobisense/internal/store"
+)
+
+// ProgressSnapshot is a point-in-time view of a batch or sweep's
+// completion, shared by the deployment server's SSE progress events and
+// cmd/report's -watch mode.
+type ProgressSnapshot struct {
+	// Done and Total count completed and expected runs (replayed runs
+	// count as done).
+	Done, Total int
+	// Complete is true once every expected run is done.
+	Complete bool
+	// Elapsed is the observation window the ETA is extrapolated from: the
+	// job's wall-clock runtime for a live server job, the poll interval
+	// for a watcher, or the store's summed compute time for a cold store.
+	Elapsed time.Duration
+	// ETA estimates the remaining time at the observed rate (zero when no
+	// rate is observable yet).
+	ETA time.Duration
+}
+
+// SnapshotProgress summarizes completion and extrapolates an ETA from the
+// observed rate. rateRuns is the number of runs actually executed during
+// elapsed — callers exclude runs replayed from a store so instant replays
+// don't skew the estimate.
+func SnapshotProgress(done, total, rateRuns int, elapsed time.Duration) ProgressSnapshot {
+	ps := ProgressSnapshot{
+		Done:     done,
+		Total:    total,
+		Elapsed:  elapsed,
+		Complete: total > 0 && done >= total,
+	}
+	if rateRuns > 0 && elapsed > 0 && done < total {
+		per := elapsed / time.Duration(rateRuns)
+		ps.ETA = per * time.Duration(total-done)
+	}
+	return ps
+}
+
+// ReadStoreProgress summarizes a store directory that another process may
+// still be writing: how many of its expected records are on disk, and the
+// total compute time recorded so far. The ETA is left zero — a watcher
+// derives it from the record-count delta between two polls (see
+// SnapshotProgress).
+func ReadStoreProgress(dir string) (ProgressSnapshot, error) {
+	m, recs, err := istore.ReadDir(dir)
+	if err != nil {
+		return ProgressSnapshot{}, err
+	}
+	times, err := istore.ReadTimings(dir)
+	if err != nil {
+		return ProgressSnapshot{}, err
+	}
+	var elapsed time.Duration
+	for _, d := range times {
+		elapsed += d
+	}
+	return ProgressSnapshot{
+		Done:     len(recs),
+		Total:    m.TotalRuns,
+		Complete: m.Complete || (m.TotalRuns > 0 && len(recs) >= m.TotalRuns),
+		Elapsed:  elapsed,
+	}, nil
+}

@@ -120,6 +120,9 @@ func runEventScheme(cfg Config, f *ifield.Field, scheme core.Scheme, onKill func
 	if fs, ok := scheme.(*floor.Scheme); ok {
 		res.Placements = fs.PlacementsByKind()
 	}
+	// Everything result-bearing has been copied out of the world; recycle
+	// its event heap and spatial index for the next run of the batch.
+	w.Release()
 	return res, nil
 }
 
@@ -137,6 +140,7 @@ func runVDScheme(cfg Config, f *ifield.Field, run func(*ifield.Field, []geom.Vec
 	res := resultFromLayout(cfg, f, vd.Positions, vd.AvgDistance())
 	res.IncorrectVoronoiCells = vd.IncorrectCells
 	res.InitialPositions = toPoints(starts)
+	w.Release()
 	return res, nil
 }
 
@@ -185,6 +189,7 @@ func runOPTScheme(cfg Config, f *ifield.Field) (Result, error) {
 	}
 	res := resultFromLayout(cfg, f, layout, sum/float64(len(starts)))
 	res.InitialPositions = toPoints(starts)
+	w.Release()
 	return res, nil
 }
 

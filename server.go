@@ -1,0 +1,409 @@
+package mobisense
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"net/http"
+	"time"
+
+	"mobisense/internal/server"
+	istore "mobisense/internal/store"
+)
+
+// This file is the public façade of the deployment service: it wires the
+// generic job queue / HTTP layer of internal/server onto the batch
+// runner, the sweep store and the scheme/scenario registries. Start one
+// with NewService (cmd/serve is the CLI around it):
+//
+//	svc, err := mobisense.NewService("serve-data", mobisense.ServiceOptions{})
+//	http.ListenAndServe(":8080", svc.Handler())
+//
+// Jobs submitted over HTTP run asynchronously on the batch runner's
+// worker pool, stream every finished run into a job-owned sweep store
+// (so a killed server resumes mid-sweep on restart), and are answered
+// O(1) from a fingerprint-keyed result cache when an identical
+// computation has already completed.
+
+// RunRequest is the JSON body of POST /v1/runs: one deployment. Zero
+// fields take the paper's §4.3 defaults (DefaultConfig).
+type RunRequest struct {
+	// Scheme is required; see GET /v1/schemes.
+	Scheme string `json:"scheme"`
+	// Scenario names the deployment environment (default "free"); see
+	// GET /v1/scenarios. FieldSeed selects the generated layout of seeded
+	// scenarios (default 1).
+	Scenario  string `json:"scenario,omitempty"`
+	FieldSeed uint64 `json:"field_seed,omitempty"`
+
+	N           int     `json:"n,omitempty"`
+	Rc          float64 `json:"rc,omitempty"`
+	Rs          float64 `json:"rs,omitempty"`
+	Speed       float64 `json:"speed,omitempty"`
+	Duration    float64 `json:"duration,omitempty"`
+	Seed        uint64  `json:"seed,omitempty"`
+	Uniform     bool    `json:"uniform,omitempty"`
+	CoverageRes float64 `json:"coverage_res,omitempty"`
+
+	// Scheme option structs (JSON field names follow the Go fields).
+	CPVF  *CPVFOptions  `json:"cpvf,omitempty"`
+	Floor *FloorOptions `json:"floor,omitempty"`
+	VD    *VDOptions    `json:"vd,omitempty"`
+
+	// StoreLayouts persists full sensor layouts in the job's store
+	// records (GET /v1/jobs/{id}/records).
+	StoreLayouts bool `json:"store_layouts,omitempty"`
+}
+
+// config expands the request into a validated run configuration.
+func (r RunRequest) config() (Config, error) {
+	if r.Scheme == "" {
+		return Config{}, fmt.Errorf("mobisense: request has no scheme (have %v)", RegisteredSchemes())
+	}
+	cfg := DefaultConfig(Scheme(r.Scheme))
+	scenario := r.Scenario
+	if scenario == "" {
+		scenario = "free"
+	}
+	fieldSeed := r.FieldSeed
+	if fieldSeed == 0 {
+		fieldSeed = 1
+	}
+	f, err := BuildScenario(scenario, fieldSeed)
+	if err != nil {
+		return Config{}, err
+	}
+	cfg.Field = f
+	if r.N > 0 {
+		cfg.N = r.N
+	}
+	if r.Rc > 0 {
+		cfg.Rc = r.Rc
+	}
+	if r.Rs > 0 {
+		cfg.Rs = r.Rs
+	}
+	if r.Speed > 0 {
+		cfg.Speed = r.Speed
+	}
+	if r.Duration > 0 {
+		cfg.Duration = r.Duration
+	}
+	if r.Seed != 0 {
+		cfg.Seed = r.Seed
+	}
+	if r.CoverageRes > 0 {
+		cfg.CoverageRes = r.CoverageRes
+	}
+	cfg.ClusterInit = !r.Uniform
+	cfg.CPVF = r.CPVF
+	cfg.Floor = r.Floor
+	cfg.VD = r.VD
+	if err := cfg.validate(); err != nil {
+		return Config{}, err
+	}
+	return cfg, nil
+}
+
+// scenarioName returns the request's effective scenario name.
+func (r RunRequest) scenarioName() string {
+	if r.Scenario == "" {
+		return "free"
+	}
+	return r.Scenario
+}
+
+// SweepRequest is the JSON body of POST /v1/sweeps: a cross-product
+// sweep. The embedded RunRequest fields form the base configuration; the
+// axis lists default to the base's single value.
+type SweepRequest struct {
+	RunRequest
+	Schemes   []string `json:"schemes,omitempty"`
+	Scenarios []string `json:"scenarios,omitempty"`
+	Ns        []int    `json:"ns,omitempty"`
+	Repeats   int      `json:"repeats,omitempty"`
+}
+
+// sweep expands the request into a Sweep. The scenario axis is always
+// explicit (default: the base scenario) so fields resolve through the
+// registry with paired per-repeat seeds, exactly like the CLIs.
+func (r SweepRequest) sweep() (Sweep, error) {
+	base := r.RunRequest
+	if base.Scheme == "" && len(r.Schemes) > 0 {
+		base.Scheme = r.Schemes[0]
+	}
+	cfg, err := base.config()
+	if err != nil {
+		return Sweep{}, err
+	}
+	scenarios := r.Scenarios
+	if len(scenarios) == 0 {
+		scenarios = []string{base.scenarioName()}
+	}
+	schemes := make([]Scheme, 0, len(r.Schemes))
+	for _, s := range r.Schemes {
+		schemes = append(schemes, Scheme(s))
+	}
+	return Sweep{
+		Base:      cfg,
+		Schemes:   schemes,
+		Scenarios: scenarios,
+		Ns:        r.Ns,
+		Repeats:   r.Repeats,
+		Seed:      cfg.Seed,
+	}, nil
+}
+
+// ServiceOptions tune a deployment service.
+type ServiceOptions struct {
+	// Workers sizes each job's batch worker pool (0 = GOMAXPROCS).
+	Workers int
+	// Jobs is the number of jobs executing concurrently (default 1 —
+	// each job already saturates the batch pool).
+	Jobs int
+}
+
+// Service is a deployment server: an HTTP API over an async job queue
+// with on-disk persistence and a fingerprint-keyed result cache. Create
+// one with NewService and mount Handler on an http.Server.
+type Service struct {
+	m *server.Manager
+}
+
+// NewService opens (or creates) the service's data directory and starts
+// its job executors. Jobs interrupted by a previous shutdown or crash are
+// re-queued immediately and resume from their stores, re-executing only
+// the runs that never finished.
+func NewService(dataDir string, opts ServiceOptions) (*Service, error) {
+	m, err := server.NewManager(dataDir, &serviceEngine{workers: opts.Workers}, opts.Jobs)
+	if err != nil {
+		return nil, err
+	}
+	return &Service{m: m}, nil
+}
+
+// Handler returns the service's HTTP API (see internal/server.NewHandler
+// for the route table).
+func (s *Service) Handler() http.Handler { return server.NewHandler(s.m) }
+
+// Close cancels running jobs (finished runs persist and resume on the
+// next start) and waits for the executors to stop.
+func (s *Service) Close() { s.m.Close() }
+
+// serviceEngine implements internal/server.Engine on the batch runner.
+type serviceEngine struct {
+	workers int
+}
+
+// decodeStrict unmarshals a request body, rejecting unknown fields so
+// typos fail loudly instead of silently running the default sweep.
+func decodeStrict(raw json.RawMessage, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("mobisense: bad request: %w", err)
+	}
+	return nil
+}
+
+func (e *serviceEngine) Prepare(kind string, raw json.RawMessage) (server.Prepared, error) {
+	switch kind {
+	case "run":
+		var req RunRequest
+		if err := decodeStrict(raw, &req); err != nil {
+			return server.Prepared{}, err
+		}
+		cfg, err := req.config()
+		if err != nil {
+			return server.Prepared{}, err
+		}
+		return server.Prepared{Fingerprint: runFingerprint(req, cfg), TotalRuns: 1}, nil
+	case "sweep":
+		var req SweepRequest
+		if err := decodeStrict(raw, &req); err != nil {
+			return server.Prepared{}, err
+		}
+		sweep, err := req.sweep()
+		if err != nil {
+			return server.Prepared{}, err
+		}
+		specs, err := sweep.Expand()
+		if err != nil {
+			return server.Prepared{}, err
+		}
+		return server.Prepared{
+			Fingerprint: sweepFingerprint(sweep, len(specs), req.StoreLayouts),
+			TotalRuns:   len(specs),
+		}, nil
+	default:
+		return server.Prepared{}, fmt.Errorf("mobisense: unknown job kind %q", kind)
+	}
+}
+
+// runFingerprint is a single run's cache/restart identity: its axes plus
+// the full config fingerprint (field geometry included).
+func runFingerprint(req RunRequest, cfg Config) string {
+	sp := RunSpec{
+		Scheme:   cfg.Scheme,
+		Scenario: req.scenarioName(),
+		N:        cfg.N,
+		Seed:     cfg.Seed,
+		Config:   cfg,
+	}
+	h := fnv.New64a()
+	fmt.Fprintf(h, "run|%s|layouts=%t", specKey(sp), req.StoreLayouts)
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// sweepFingerprint is a sweep's cache/restart identity: the hash of its
+// store manifest (axes, base-config fingerprint, run count), which is a
+// pure function of the sweep definition.
+func sweepFingerprint(s Sweep, totalRuns int, layouts bool) string {
+	m := s.manifest(Shard{}, totalRuns)
+	m.Layouts = layouts
+	data, err := json.Marshal(m)
+	if err != nil {
+		panic(fmt.Sprintf("mobisense: encode manifest: %v", err))
+	}
+	h := fnv.New64a()
+	h.Write(data)
+	return fmt.Sprintf("sweep-%016x", h.Sum64())
+}
+
+// SweepJobResult is the JSON result summary of a sweep job.
+type SweepJobResult struct {
+	Runs       int         `json:"runs"`
+	Errors     int         `json:"errors,omitempty"`
+	Skipped    int         `json:"skipped,omitempty"`
+	Aggregates []Aggregate `json:"aggregates"`
+}
+
+func (e *serviceEngine) Execute(ctx context.Context, job server.ExecJob) (json.RawMessage, error) {
+	opts := BatchOptions{
+		Workers: e.workers,
+	}
+	switch job.Kind {
+	case "run":
+		var req RunRequest
+		if err := decodeStrict(job.Request, &req); err != nil {
+			return nil, err
+		}
+		cfg, err := req.config()
+		if err != nil {
+			return nil, err
+		}
+		opts.Store = &Store{Dir: job.StoreDir, Resume: job.Resume, Layouts: req.StoreLayouts}
+		opts.OnProgress = progressAdapter(job.OnProgress)
+		// Drive the shared executor directly (rather than RunBatch) so the
+		// spec — and therefore the stored record — carries the scenario
+		// name, exactly like sweep-job records do.
+		specs := []RunSpec{{
+			Scheme:   cfg.Scheme,
+			Scenario: req.scenarioName(),
+			N:        cfg.N,
+			Seed:     cfg.Seed,
+			Config:   cfg,
+		}}
+		m := istore.Manifest{
+			Kind:              "batch",
+			ConfigFingerprint: combinedFingerprint(specs),
+			ShardCount:        1,
+			TotalRuns:         1,
+			Layouts:           req.StoreLayouts,
+		}
+		out, err := runSpecs(ctx, specs, opts, m)
+		if err != nil {
+			return nil, err
+		}
+		br := out[0]
+		if br.Err != nil {
+			return nil, br.Err
+		}
+		// The run's record shape (metrics + optional layouts) is the
+		// natural single-run result document.
+		rec := recordFrom(br.Spec, br.Result, nil, req.StoreLayouts)
+		return json.Marshal(rec)
+	case "sweep":
+		var req SweepRequest
+		if err := decodeStrict(job.Request, &req); err != nil {
+			return nil, err
+		}
+		sweep, err := req.sweep()
+		if err != nil {
+			return nil, err
+		}
+		opts.Store = &Store{Dir: job.StoreDir, Resume: job.Resume, Layouts: req.StoreLayouts}
+		opts.OnProgress = progressAdapter(job.OnProgress)
+		sr, err := sweep.Run(ctx, opts)
+		if err != nil {
+			return nil, err
+		}
+		sum := SweepJobResult{Aggregates: sr.Aggregates}
+		for _, br := range sr.Runs {
+			switch {
+			case br.skipped():
+				sum.Skipped++
+			case br.Err != nil:
+				sum.Errors++
+			default:
+				sum.Runs++
+			}
+		}
+		return json.Marshal(sum)
+	default:
+		return nil, fmt.Errorf("mobisense: unknown job kind %q", job.Kind)
+	}
+}
+
+// progressAdapter converts batch progress callbacks into server progress
+// events, extrapolating the ETA from the live execution rate via the
+// shared snapshot helper (replays from a resumed store are excluded from
+// the rate, so they don't fake an instant ETA).
+func progressAdapter(emit func(server.Progress)) func(done, total int) {
+	if emit == nil {
+		return nil
+	}
+	started := time.Now()
+	live := 0
+	return func(done, total int) {
+		live++
+		ps := SnapshotProgress(done, total, live, time.Since(started))
+		emit(server.Progress{
+			Done:      ps.Done,
+			Total:     ps.Total,
+			ElapsedMS: ps.Elapsed.Milliseconds(),
+			EtaMS:     ps.ETA.Milliseconds(),
+		})
+	}
+}
+
+// SchemeInfo and ScenarioInfo are the registry introspection documents
+// served by GET /v1/schemes and /v1/scenarios.
+type SchemeInfo struct {
+	Name string `json:"name"`
+}
+
+type ScenarioInfo struct {
+	Name        string `json:"name"`
+	Description string `json:"description"`
+	Seeded      bool   `json:"seeded"`
+}
+
+func (e *serviceEngine) Schemes() any {
+	out := make([]SchemeInfo, 0, 8)
+	for _, s := range RegisteredSchemes() {
+		out = append(out, SchemeInfo{Name: string(s)})
+	}
+	return out
+}
+
+func (e *serviceEngine) Scenarios() any {
+	scs := Scenarios()
+	out := make([]ScenarioInfo, 0, len(scs))
+	for _, sc := range scs {
+		out = append(out, ScenarioInfo{Name: sc.Name, Description: sc.Description, Seeded: sc.Seeded})
+	}
+	return out
+}

@@ -29,12 +29,18 @@ type Store struct {
 	Dir string
 	// Resume allows continuing an interrupted sweep in Dir.
 	Resume bool
+	// Layouts persists each run's full initial and final sensor layouts in
+	// its record, making stored runs replayable for layout post-processing
+	// (fig11-style Hungarian lower bounds) at the cost of record size.
+	// Resuming a store across a Layouts change is refused.
+	Layouts bool
 }
 
 // storeSession is one batch's open store: the streaming writer plus the
 // replay index of records already on disk.
 type storeSession struct {
 	w        *istore.Writer
+	layouts  bool
 	existing map[string]istore.Record
 
 	mu  sync.Mutex
@@ -67,7 +73,7 @@ func (st *Store) begin(m istore.Manifest) (*storeSession, error) {
 	if err != nil {
 		return nil, err
 	}
-	sess := &storeSession{w: w, existing: make(map[string]istore.Record, len(recs))}
+	sess := &storeSession{w: w, layouts: st.Layouts, existing: make(map[string]istore.Record, len(recs))}
 	for _, r := range recs {
 		sess.existing[r.Key()] = r
 	}
@@ -90,7 +96,7 @@ func (s *storeSession) lookup(sp RunSpec) (istore.Record, bool) {
 // append streams one finished run to disk. Failures are remembered and
 // surfaced once at close; the batch itself keeps running.
 func (s *storeSession) append(seq int, sp RunSpec, res Result, runErr error, elapsed time.Duration) {
-	rec := recordFrom(sp, res, runErr)
+	rec := recordFrom(sp, res, runErr, s.layouts)
 	if err := s.w.Append(seq, rec, elapsed); err != nil {
 		s.mu.Lock()
 		if s.err == nil {
@@ -113,13 +119,15 @@ func (s *storeSession) close() error {
 // specKey is the run's store identity: axes + derived seed + per-run
 // config fingerprint.
 func specKey(sp RunSpec) string {
-	return recordFrom(sp, Result{}, nil).Key()
+	return recordFrom(sp, Result{}, nil, false).Key()
 }
 
 // recordFrom converts one finished run into its deterministic store
 // record. Wall-clock time is deliberately absent (it lives in the timing
 // sidecar) so stored sweeps diff byte-identically across worker counts.
-func recordFrom(sp RunSpec, res Result, runErr error) istore.Record {
+// With layouts set, the run's initial and final positions are persisted
+// too.
+func recordFrom(sp RunSpec, res Result, runErr error, layouts bool) istore.Record {
 	rec := istore.Record{
 		Index:             sp.Index,
 		Scheme:            string(sp.Scheme),
@@ -141,12 +149,39 @@ func recordFrom(sp RunSpec, res Result, runErr error) istore.Record {
 	rec.ConvergenceTime = res.ConvergenceTime
 	rec.Connected = res.Connected
 	rec.IncorrectCells = res.IncorrectVoronoiCells
+	if layouts {
+		rec.Positions = toStorePoints(res.Positions)
+		rec.InitialPositions = toStorePoints(res.InitialPositions)
+	}
 	return rec
 }
 
-// replayedResult reconstructs a BatchResult from a stored record. Only the
-// aggregate metrics survive the round trip: layouts and message breakdowns
-// are not persisted.
+func toStorePoints(ps []Point) []istore.Point {
+	if ps == nil {
+		return nil
+	}
+	out := make([]istore.Point, len(ps))
+	for i, p := range ps {
+		out[i] = istore.Point{X: p.X, Y: p.Y}
+	}
+	return out
+}
+
+func fromStorePoints(ps []istore.Point) []Point {
+	if ps == nil {
+		return nil
+	}
+	out := make([]Point, len(ps))
+	for i, p := range ps {
+		out[i] = Point{X: p.X, Y: p.Y}
+	}
+	return out
+}
+
+// replayedResult reconstructs a BatchResult from a stored record. The
+// aggregate metrics always survive the round trip; layouts do only when
+// the store was written with Store.Layouts, and message breakdowns never
+// do.
 func replayedResult(sp RunSpec, rec istore.Record) BatchResult {
 	br := BatchResult{Spec: sp}
 	if rec.Err != "" {
@@ -168,6 +203,8 @@ func resultFromRecord(rec istore.Record) Result {
 		ConvergenceTime:       rec.ConvergenceTime,
 		Connected:             rec.Connected,
 		IncorrectVoronoiCells: rec.IncorrectCells,
+		Positions:             fromStorePoints(rec.Positions),
+		InitialPositions:      fromStorePoints(rec.InitialPositions),
 	}
 }
 
@@ -293,7 +330,8 @@ func LoadStores(dirs ...string) (StoreData, error) {
 		for _, rec := range recs {
 			k := rec.Key()
 			if prev, dup := byKey[k]; dup {
-				if prev != rec {
+				// Records carry slices (layouts), so equality is deep.
+				if !reflect.DeepEqual(prev, rec) {
 					return StoreData{}, fmt.Errorf("mobisense: stores disagree on run %s", k)
 				}
 				continue

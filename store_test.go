@@ -305,6 +305,67 @@ func TestStoreMisuse(t *testing.T) {
 	}
 }
 
+// TestStoreLayoutsRoundTrip: with Store.Layouts, every run's initial and
+// final sensor layouts persist in its record and replay identically on
+// resume — the property that makes fig11-style layout post-processing
+// replayable from disk.
+func TestStoreLayoutsRoundTrip(t *testing.T) {
+	sweep := Sweep{
+		Base:      sweepConfig(),
+		Schemes:   []Scheme{SchemeFLOOR},
+		Scenarios: []string{"free"},
+		Repeats:   2,
+		Seed:      11,
+	}
+	dir := filepath.Join(t.TempDir(), "store")
+	live, err := sweep.Run(context.Background(), BatchOptions{Store: &Store{Dir: dir, Layouts: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	executed := 0
+	replayed, err := sweep.Run(context.Background(), BatchOptions{
+		Store:      &Store{Dir: dir, Resume: true, Layouts: true},
+		OnProgress: func(int, int) { executed++ },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if executed != 0 {
+		t.Fatalf("replay executed %d runs, want 0", executed)
+	}
+	for i, br := range replayed.Runs {
+		want := live.Runs[i].Result
+		if len(br.Result.Positions) == 0 || !reflect.DeepEqual(br.Result.Positions, want.Positions) {
+			t.Errorf("run %d replayed final layout differs (got %d positions, want %d)",
+				i, len(br.Result.Positions), len(want.Positions))
+		}
+		if len(br.Result.InitialPositions) == 0 ||
+			!reflect.DeepEqual(br.Result.InitialPositions, want.InitialPositions) {
+			t.Errorf("run %d replayed initial layout differs", i)
+		}
+	}
+
+	// LoadStores restores the layouts too.
+	data, err := LoadStores(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, br := range data.Runs {
+		if !reflect.DeepEqual(br.Result.Positions, live.Runs[i].Result.Positions) {
+			t.Errorf("loaded run %d final layout differs", i)
+		}
+	}
+
+	// Resuming across the Layouts flag is refused: the store would end up
+	// with records of inconsistent replay fidelity.
+	if _, err := sweep.Run(context.Background(), BatchOptions{
+		Store: &Store{Dir: dir, Resume: true},
+	}); err == nil {
+		t.Error("resuming a layouts store without Layouts should error")
+	}
+}
+
 // TestStoreRecordsFailedRuns: deterministic per-run failures (here: VOR on
 // an obstacle scenario) are persisted and replayed on resume rather than
 // retried.
