@@ -1,0 +1,178 @@
+package mobisense
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// The axis system generalizes sweeps beyond scheme × scenario × N: any
+// config parameter — communication range, sensing range, speed, a scheme
+// option like FLOOR's invitation TTL or CPVF's oscillation factor δ —
+// becomes a first-class sweep dimension. The paper's evaluation is exactly
+// this shape: Figures 9–13 and Table 1 hold the deployment fixed and vary
+// one or two knobs, which previously lived as hand-built config lists.
+//
+// An axis is a name, an ordered value list, and a setter that applies one
+// value to a Config. Sweep.Expand folds every axis into the cross-product;
+// run specs, store records, aggregates and the HTTP API all carry the
+// per-run axis values, so varying rc can never silently merge two
+// different computations into one aggregate row.
+
+// ParamAxis is one generalized sweep dimension.
+type ParamAxis struct {
+	// Name identifies the axis in specs, records, aggregates and reports.
+	Name string
+	// Values is the ordered list of axis values to expand.
+	Values []float64
+	// Set applies one value to a run's config. It runs after the scheme,
+	// scenario field, N and seed are assigned, so setters may depend on
+	// them (e.g. a TTL expressed as a fraction of N, or a scheme-specific
+	// measurement protocol). Setters must not mutate structs shared with
+	// the base config — copy option structs before writing.
+	Set func(cfg *Config, v float64)
+}
+
+func (a ParamAxis) validate() error {
+	if a.Name == "" {
+		return fmt.Errorf("mobisense: axis has no name")
+	}
+	if len(a.Values) == 0 {
+		return fmt.Errorf("mobisense: axis %q has no values", a.Name)
+	}
+	if a.Set == nil {
+		return fmt.Errorf("mobisense: axis %q has no setter", a.Name)
+	}
+	return nil
+}
+
+// AxisValue is one axis assignment of an expanded run, carried on
+// RunSpec, store records and aggregates.
+type AxisValue struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+}
+
+// AxisSpec is the serializable form of a built-in axis — the wire shape
+// used by the server's SweepRequest (custom setters don't serialize).
+// Resolve one with BuildAxis.
+type AxisSpec struct {
+	Name   string    `json:"name"`
+	Values []float64 `json:"values"`
+}
+
+// NewAxis defines a custom axis — the extension point for parameters the
+// built-ins don't cover (oscillation modes, TTLs as a fraction of N,
+// coupled rc/rs ratios, ...).
+func NewAxis(name string, set func(cfg *Config, v float64), values ...float64) ParamAxis {
+	return ParamAxis{Name: name, Values: values, Set: set}
+}
+
+// builtinAxes maps the axis names accepted by BuildAxis (and therefore the
+// -axis CLI flag and the HTTP SweepRequest) to their setters. Option-struct
+// setters copy before writing so the shared base config stays untouched.
+var builtinAxes = map[string]func(cfg *Config, v float64){
+	"rc":    func(cfg *Config, v float64) { cfg.Rc = v },
+	"rs":    func(cfg *Config, v float64) { cfg.Rs = v },
+	"speed": func(cfg *Config, v float64) { cfg.Speed = v },
+	"cpvf.delta": func(cfg *Config, v float64) {
+		o := CPVFOptions{}
+		if cfg.CPVF != nil {
+			o = *cfg.CPVF
+		}
+		o.Delta = v
+		cfg.CPVF = &o
+	},
+	"floor.ttl": func(cfg *Config, v float64) {
+		o := FloorOptions{}
+		if cfg.Floor != nil {
+			o = *cfg.Floor
+		}
+		o.TTL = int(v)
+		cfg.Floor = &o
+	},
+}
+
+// AxisNames lists the built-in axis names BuildAxis accepts, sorted.
+func AxisNames() []string {
+	names := make([]string, 0, len(builtinAxes))
+	for name := range builtinAxes {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// AxisRc, AxisRs and AxisSpeed sweep the communication range rc, sensing
+// range rs and maximum speed V.
+func AxisRc(values ...float64) ParamAxis    { return mustBuildAxis("rc", values) }
+func AxisRs(values ...float64) ParamAxis    { return mustBuildAxis("rs", values) }
+func AxisSpeed(values ...float64) ParamAxis { return mustBuildAxis("speed", values) }
+
+// AxisCPVFDelta sweeps CPVF's oscillation-avoidance factor δ (§6.3).
+func AxisCPVFDelta(values ...float64) ParamAxis { return mustBuildAxis("cpvf.delta", values) }
+
+// AxisFloorTTL sweeps FLOOR's invitation random-walk TTL in hops (§5.2).
+func AxisFloorTTL(values ...float64) ParamAxis { return mustBuildAxis("floor.ttl", values) }
+
+func mustBuildAxis(name string, values []float64) ParamAxis {
+	ax, err := BuildAxis(name, values...)
+	if err != nil {
+		panic(err)
+	}
+	return ax
+}
+
+// BuildAxis resolves a built-in axis by name over the given values — the
+// registry behind the CLI's -axis flag and the server's SweepRequest axes.
+func BuildAxis(name string, values ...float64) (ParamAxis, error) {
+	set, ok := builtinAxes[name]
+	if !ok {
+		return ParamAxis{}, fmt.Errorf("mobisense: unknown axis %q (have %s)", name, strings.Join(AxisNames(), ", "))
+	}
+	return ParamAxis{Name: name, Values: values, Set: set}, nil
+}
+
+// ParseAxis parses the CLI axis syntax "name=v1,v2,..." into a built-in
+// axis.
+func ParseAxis(spec string) (ParamAxis, error) {
+	name, list, ok := strings.Cut(spec, "=")
+	if !ok || name == "" || list == "" {
+		return ParamAxis{}, fmt.Errorf("mobisense: bad axis %q: want \"name=v1,v2,...\", e.g. rc=30,60", spec)
+	}
+	parts := strings.Split(list, ",")
+	values := make([]float64, len(parts))
+	for i, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return ParamAxis{}, fmt.Errorf("mobisense: bad axis %q: value %q is not a number", spec, p)
+		}
+		values[i] = v
+	}
+	return BuildAxis(name, values...)
+}
+
+// formatAxisValue renders an axis value compactly and losslessly for keys,
+// tables and CSV columns.
+func formatAxisValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// axisTupleKey condenses a run's axis assignments into a comparable string
+// for aggregate grouping: two runs land in the same aggregate row only
+// when every axis value matches. Runs without axes share the empty key,
+// preserving the pre-axis grouping.
+func axisTupleKey(axes []AxisValue) string {
+	if len(axes) == 0 {
+		return ""
+	}
+	var sb strings.Builder
+	for _, a := range axes {
+		sb.WriteString(a.Name)
+		sb.WriteByte('=')
+		sb.WriteString(formatAxisValue(a.Value))
+		sb.WriteByte(';')
+	}
+	return sb.String()
+}

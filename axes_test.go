@@ -1,0 +1,284 @@
+package mobisense
+
+import (
+	"context"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// axisSweep is a small two-axis sweep used across the axis tests.
+func axisSweep() Sweep {
+	return Sweep{
+		Base:    sweepConfig(),
+		Schemes: []Scheme{SchemeCPVF, SchemeFLOOR},
+		Axes: []ParamAxis{
+			AxisRc(50, 60),
+			AxisFloorTTL(4, 8),
+		},
+		Repeats: 2,
+		Seed:    42,
+	}
+}
+
+func TestAxisExpansion(t *testing.T) {
+	specs, err := axisSweep().Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 2*2*2*2 {
+		t.Fatalf("expanded %d specs, want %d", len(specs), 2*2*2*2)
+	}
+	for _, sp := range specs {
+		if len(sp.Axes) != 2 {
+			t.Fatalf("run %d carries %d axis values, want 2", sp.Index, len(sp.Axes))
+		}
+		rc, ttl := sp.Axes[0], sp.Axes[1]
+		if rc.Name != "rc" || ttl.Name != "floor.ttl" {
+			t.Fatalf("run %d axes = %+v", sp.Index, sp.Axes)
+		}
+		// The setters must have applied the values to the config.
+		if sp.Config.Rc != rc.Value {
+			t.Errorf("run %d config rc = %g, axis says %g", sp.Index, sp.Config.Rc, rc.Value)
+		}
+		if sp.Config.Floor == nil || sp.Config.Floor.TTL != int(ttl.Value) {
+			t.Errorf("run %d config TTL = %+v, axis says %g", sp.Index, sp.Config.Floor, ttl.Value)
+		}
+	}
+	// The last axis is innermost: the first two specs differ in TTL only.
+	if specs[0].Axes[0].Value != specs[1].Axes[0].Value ||
+		specs[0].Axes[1].Value == specs[1].Axes[1].Value {
+		t.Errorf("axis nesting wrong: spec0 %+v, spec1 %+v", specs[0].Axes, specs[1].Axes)
+	}
+	// Option-struct setters copy before writing: the expansion must not
+	// reach back into the shared base config.
+	s := axisSweep()
+	s.Base.Floor = &FloorOptions{TTL: 99}
+	specs2, err := s.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Base.Floor.TTL != 99 {
+		t.Errorf("axis setter mutated the shared base config: TTL = %d", s.Base.Floor.TTL)
+	}
+	if specs2[0].Config.Floor.TTL != 4 {
+		t.Errorf("axis value not applied over base options: TTL = %d", specs2[0].Config.Floor.TTL)
+	}
+}
+
+// TestAxisSeedsPairSchemes: axis indices enter seed derivation (distinct
+// axis points get distinct seeds) while the scheme stays excluded (paired
+// comparisons).
+func TestAxisSeedsPairSchemes(t *testing.T) {
+	specs, err := axisSweep().Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	type point struct {
+		repeat int
+		axes   string
+	}
+	byPoint := map[point]uint64{}
+	seen := map[uint64]string{}
+	for _, sp := range specs {
+		p := point{sp.Repeat, axisTupleKey(sp.Axes)}
+		if prev, ok := byPoint[p]; ok {
+			if prev != sp.Seed {
+				t.Errorf("point %+v seeds differ across schemes: %d vs %d", p, prev, sp.Seed)
+			}
+			continue
+		}
+		byPoint[p] = sp.Seed
+		if at, dup := seen[sp.Seed]; dup {
+			t.Errorf("axis points %q and %+v share seed %d", at, p, sp.Seed)
+		}
+		seen[sp.Seed] = p.axes
+	}
+	// An axis-free sweep derives the exact pre-axis seeds.
+	withAxes := axisSweep()
+	withAxes.Axes = nil
+	a, err := withAxes.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pre := Sweep{Base: withAxes.Base, Schemes: withAxes.Schemes, Repeats: 2, Seed: 42}
+	b, err := pre.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i].Seed != b[i].Seed {
+			t.Fatalf("axis-free sweep changed seed derivation at run %d", i)
+		}
+	}
+}
+
+func TestFixedSeedSweep(t *testing.T) {
+	s := axisSweep()
+	s.FixedSeed = true
+	s.Repeats = 1
+	specs, err := s.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sp := range specs {
+		if sp.Seed != 42 {
+			t.Fatalf("fixed-seed run %d got derived seed %d", sp.Index, sp.Seed)
+		}
+	}
+}
+
+// TestAggregateSplitsOnAxisValues is the regression test for the old
+// (scheme, scenario, N) aggregation key: two rc values must never merge
+// into one aggregate row.
+func TestAggregateSplitsOnAxisValues(t *testing.T) {
+	s := Sweep{
+		Base:    sweepConfig(),
+		Axes:    []ParamAxis{AxisRc(40, 60)},
+		Repeats: 2,
+		Seed:    7,
+	}
+	sr, err := s.Run(context.Background(), BatchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sr.Aggregates) != 2 {
+		t.Fatalf("got %d aggregate rows for 2 rc values, want 2 (rc runs merged)", len(sr.Aggregates))
+	}
+	for i, want := range []float64{40, 60} {
+		a := sr.Aggregates[i]
+		if a.Runs != 2 {
+			t.Errorf("aggregate %d has %d runs, want 2", i, a.Runs)
+		}
+		if len(a.Axes) != 1 || a.Axes[0].Name != "rc" || a.Axes[0].Value != want {
+			t.Errorf("aggregate %d axes = %+v, want rc=%g", i, a.Axes, want)
+		}
+	}
+	if reflect.DeepEqual(sr.Aggregates[0].Coverage, sr.Aggregates[1].Coverage) {
+		t.Error("rc=40 and rc=60 coverage summaries are identical; the axis was not applied")
+	}
+}
+
+// TestAxisStoreRoundTrip: axis sweeps persist, resume and shard-merge like
+// every other sweep, with axis values carried in records and aggregates.
+func TestAxisStoreRoundTrip(t *testing.T) {
+	s := axisSweep()
+	base := t.TempDir()
+	full := filepath.Join(base, "full")
+	want, err := s.Run(context.Background(), BatchOptions{Store: &Store{Dir: full}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Resume of a complete axis store executes nothing.
+	executed := 0
+	resumed, err := s.Run(context.Background(), BatchOptions{
+		Store:      &Store{Dir: full, Resume: true},
+		OnProgress: func(int, int) { executed++ },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if executed != 0 {
+		t.Errorf("resume executed %d runs, want 0", executed)
+	}
+	if !reflect.DeepEqual(resumed.Aggregates, want.Aggregates) {
+		t.Error("resumed axis aggregates differ from live run")
+	}
+
+	// Shards merge to the unsharded aggregates, axes intact.
+	shardDirs := []string{filepath.Join(base, "s0"), filepath.Join(base, "s1")}
+	for i, dir := range shardDirs {
+		if _, err := s.Run(context.Background(), BatchOptions{
+			Store: &Store{Dir: dir},
+			Shard: Shard{Index: i, Count: 2},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	merged, err := LoadStores(shardDirs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(merged.Aggregates, want.Aggregates) {
+		t.Errorf("merged axis aggregates differ:\nmerged: %+v\nwant:   %+v",
+			merged.Aggregates, want.Aggregates)
+	}
+	for _, br := range merged.Runs {
+		if len(br.Spec.Axes) != 2 {
+			t.Fatalf("loaded run %d lost its axes: %+v", br.Spec.Index, br.Spec.Axes)
+		}
+	}
+
+	// Resuming with different axis values is a different sweep.
+	other := s
+	other.Axes = []ParamAxis{AxisRc(50, 70), AxisFloorTTL(4, 8)}
+	if _, err := other.Run(context.Background(), BatchOptions{Store: &Store{Dir: full, Resume: true}}); err == nil {
+		t.Error("resuming with different axis values should error")
+	}
+	// ... and so is the same store definition with FixedSeed flipped.
+	fixed := s
+	fixed.FixedSeed = true
+	if _, err := fixed.Run(context.Background(), BatchOptions{Store: &Store{Dir: full, Resume: true}}); err == nil {
+		t.Error("resuming with FixedSeed flipped should error")
+	}
+}
+
+func TestAxisValidation(t *testing.T) {
+	base := sweepConfig()
+	for name, axes := range map[string][]ParamAxis{
+		"empty name":     {NewAxis("", func(*Config, float64) {}, 1)},
+		"no values":      {AxisRc()},
+		"nil setter":     {{Name: "rc", Values: []float64{1}}},
+		"duplicate name": {AxisRc(40), AxisRc(60)},
+	} {
+		if _, err := (Sweep{Base: base, Axes: axes}).Expand(); err == nil {
+			t.Errorf("sweep with %s axis should error", name)
+		}
+	}
+	if _, err := BuildAxis("bogus", 1, 2); err == nil {
+		t.Error("unknown built-in axis should error")
+	}
+	names := AxisNames()
+	want := []string{"cpvf.delta", "floor.ttl", "rc", "rs", "speed"}
+	if !reflect.DeepEqual(names, want) {
+		t.Errorf("AxisNames() = %v, want %v", names, want)
+	}
+}
+
+func TestParseAxis(t *testing.T) {
+	ax, err := ParseAxis("rc=30,45.5,60")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ax.Name != "rc" || !reflect.DeepEqual(ax.Values, []float64{30, 45.5, 60}) {
+		t.Errorf("ParseAxis = %q %v", ax.Name, ax.Values)
+	}
+	if ax.Set == nil {
+		t.Error("parsed axis has no setter")
+	}
+	for _, bad := range []string{"", "rc", "rc=", "=30", "rc=a,b", "bogus=1"} {
+		if _, err := ParseAxis(bad); err == nil {
+			t.Errorf("ParseAxis(%q) should error", bad)
+		}
+	}
+}
+
+// TestSpeedAndDeltaAxes applies the remaining built-in setters.
+func TestSpeedAndDeltaAxes(t *testing.T) {
+	s := Sweep{
+		Base: sweepConfig(),
+		Axes: []ParamAxis{AxisSpeed(1, 2), AxisRs(30, 40), AxisCPVFDelta(2, 8)},
+	}
+	specs, err := s.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 8 {
+		t.Fatalf("expanded %d specs, want 8", len(specs))
+	}
+	last := specs[7].Config
+	if last.Speed != 2 || last.Rs != 40 || last.CPVF == nil || last.CPVF.Delta != 8 {
+		t.Errorf("last combo config = speed %g rs %g cpvf %+v", last.Speed, last.Rs, last.CPVF)
+	}
+}

@@ -129,6 +129,9 @@ type RunSpec struct {
 	Scenario string
 	N        int
 	Repeat   int
+	// Axes are the run's generalized axis assignments (Sweep.Axes), in
+	// axis order; nil for plain batches and axis-free sweeps.
+	Axes []AxisValue
 	// Seed is the run's derived seed.
 	Seed uint64
 	// Config is the fully expanded configuration.
@@ -295,12 +298,13 @@ dispatch:
 }
 
 // Sweep describes a cross-product experiment: every combination of
-// scheme × scenario × sensor count, repeated Repeats times. Each run gets
-// a deterministic seed derived from the base seed and its axis indices, so
-// the expansion — and therefore every result — is independent of worker
-// count and execution order. The scheme axis is excluded from seed
-// derivation: all schemes of one (scenario, N, repeat) share a seed and
-// hence an identical initial layout, making scheme comparisons paired.
+// scheme × scenario × sensor count × generalized axis values, repeated
+// Repeats times. Each run gets a deterministic seed derived from the base
+// seed and its axis indices, so the expansion — and therefore every
+// result — is independent of worker count and execution order. The scheme
+// axis is excluded from seed derivation: all schemes of one
+// (scenario, N, repeat, axis combination) share a seed and hence an
+// identical initial layout, making scheme comparisons paired.
 type Sweep struct {
 	// Base is the config template; the axes below override its Scheme,
 	// Field, N and Seed per run.
@@ -315,10 +319,22 @@ type Sweep struct {
 	Scenarios []string
 	// Ns are sensor counts (default: just Base.N).
 	Ns []int
+	// Axes are generalized parameter dimensions folded into the
+	// cross-product: communication/sensing ranges, speed, scheme options —
+	// any config knob with a ParamAxis setter. Built-ins resolve by name
+	// through BuildAxis; NewAxis defines custom ones. Axis names must be
+	// unique within one sweep.
+	Axes []ParamAxis
 	// Repeats is the number of seeds per combination (default 1).
 	Repeats int
 	// Seed is the base seed for derivation (default Base.Seed, then 1).
 	Seed uint64
+	// FixedSeed gives every run the base seed verbatim instead of a
+	// per-combination derived seed. The paper's parameter studies
+	// (Figures 9, 10, 12, Table 1) are this shape: one fixed initial
+	// deployment, one knob varied — pairing every axis point, not just
+	// every scheme. Seeded scenario fields still derive per repeat.
+	FixedSeed bool
 }
 
 // Domain-separation tags for deriveSeed.
@@ -327,10 +343,10 @@ const (
 	seedDomainField
 )
 
-// axes resolves the sweep's effective axis values (defaults applied) and
-// validates them: empty axis entries and non-positive sensor counts are
-// explicit errors rather than silent zero-length or degenerate sweeps.
-func (s Sweep) axes() (schemes []Scheme, ns []int, repeats int, base uint64, err error) {
+// resolve computes the sweep's effective axis values (defaults applied)
+// and validates them: empty axis entries and non-positive sensor counts
+// are explicit errors rather than silent zero-length or degenerate sweeps.
+func (s Sweep) resolve() (schemes []Scheme, ns []int, repeats int, base uint64, err error) {
 	schemes = s.Schemes
 	if len(schemes) == 0 {
 		schemes = []Scheme{s.Base.Scheme}
@@ -348,6 +364,16 @@ func (s Sweep) axes() (schemes []Scheme, ns []int, repeats int, base uint64, err
 		if n <= 0 {
 			return nil, nil, 0, 0, fmt.Errorf("mobisense: sweep has non-positive sensor count %d (set Sweep.Ns or Base.N)", n)
 		}
+	}
+	seen := make(map[string]bool, len(s.Axes))
+	for _, ax := range s.Axes {
+		if err := ax.validate(); err != nil {
+			return nil, nil, 0, 0, err
+		}
+		if seen[ax.Name] {
+			return nil, nil, 0, 0, fmt.Errorf("mobisense: sweep has duplicate axis %q", ax.Name)
+		}
+		seen[ax.Name] = true
 	}
 	repeats = s.Repeats
 	if repeats < 0 {
@@ -369,7 +395,7 @@ func (s Sweep) axes() (schemes []Scheme, ns []int, repeats int, base uint64, err
 // Expand materializes the sweep's cross-product into run specs, building
 // scenario fields as needed.
 func (s Sweep) Expand() ([]RunSpec, error) {
-	schemes, ns, repeats, base, err := s.axes()
+	schemes, ns, repeats, base, err := s.resolve()
 	if err != nil {
 		return nil, err
 	}
@@ -413,30 +439,74 @@ func (s Sweep) Expand() ([]RunSpec, error) {
 		}
 	}
 
-	specs := make([]RunSpec, 0, len(schemes)*len(scenarios)*len(ns)*repeats)
+	combos := 1
+	for _, ax := range s.Axes {
+		combos *= len(ax.Values)
+	}
+	specs := make([]RunSpec, 0, len(schemes)*len(scenarios)*len(ns)*repeats*combos)
 	for _, scheme := range schemes {
 		for ci, sl := range scenarios {
 			for ni, n := range ns {
 				for r := 0; r < repeats; r++ {
-					cfg := s.Base
-					cfg.Scheme = scheme
-					cfg.N = n
-					cfg.Seed = deriveSeed(base, seedDomainRun,
-						uint64(ci), uint64(ni), uint64(r))
-					if len(fields[ci]) > 1 {
-						cfg.Field = fields[ci][r]
-					} else {
-						cfg.Field = fields[ci][0]
+					// Enumerate every axis-value combination with an
+					// odometer over the axis indices, the last axis
+					// innermost. With no axes this is one iteration and
+					// the derived seeds reduce to the pre-axis
+					// (scenario, N, repeat) derivation, so existing
+					// sweeps — and their stores — expand unchanged.
+					idx := make([]int, len(s.Axes))
+					for {
+						cfg := s.Base
+						cfg.Scheme = scheme
+						cfg.N = n
+						if s.FixedSeed {
+							cfg.Seed = base
+						} else {
+							parts := make([]uint64, 0, 4+len(idx))
+							parts = append(parts, seedDomainRun, uint64(ci), uint64(ni), uint64(r))
+							for _, ai := range idx {
+								parts = append(parts, uint64(ai))
+							}
+							cfg.Seed = deriveSeed(base, parts...)
+						}
+						if len(fields[ci]) > 1 {
+							cfg.Field = fields[ci][r]
+						} else {
+							cfg.Field = fields[ci][0]
+						}
+						// Apply axes last: setters see the fully resolved
+						// scheme, field, N and seed.
+						var axes []AxisValue
+						if len(s.Axes) > 0 {
+							axes = make([]AxisValue, len(s.Axes))
+							for a, ax := range s.Axes {
+								v := ax.Values[idx[a]]
+								ax.Set(&cfg, v)
+								axes[a] = AxisValue{Name: ax.Name, Value: v}
+							}
+						}
+						specs = append(specs, RunSpec{
+							Index:    len(specs),
+							Scheme:   scheme,
+							Scenario: sl.name,
+							N:        n,
+							Repeat:   r,
+							Axes:     axes,
+							Seed:     cfg.Seed,
+							Config:   cfg,
+						})
+						a := len(idx) - 1
+						for ; a >= 0; a-- {
+							idx[a]++
+							if idx[a] < len(s.Axes[a].Values) {
+								break
+							}
+							idx[a] = 0
+						}
+						if a < 0 {
+							break
+						}
 					}
-					specs = append(specs, RunSpec{
-						Index:    len(specs),
-						Scheme:   scheme,
-						Scenario: sl.name,
-						N:        n,
-						Repeat:   r,
-						Seed:     cfg.Seed,
-						Config:   cfg,
-					})
 				}
 			}
 		}
@@ -450,7 +520,7 @@ func (s Sweep) Expand() ([]RunSpec, error) {
 // manifest describes this sweep (and the selected shard of it) for a
 // persistent store.
 func (s Sweep) manifest(sh Shard, totalRuns int) istore.Manifest {
-	schemes, ns, repeats, base, err := s.axes()
+	schemes, ns, repeats, base, err := s.resolve()
 	if err != nil {
 		// Run validates via Expand before building the manifest.
 		panic(err)
@@ -459,12 +529,24 @@ func (s Sweep) manifest(sh Shard, totalRuns int) istore.Manifest {
 	for i, sc := range schemes {
 		names[i] = string(sc)
 	}
-	scenarios := make([]string, 0, len(s.Scenarios))
+	// scenarios stays nil (not empty) when the sweep has none: omitempty
+	// drops it from the manifest JSON, and the reloaded manifest must
+	// DeepEqual this one for resume to be accepted.
+	var scenarios []string
 	for _, name := range s.Scenarios {
 		if sc, ok := LookupScenario(name); ok {
 			name = sc.Name
 		}
 		scenarios = append(scenarios, name)
+	}
+	// Generalized axes are recorded by name and value list: the setter is
+	// code, but two sweeps sharing an axis name, its values and the base
+	// fingerprint are the same computation, which is all resume
+	// compatibility needs. Axis-free sweeps leave the field empty, so
+	// their manifests stay byte-identical to pre-axis stores.
+	var axes []istore.Axis
+	for _, ax := range s.Axes {
+		axes = append(axes, istore.Axis{Name: ax.Name, Values: ax.Values})
 	}
 	return istore.Manifest{
 		Kind: "sweep",
@@ -472,8 +554,10 @@ func (s Sweep) manifest(sh Shard, totalRuns int) istore.Manifest {
 			Schemes:   names,
 			Scenarios: scenarios,
 			Ns:        ns,
+			Axes:      axes,
 			Repeats:   repeats,
 			Seed:      base,
+			FixedSeed: s.FixedSeed,
 		},
 		ConfigFingerprint: configFingerprint(s.Base),
 		ShardIndex:        sh.Index,
@@ -530,11 +614,15 @@ func metricSummary(xs []float64) MetricSummary {
 	return MetricSummary{N: s.N, Mean: s.Mean, StdDev: s.StdDev, CI95: s.CI95, Min: s.Min, Max: s.Max}
 }
 
-// Aggregate summarizes all runs of one (scheme, scenario, N) combination.
+// Aggregate summarizes all runs of one (scheme, scenario, N, axis tuple)
+// combination.
 type Aggregate struct {
 	Scheme   Scheme `json:"scheme"`
 	Scenario string `json:"scenario,omitempty"`
 	N        int    `json:"n"`
+	// Axes are the group's generalized axis assignments (empty for
+	// axis-free sweeps and plain batches).
+	Axes []AxisValue `json:"axes,omitempty"`
 	// Runs and Errors count the successful and failed runs; Skipped counts
 	// runs never executed because the batch was cancelled.
 	Runs    int `json:"runs"`
@@ -551,27 +639,33 @@ type Aggregate struct {
 	ConnectedFraction float64 `json:"connected_fraction"`
 }
 
-// aggregateRuns groups runs by (scheme, scenario, N) in first-seen order
-// and summarizes each group. Iterating in run-index order makes the
-// output bit-identical regardless of how many workers executed the batch.
+// aggregateRuns groups runs by (scheme, scenario, N, axis tuple) in
+// first-seen order and summarizes each group. The axis tuple is part of
+// the key so runs that differ in any varied config parameter — two rc
+// values, two TTLs — land in separate rows instead of silently averaging
+// into one. Iterating in run-index order makes the output bit-identical
+// regardless of how many workers executed the batch.
 func aggregateRuns(runs []BatchResult) []Aggregate {
 	type key struct {
 		scheme   Scheme
 		scenario string
 		n        int
+		axes     string
 	}
 	var order []key
 	groups := map[key][]BatchResult{}
+	axesOf := map[key][]AxisValue{}
 	for _, r := range runs {
-		k := key{r.Spec.Scheme, r.Spec.Scenario, r.Spec.N}
+		k := key{r.Spec.Scheme, r.Spec.Scenario, r.Spec.N, axisTupleKey(r.Spec.Axes)}
 		if _, seen := groups[k]; !seen {
 			order = append(order, k)
+			axesOf[k] = r.Spec.Axes
 		}
 		groups[k] = append(groups[k], r)
 	}
 	out := make([]Aggregate, 0, len(order))
 	for _, k := range order {
-		agg := Aggregate{Scheme: k.scheme, Scenario: k.scenario, N: k.n}
+		agg := Aggregate{Scheme: k.scheme, Scenario: k.scenario, N: k.n, Axes: axesOf[k]}
 		var cov, cov2, dist, msgs, conv []float64
 		connected := 0
 		for _, r := range groups[k] {

@@ -19,6 +19,14 @@
 //	deploy -scheme floor -scenario random -runs 300 -store sweep/
 //	deploy -scheme floor -scenario random -runs 300 -store sweep/ -resume
 //	deploy -scheme floor -scenario random -runs 300 -store shard0/ -shard 0/2
+//
+// Generalized parameter axes sweep any built-in knob (rc, rs, speed,
+// cpvf.delta, floor.ttl) as a cross-product; -axis repeats for multiple
+// dimensions and -fixed-seed pairs every axis point on one initial
+// deployment (the paper's parameter-study protocol):
+//
+//	deploy -scheme floor -axis rc=30,45,60 -runs 10
+//	deploy -scheme cpvf -axis rc=40,60 -axis speed=1,2 -fixed-seed
 package main
 
 import (
@@ -66,7 +74,18 @@ func run() int {
 		resume    = flag.Bool("resume", false, "continue an interrupted sweep in the -store directory")
 		shardSpec = flag.String("shard", "", "run only shard i of n, as \"i/n\" (requires -store; merge with cmd/report)")
 		maxRuns   = flag.Int("max-runs", 0, "stop dispatching after this many completed runs (0 = all); finished runs stay in the store")
+		fixedSeed = flag.Bool("fixed-seed", false, "give every sweep run the -seed verbatim instead of derived seeds (paired axis points)")
 	)
+	var axes []mobisense.ParamAxis
+	flag.Func("axis", "sweep a built-in axis as \"name=v1,v2,...\" ("+strings.Join(mobisense.AxisNames(), ", ")+"); repeatable",
+		func(spec string) error {
+			ax, err := mobisense.ParseAxis(spec)
+			if err != nil {
+				return err
+			}
+			axes = append(axes, ax)
+			return nil
+		})
 	flag.Parse()
 
 	scenarioName := *scenario
@@ -112,9 +131,9 @@ func run() int {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
-	if *runs <= 1 {
+	if *runs <= 1 && len(axes) == 0 {
 		if *storeDir != "" || shard.Count > 1 {
-			fmt.Fprintln(os.Stderr, "-store and -shard need a sweep: set -runs > 1")
+			fmt.Fprintln(os.Stderr, "-store and -shard need a sweep: set -runs > 1 or add -axis")
 			return 2
 		}
 		// For one run, honor -seed and -field-seed verbatim rather than
@@ -137,12 +156,15 @@ func run() int {
 		return printSingle(cfg, out[0].Result, *showMap, *csvPath)
 	}
 
-	// Sweeps derive both run seeds and seeded-scenario fields from -seed.
+	// Sweeps derive both run seeds and seeded-scenario fields from -seed
+	// (-fixed-seed keeps run seeds verbatim for paired axis studies).
 	sweep := mobisense.Sweep{
 		Base:      cfg,
 		Scenarios: []string{scenarioName},
+		Axes:      axes,
 		Repeats:   *runs,
 		Seed:      *seed,
+		FixedSeed: *fixedSeed,
 	}
 	opts := mobisense.BatchOptions{
 		Workers: *workers,
@@ -254,7 +276,11 @@ func printAggregates(sr mobisense.SweepResult) {
 		if scen == "" {
 			scen = "(custom field)"
 		}
-		fmt.Printf("%s on %s, N=%d: %d runs", a.Scheme, scen, a.N, a.Runs)
+		fmt.Printf("%s on %s, N=%d", a.Scheme, scen, a.N)
+		for _, ax := range a.Axes {
+			fmt.Printf(", %s=%g", ax.Name, ax.Value)
+		}
+		fmt.Printf(": %d runs", a.Runs)
 		if a.Errors > 0 {
 			fmt.Printf(" (%d failed)", a.Errors)
 		}

@@ -28,6 +28,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -187,32 +188,72 @@ func scenarioLabel(s string) string {
 	return s
 }
 
+// axisNames collects the union of axis names across the aggregates in
+// first-seen order: the merged table gets one column per axis, and stores
+// without axes get none (pre-axis output stays byte-identical).
+func axisNames(aggs []mobisense.Aggregate) []string {
+	var names []string
+	seen := map[string]bool{}
+	for _, a := range aggs {
+		for _, ax := range a.Axes {
+			if !seen[ax.Name] {
+				seen[ax.Name] = true
+				names = append(names, ax.Name)
+			}
+		}
+	}
+	return names
+}
+
+// axisCell renders one aggregate's value on the named axis ("" when the
+// aggregate does not vary that axis).
+func axisCell(a mobisense.Aggregate, name string) string {
+	for _, ax := range a.Axes {
+		if ax.Name == name {
+			return strconv.FormatFloat(ax.Value, 'g', -1, 64)
+		}
+	}
+	return ""
+}
+
 // printRuns prints one line per stored run.
 func printRuns(runs []mobisense.BatchResult) {
 	for _, br := range runs {
 		sp := br.Spec
+		axes := ""
+		for _, ax := range sp.Axes {
+			axes += fmt.Sprintf(" %s=%g", ax.Name, ax.Value)
+		}
 		if br.Err != nil {
-			fmt.Printf("%5d  %-8s %-16s N=%-4d r%-3d FAILED: %v\n",
-				sp.Index, sp.Scheme, scenarioLabel(sp.Scenario), sp.N, sp.Repeat, br.Err)
+			fmt.Printf("%5d  %-8s %-16s N=%-4d r%-3d%s FAILED: %v\n",
+				sp.Index, sp.Scheme, scenarioLabel(sp.Scenario), sp.N, sp.Repeat, axes, br.Err)
 			continue
 		}
-		fmt.Printf("%5d  %-8s %-16s N=%-4d r%-3d cov=%.3f dist=%.1f connected=%v\n",
-			sp.Index, sp.Scheme, scenarioLabel(sp.Scenario), sp.N, sp.Repeat,
+		fmt.Printf("%5d  %-8s %-16s N=%-4d r%-3d%s cov=%.3f dist=%.1f connected=%v\n",
+			sp.Index, sp.Scheme, scenarioLabel(sp.Scenario), sp.N, sp.Repeat, axes,
 			br.Result.Coverage, br.Result.AvgMoveDistance, br.Result.Connected)
 	}
 	fmt.Println()
 }
 
-// printAggregateTable renders the aggregates as an aligned text table.
+// printAggregateTable renders the aggregates as an aligned text table,
+// with one extra column per generalized axis the stores swept.
 func printAggregateTable(aggs []mobisense.Aggregate) {
-	header := []string{"scheme", "scenario", "N", "runs", "errs",
-		"coverage", "±95%", "distance", "±95%", "messages", "conv_time", "connected"}
+	axes := axisNames(aggs)
+	header := append([]string{"scheme", "scenario", "N"}, axes...)
+	header = append(header, "runs", "errs",
+		"coverage", "±95%", "distance", "±95%", "messages", "conv_time", "connected")
 	lines := [][]string{header}
 	for _, a := range aggs {
-		lines = append(lines, []string{
+		line := []string{
 			string(a.Scheme),
 			scenarioLabel(a.Scenario),
 			fmt.Sprintf("%d", a.N),
+		}
+		for _, name := range axes {
+			line = append(line, axisCell(a, name))
+		}
+		line = append(line,
 			fmt.Sprintf("%d", a.Runs),
 			fmt.Sprintf("%d", a.Errors),
 			fmt.Sprintf("%.4f", a.Coverage.Mean),
@@ -222,7 +263,8 @@ func printAggregateTable(aggs []mobisense.Aggregate) {
 			fmt.Sprintf("%.0f", a.Messages.Mean),
 			fmt.Sprintf("%.0f", a.ConvergenceTime.Mean),
 			fmt.Sprintf("%.0f%%", 100*a.ConnectedFraction),
-		})
+		)
+		lines = append(lines, line)
 	}
 	widths := make([]int, len(header))
 	for _, line := range lines {
@@ -249,16 +291,27 @@ func printAggregateTable(aggs []mobisense.Aggregate) {
 	}
 }
 
-// aggregatesCSV renders the aggregates as a CSV document.
+// aggregatesCSV renders the aggregates as a CSV document, inserting one
+// "axis_<name>" column per swept axis after the n column. Axis-free
+// stores produce the exact pre-axis header and rows.
 func aggregatesCSV(aggs []mobisense.Aggregate) string {
+	axes := axisNames(aggs)
 	var sb strings.Builder
-	sb.WriteString("scheme,scenario,n,runs,errors,skipped," +
+	sb.WriteString("scheme,scenario,n")
+	for _, name := range axes {
+		sb.WriteString(",axis_" + strings.ReplaceAll(name, ",", ";"))
+	}
+	sb.WriteString(",runs,errors,skipped," +
 		"coverage_mean,coverage_ci95,coverage_min,coverage_max," +
 		"coverage2_mean,distance_mean,distance_ci95," +
 		"messages_mean,convergence_mean,connected_fraction\n")
 	for _, a := range aggs {
-		fmt.Fprintf(&sb, "%s,%s,%d,%d,%d,%d,%.6f,%.6f,%.6f,%.6f,%.6f,%.6f,%.6f,%.6f,%.6f,%.6f\n",
-			a.Scheme, strings.ReplaceAll(a.Scenario, ",", ";"), a.N, a.Runs, a.Errors, a.Skipped,
+		fmt.Fprintf(&sb, "%s,%s,%d", a.Scheme, strings.ReplaceAll(a.Scenario, ",", ";"), a.N)
+		for _, name := range axes {
+			sb.WriteString("," + axisCell(a, name))
+		}
+		fmt.Fprintf(&sb, ",%d,%d,%d,%.6f,%.6f,%.6f,%.6f,%.6f,%.6f,%.6f,%.6f,%.6f,%.6f\n",
+			a.Runs, a.Errors, a.Skipped,
 			a.Coverage.Mean, a.Coverage.CI95, a.Coverage.Min, a.Coverage.Max,
 			a.Coverage2.Mean, a.AvgMoveDistance.Mean, a.AvgMoveDistance.CI95,
 			a.Messages.Mean, a.ConvergenceTime.Mean, a.ConnectedFraction)

@@ -41,20 +41,42 @@ func main() {
 
 func run() int {
 	var (
-		addr    = flag.String("addr", ":8080", "listen address")
-		dataDir = flag.String("data", "serve-data", "server data directory (jobs, stores, cache source)")
-		workers = flag.Int("workers", 0, "batch worker-pool size per job (0 = GOMAXPROCS)")
-		jobs    = flag.Int("jobs", 1, "number of jobs executing concurrently")
+		addr      = flag.String("addr", ":8080", "listen address")
+		dataDir   = flag.String("data", "serve-data", "server data directory (jobs, stores, cache source)")
+		workers   = flag.Int("workers", 0, "batch worker-pool size per job (0 = GOMAXPROCS)")
+		jobs      = flag.Int("jobs", 1, "number of jobs executing concurrently")
+		jobsTTL   = flag.Duration("jobs-ttl", 0, "prune finished jobs (and their stores) older than this at startup and periodically (0 = keep forever)")
+		cacheSize = flag.Int("cache-size", 0, "max entries in the fingerprint result cache, evicted LRU (0 = server default of 1024)")
 	)
 	flag.Parse()
 
 	svc, err := mobisense.NewService(*dataDir, mobisense.ServiceOptions{
-		Workers: *workers,
-		Jobs:    *jobs,
+		Workers:   *workers,
+		Jobs:      *jobs,
+		CacheSize: *cacheSize,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 1
+	}
+
+	if *jobsTTL > 0 {
+		// Re-sweep at a quarter of the TTL (clamped to [1min, 1h]) so
+		// expired jobs linger at most ~25% past their deadline without a
+		// timer storm for tiny TTLs. The startup sweep runs in the same
+		// goroutine: deleting a backlog of expired stores must not delay
+		// the listener.
+		interval := min(max(*jobsTTL/4, time.Minute), time.Hour)
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		go func() {
+			for {
+				if n := svc.GC(*jobsTTL); n > 0 {
+					fmt.Fprintf(os.Stderr, "pruned %d finished job(s) older than %s\n", n, *jobsTTL)
+				}
+				<-ticker.C
+			}
+		}()
 	}
 
 	hs := &http.Server{Addr: *addr, Handler: svc.Handler()}

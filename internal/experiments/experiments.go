@@ -142,6 +142,71 @@ func paperConfig(o Options, scheme mobisense.Scheme, f mobisense.Field) mobisens
 	return cfg
 }
 
+// paperBase returns the §4.3 standard parameters with the field left to
+// the sweep's scenario axis.
+func paperBase(o Options, scheme mobisense.Scheme) mobisense.Config {
+	cfg := mobisense.DefaultConfig(scheme)
+	cfg.Seed = o.seed()
+	return cfg
+}
+
+// runSweep fans one axis sweep out on the batch runner with the
+// experiment's store/shard/progress options and returns the per-run
+// results in expansion order, panicking on any per-run error (experiment
+// sweeps are fixed and must run). Cancellation panics with the context's
+// error so callers can distinguish an interrupt (Interrupted) from a
+// broken config. It returns nil under sharding, like runAll: the shard
+// stores its slice and cmd/report merges the tables.
+func runSweep(o Options, name string, s mobisense.Sweep) []mobisense.BatchResult {
+	sr, err := s.Run(o.ctx(), o.batch(name))
+	if err != nil {
+		panic(fmt.Errorf("experiments: %s: %w", name, err))
+	}
+	for _, br := range sr.Runs {
+		if br.Err != nil {
+			panic(fmt.Sprintf("experiments: %s run %d: %v", name, br.Spec.Index, br.Err))
+		}
+	}
+	if o.Shard.Count > 1 {
+		return nil
+	}
+	return sr.Runs
+}
+
+// av is shorthand for one axis assignment in resultAt lookups.
+func av(name string, value float64) mobisense.AxisValue {
+	return mobisense.AxisValue{Name: name, Value: value}
+}
+
+// resultAt finds the sweep run with the given scheme, scenario, N and
+// axis values. Experiment sweeps expand every requested point, so a miss
+// is a bug, not a condition.
+func resultAt(runs []mobisense.BatchResult, scheme mobisense.Scheme, scenario string, n int, axes ...mobisense.AxisValue) mobisense.Result {
+	for _, br := range runs {
+		if br.Spec.Scheme != scheme || br.Spec.Scenario != scenario || br.Spec.N != n {
+			continue
+		}
+		found := true
+		for _, want := range axes {
+			match := false
+			for _, got := range br.Spec.Axes {
+				if got == want {
+					match = true
+					break
+				}
+			}
+			if !match {
+				found = false
+				break
+			}
+		}
+		if found {
+			return br.Result
+		}
+	}
+	panic(fmt.Sprintf("experiments: no run for %s on %s N=%d axes=%v", scheme, scenario, n, axes))
+}
+
 // runAll fans the configs out on the batch runner and unwraps the results,
 // panicking on any per-run error (experiment configs are fixed and must
 // run). Cancellation panics with the context's error so callers can
@@ -236,39 +301,37 @@ func layoutScenarios(o Options, figure string, scheme mobisense.Scheme, paper [3
 }
 
 // Fig9 reproduces Figure 9: coverage of CPVF, FLOOR and OPT for varying
-// sensor counts and (rc, rs) pairs on the obstacle-free field.
+// sensor counts and communication ranges (rs fixed at 60) on the
+// obstacle-free field. An rc axis sweep with a fixed seed matches the
+// paper's protocol: one initial deployment, the range knob varied.
 func Fig9(o Options) []Row {
 	ns := []int{120, 160, 200, 240, 280, 320}
-	pairs := [][2]float64{{20, 60}, {40, 60}, {60, 60}}
+	rcs := []float64{20, 40, 60}
 	if o.Quick {
 		ns = []int{120, 240}
-		pairs = [][2]float64{{20, 60}, {60, 60}}
+		rcs = []float64{20, 60}
 	}
-	schemes := []mobisense.Scheme{mobisense.SchemeCPVF, mobisense.SchemeFLOOR, mobisense.SchemeOPT}
-	free := scenarioField(o, "free")
-	var cfgs []mobisense.Config
-	for _, pair := range pairs {
-		for _, n := range ns {
-			for _, s := range schemes {
-				cfg := paperConfig(o, s, free)
-				cfg.N = n
-				cfg.Rc = pair[0]
-				cfg.Rs = pair[1]
-				cfgs = append(cfgs, cfg)
-			}
-		}
-	}
-	results := runAll(o, "fig9", cfgs)
-	if results == nil {
+	rs := 60.0
+	base := paperBase(o, mobisense.SchemeCPVF)
+	base.Rs = rs
+	runs := runSweep(o, "fig9", mobisense.Sweep{
+		Base:      base,
+		Schemes:   []mobisense.Scheme{mobisense.SchemeCPVF, mobisense.SchemeFLOOR, mobisense.SchemeOPT},
+		Scenarios: []string{"free"},
+		Ns:        ns,
+		Axes:      []mobisense.ParamAxis{mobisense.AxisRc(rcs...)},
+		Seed:      o.seed(),
+		FixedSeed: true,
+	})
+	if runs == nil {
 		return nil
 	}
 	var rows []Row
-	i := 0
-	for _, pair := range pairs {
-		rc, rs := pair[0], pair[1]
+	for _, rc := range rcs {
 		for _, n := range ns {
-			cp, fl, opt := results[i], results[i+1], results[i+2]
-			i += len(schemes)
+			at := func(s mobisense.Scheme) mobisense.Result {
+				return resultAt(runs, s, "free", n, av("rc", rc))
+			}
 			rows = append(rows, Row{
 				Figure: "fig9",
 				Label:  fmt.Sprintf("rc=%.0f rs=%.0f N=%d", rc, rs, n),
@@ -276,9 +339,9 @@ func Fig9(o Options) []Row {
 					{"n", float64(n)},
 					{"rc", rc},
 					{"rs", rs},
-					{"cpvf_coverage", cp.Coverage},
-					{"floor_coverage", fl.Coverage},
-					{"opt_coverage", opt.Coverage},
+					{"cpvf_coverage", at(mobisense.SchemeCPVF).Coverage},
+					{"floor_coverage", at(mobisense.SchemeFLOOR).Coverage},
+					{"opt_coverage", at(mobisense.SchemeOPT).Coverage},
 				},
 			})
 		}
@@ -288,35 +351,42 @@ func Fig9(o Options) []Row {
 
 // Fig10 reproduces Figure 10: FLOOR vs VOR vs Minimax for rs = 60 and
 // rc/rs from 0.8 to 4, with disconnection and incorrect-VD detection.
+// The ratio is a custom axis whose setter drives both ranges at once and,
+// because setters see the fully resolved scheme, applies FLOOR's
+// stabilized-layout measurement protocol only to FLOOR runs.
 func Fig10(o Options) []Row {
 	ratios := []float64{0.8, 1, 1.5, 2, 2.5, 3, 3.5, 4}
 	if o.Quick {
 		ratios = []float64{0.8, 2, 4}
 	}
 	rs := 60.0
-	free := scenarioField(o, "free")
-	var cfgs []mobisense.Config
-	for _, ratio := range ratios {
-		// Small rc/rs slows FLOOR's relocation pipeline; measure the
-		// stabilized layout like the paper does.
-		fl := paperConfig(o, mobisense.SchemeFLOOR, free)
-		fl.Rc = ratio * rs
-		fl.Rs = rs
-		fl.Stabilize = &mobisense.StabilizeOptions{Cap: 2250}
-		vor := paperConfig(o, mobisense.SchemeVOR, free)
-		vor.Rc = ratio * rs
-		vor.Rs = rs
-		mmx := vor
-		mmx.Scheme = mobisense.SchemeMinimax
-		cfgs = append(cfgs, fl, vor, mmx)
-	}
-	results := runAll(o, "fig10", cfgs)
-	if results == nil {
+	ratioAxis := mobisense.NewAxis("rc_over_rs", func(cfg *mobisense.Config, ratio float64) {
+		cfg.Rc = ratio * rs
+		cfg.Rs = rs
+		if cfg.Scheme == mobisense.SchemeFLOOR {
+			// Small rc/rs slows FLOOR's relocation pipeline; measure the
+			// stabilized layout like the paper does.
+			cfg.Stabilize = &mobisense.StabilizeOptions{Cap: 2250}
+		}
+	}, ratios...)
+	base := paperBase(o, mobisense.SchemeFLOOR)
+	runs := runSweep(o, "fig10", mobisense.Sweep{
+		Base:      base,
+		Schemes:   []mobisense.Scheme{mobisense.SchemeFLOOR, mobisense.SchemeVOR, mobisense.SchemeMinimax},
+		Scenarios: []string{"free"},
+		Axes:      []mobisense.ParamAxis{ratioAxis},
+		Seed:      o.seed(),
+		FixedSeed: true,
+	})
+	if runs == nil {
 		return nil
 	}
 	var rows []Row
-	for i, ratio := range ratios {
-		fl, vor, mmx := results[3*i], results[3*i+1], results[3*i+2]
+	for _, ratio := range ratios {
+		at := func(s mobisense.Scheme) mobisense.Result {
+			return resultAt(runs, s, "free", base.N, av("rc_over_rs", ratio))
+		}
+		fl, vor, mmx := at(mobisense.SchemeFLOOR), at(mobisense.SchemeVOR), at(mobisense.SchemeMinimax)
 		rows = append(rows, Row{
 			Figure: "fig10",
 			Label:  fmt.Sprintf("rc/rs=%.1f", ratio),
@@ -419,36 +489,50 @@ func Fig12(o Options) []Row {
 		code float64
 	}{{"one-step", float64(cpvf.OscOneStep)}, {"two-step", float64(cpvf.OscTwoStep)}}
 
-	free := scenarioField(o, "free")
-	mkCfg := func(osc string, delta float64) mobisense.Config {
-		cfg := paperConfig(o, mobisense.SchemeCPVF, free)
-		if o.Quick {
-			cfg.N = 120
-		}
-		if osc != "" {
-			cfg.CPVF = &mobisense.CPVFOptions{Oscillation: osc, Delta: delta}
-		}
-		return cfg
+	base := paperBase(o, mobisense.SchemeCPVF)
+	if o.Quick {
+		base.N = 120
 	}
-	var cfgs []mobisense.Config
-	for _, mode := range modes {
-		for _, delta := range deltas {
-			cfgs = append(cfgs, mkCfg(mode.name, delta))
+	// The oscillation technique is a custom axis (the modes are coded as
+	// their cpvf.OscMode values); δ is the built-in cpvf.delta axis. Both
+	// setters copy-on-write the CPVF options, so they compose into the
+	// exact option struct the old hand-built list produced.
+	oscAxis := mobisense.NewAxis("cpvf.osc", func(cfg *mobisense.Config, code float64) {
+		opt := mobisense.CPVFOptions{}
+		if cfg.CPVF != nil {
+			opt = *cfg.CPVF
 		}
+		switch int(code) {
+		case int(cpvf.OscOneStep):
+			opt.Oscillation = "one-step"
+		case int(cpvf.OscTwoStep):
+			opt.Oscillation = "two-step"
+		default:
+			opt.Oscillation = "none"
+		}
+		cfg.CPVF = &opt
+	}, float64(cpvf.OscOneStep), float64(cpvf.OscTwoStep))
+	sweep := mobisense.Sweep{
+		Base:      base,
+		Schemes:   []mobisense.Scheme{mobisense.SchemeCPVF},
+		Scenarios: []string{"free"},
+		Seed:      o.seed(),
+		FixedSeed: true,
 	}
-	// Baseline without avoidance for reference.
-	cfgs = append(cfgs, mkCfg("", 0))
-	results := runAll(o, "fig12", cfgs)
-	if results == nil {
+	withAxes := sweep
+	withAxes.Axes = []mobisense.ParamAxis{oscAxis, mobisense.AxisCPVFDelta(deltas...)}
+	runs := runSweep(o, "fig12", withAxes)
+	// Baseline without avoidance for reference (CPVF options left unset).
+	baseline := runSweep(o, "fig12-base", sweep)
+	if runs == nil || baseline == nil {
 		return nil
 	}
 
 	var rows []Row
-	i := 0
 	for _, mode := range modes {
 		for _, delta := range deltas {
-			out := results[i]
-			i++
+			out := resultAt(runs, mobisense.SchemeCPVF, "free", base.N,
+				av("cpvf.osc", mode.code), av("cpvf.delta", delta))
 			rows = append(rows, Row{
 				Figure: "fig12",
 				Label:  fmt.Sprintf("%s δ=%.0f", mode.name, delta),
@@ -461,15 +545,15 @@ func Fig12(o Options) []Row {
 			})
 		}
 	}
-	base := results[len(results)-1]
+	noAvoid := baseline[0].Result
 	rows = append(rows, Row{
 		Figure: "fig12",
 		Label:  "no avoidance",
 		Columns: []Column{
 			{"delta", 0},
 			{"technique", 0},
-			{"avg_distance", base.AvgMoveDistance},
-			{"coverage", base.Coverage},
+			{"avg_distance", noAvoid.AvgMoveDistance},
+			{"coverage", noAvoid.Coverage},
 		},
 	})
 	return rows
@@ -484,27 +568,20 @@ func Fig13(o Options) []Row {
 	if o.Quick {
 		runs = 6
 	}
-	sweep := mobisense.Sweep{
+	results := runSweep(o, "fig13", mobisense.Sweep{
 		Base:      mobisense.DefaultConfig(mobisense.SchemeCPVF),
 		Schemes:   []mobisense.Scheme{mobisense.SchemeCPVF, mobisense.SchemeFLOOR},
 		Scenarios: []string{"random-obstacles"},
 		Repeats:   runs,
 		Seed:      o.seed(),
-	}
-	sr, err := sweep.Run(o.ctx(), o.batch("fig13"))
-	if err != nil {
-		panic(fmt.Errorf("experiments: fig13: %w", err))
-	}
-	if o.Shard.Count > 1 {
+	})
+	if results == nil {
 		// A shard stores its slice of the runs; the merged CDFs come from
 		// cmd/report over all shard stores.
 		return nil
 	}
 	var covC, covF, distC, distF []float64
-	for _, br := range sr.Runs {
-		if br.Err != nil {
-			panic(fmt.Sprintf("experiments: %v", br.Err))
-		}
+	for _, br := range results {
 		switch br.Spec.Scheme {
 		case mobisense.SchemeCPVF:
 			covC = append(covC, br.Result.Coverage)
@@ -575,29 +652,39 @@ func Table1(o Options) []Row {
 			240: {0.1: 428, 0.2: 700, 0.3: 973, 0.4: 1246},
 		},
 	}
-	var cfgs []mobisense.Config
-	for _, env := range envs {
-		envField := scenarioField(o, env.scenario)
-		for _, n := range ns {
-			for _, frac := range fracs {
-				cfg := paperConfig(o, mobisense.SchemeFLOOR, envField)
-				cfg.N = n
-				cfg.Floor = &mobisense.FloorOptions{TTL: int(frac * float64(n))}
-				cfgs = append(cfgs, cfg)
-			}
+	// The paper expresses the TTL as a fraction of N, so the axis setter
+	// resolves each fraction against the run's own sensor count — the
+	// kind of coupled parameter a plain value list cannot express.
+	ttlAxis := mobisense.NewAxis("floor.ttl_frac", func(cfg *mobisense.Config, frac float64) {
+		opt := mobisense.FloorOptions{}
+		if cfg.Floor != nil {
+			opt = *cfg.Floor
 		}
+		opt.TTL = int(frac * float64(cfg.N))
+		cfg.Floor = &opt
+	}, fracs...)
+	scenarios := make([]string, len(envs))
+	for i, env := range envs {
+		scenarios[i] = env.scenario
 	}
-	results := runAll(o, "table1", cfgs)
-	if results == nil {
+	runs := runSweep(o, "table1", mobisense.Sweep{
+		Base:      paperBase(o, mobisense.SchemeFLOOR),
+		Schemes:   []mobisense.Scheme{mobisense.SchemeFLOOR},
+		Scenarios: scenarios,
+		Ns:        ns,
+		Axes:      []mobisense.ParamAxis{ttlAxis},
+		Seed:      o.seed(),
+		FixedSeed: true,
+	})
+	if runs == nil {
 		return nil
 	}
 	var rows []Row
-	i := 0
 	for _, env := range envs {
 		for _, n := range ns {
 			for _, frac := range fracs {
-				total := float64(results[i].Messages) / 1000
-				i++
+				out := resultAt(runs, mobisense.SchemeFLOOR, env.scenario, n, av("floor.ttl_frac", frac))
+				total := float64(out.Messages) / 1000
 				rows = append(rows, Row{
 					Figure: "table1",
 					Label:  fmt.Sprintf("%s N=%d TTL=%.1fN", env.name, n, frac),

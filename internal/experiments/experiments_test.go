@@ -6,6 +6,8 @@ import (
 	"path/filepath"
 	"reflect"
 	"testing"
+
+	"mobisense"
 )
 
 // All experiment tests use Quick mode; the full sweeps run via
@@ -164,6 +166,161 @@ func TestFig13Shape(t *testing.T) {
 			}
 		}
 	}
+}
+
+// TestAxisSweepsMatchHandBuiltLists is the acceptance check for the axis
+// rewrite: every figure that moved from a hand-built []Config list onto an
+// axis sweep must produce bit-identical metrics. Each subtest rebuilds the
+// pre-refactor config list exactly as the old harness did (one fixed seed,
+// explicit per-config field assignments), runs it through RunBatch, and
+// compares float-for-float against the axis-based figure.
+func TestAxisSweepsMatchHandBuiltLists(t *testing.T) {
+	o := Options{Quick: true}
+
+	batch := func(t *testing.T, cfgs []mobisense.Config) []mobisense.Result {
+		t.Helper()
+		out, err := mobisense.RunBatch(context.Background(), cfgs, mobisense.BatchOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		results := make([]mobisense.Result, len(out))
+		for i, br := range out {
+			if br.Err != nil {
+				t.Fatalf("run %d: %v", i, br.Err)
+			}
+			results[i] = br.Result
+		}
+		return results
+	}
+
+	t.Run("fig9", func(t *testing.T) {
+		ns := []int{120, 240}
+		pairs := [][2]float64{{20, 60}, {60, 60}}
+		schemes := []mobisense.Scheme{mobisense.SchemeCPVF, mobisense.SchemeFLOOR, mobisense.SchemeOPT}
+		free := scenarioField(o, "free")
+		var cfgs []mobisense.Config
+		for _, pair := range pairs {
+			for _, n := range ns {
+				for _, s := range schemes {
+					cfg := paperConfig(o, s, free)
+					cfg.N = n
+					cfg.Rc = pair[0]
+					cfg.Rs = pair[1]
+					cfgs = append(cfgs, cfg)
+				}
+			}
+		}
+		results := batch(t, cfgs)
+		rows := Fig9(o)
+		if len(rows) != len(ns)*len(pairs) {
+			t.Fatalf("rows = %d", len(rows))
+		}
+		// Both orderings are rc-pair outer, N inner; the list packs the
+		// three schemes per point.
+		for j, row := range rows {
+			cp, fl, opt := results[3*j], results[3*j+1], results[3*j+2]
+			if row.Get("cpvf_coverage") != cp.Coverage ||
+				row.Get("floor_coverage") != fl.Coverage ||
+				row.Get("opt_coverage") != opt.Coverage {
+				t.Errorf("%s: axis sweep differs from hand-built list", row.Label)
+			}
+		}
+	})
+
+	t.Run("fig10", func(t *testing.T) {
+		ratios := []float64{0.8, 2, 4}
+		rs := 60.0
+		free := scenarioField(o, "free")
+		var cfgs []mobisense.Config
+		for _, ratio := range ratios {
+			fl := paperConfig(o, mobisense.SchemeFLOOR, free)
+			fl.Rc = ratio * rs
+			fl.Rs = rs
+			fl.Stabilize = &mobisense.StabilizeOptions{Cap: 2250}
+			vor := paperConfig(o, mobisense.SchemeVOR, free)
+			vor.Rc = ratio * rs
+			vor.Rs = rs
+			mmx := vor
+			mmx.Scheme = mobisense.SchemeMinimax
+			cfgs = append(cfgs, fl, vor, mmx)
+		}
+		results := batch(t, cfgs)
+		rows := Fig10(o)
+		if len(rows) != len(ratios) {
+			t.Fatalf("rows = %d", len(rows))
+		}
+		for i, row := range rows {
+			fl, vor, mmx := results[3*i], results[3*i+1], results[3*i+2]
+			if row.Get("floor_coverage") != fl.Coverage ||
+				row.Get("vor_coverage") != vor.Coverage ||
+				row.Get("minimax_coverage") != mmx.Coverage {
+				t.Errorf("%s: axis sweep differs from hand-built list", row.Label)
+			}
+		}
+	})
+
+	t.Run("fig12", func(t *testing.T) {
+		deltas := []float64{2, 8}
+		modes := []string{"one-step", "two-step"}
+		free := scenarioField(o, "free")
+		mkCfg := func(osc string, delta float64) mobisense.Config {
+			cfg := paperConfig(o, mobisense.SchemeCPVF, free)
+			cfg.N = 120
+			if osc != "" {
+				cfg.CPVF = &mobisense.CPVFOptions{Oscillation: osc, Delta: delta}
+			}
+			return cfg
+		}
+		var cfgs []mobisense.Config
+		for _, mode := range modes {
+			for _, delta := range deltas {
+				cfgs = append(cfgs, mkCfg(mode, delta))
+			}
+		}
+		cfgs = append(cfgs, mkCfg("", 0))
+		results := batch(t, cfgs)
+		rows := Fig12(o)
+		if len(rows) != len(cfgs) {
+			t.Fatalf("rows = %d, want %d", len(rows), len(cfgs))
+		}
+		for i, row := range rows {
+			if row.Get("avg_distance") != results[i].AvgMoveDistance ||
+				row.Get("coverage") != results[i].Coverage {
+				t.Errorf("%s: axis sweep differs from hand-built list (dist %v vs %v)",
+					row.Label, row.Get("avg_distance"), results[i].AvgMoveDistance)
+			}
+		}
+	})
+
+	t.Run("table1", func(t *testing.T) {
+		ns := []int{120}
+		fracs := []float64{0.1, 0.4}
+		scenarios := []string{"free", "two-obstacles"}
+		var cfgs []mobisense.Config
+		for _, scen := range scenarios {
+			envField := scenarioField(o, scen)
+			for _, n := range ns {
+				for _, frac := range fracs {
+					cfg := paperConfig(o, mobisense.SchemeFLOOR, envField)
+					cfg.N = n
+					cfg.Floor = &mobisense.FloorOptions{TTL: int(frac * float64(n))}
+					cfgs = append(cfgs, cfg)
+				}
+			}
+		}
+		results := batch(t, cfgs)
+		rows := Table1(o)
+		if len(rows) != len(cfgs) {
+			t.Fatalf("rows = %d, want %d", len(rows), len(cfgs))
+		}
+		for i, row := range rows {
+			want := float64(results[i].Messages) / 1000
+			if row.Get("total_k") != want {
+				t.Errorf("%s: axis sweep total %.3fk differs from hand-built %.3fk",
+					row.Label, row.Get("total_k"), want)
+			}
+		}
+	})
 }
 
 // TestStoreReplayReproducesRows runs one experiment twice against the same

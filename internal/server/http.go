@@ -29,6 +29,7 @@ const maxRequestBytes = 1 << 20
 //	GET    /v1/jobs/{id}/records  stored per-run records (JSONL, ?format=csv)
 //	GET    /v1/schemes          scheme registry introspection
 //	GET    /v1/scenarios        scenario registry introspection
+//	GET    /v1/axes             built-in sweep axis names
 func NewHandler(m *Manager) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/runs", func(w http.ResponseWriter, r *http.Request) {
@@ -67,6 +68,9 @@ func NewHandler(m *Manager) http.Handler {
 	})
 	mux.HandleFunc("GET /v1/scenarios", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]any{"scenarios": m.Engine().Scenarios()})
+	})
+	mux.HandleFunc("GET /v1/axes", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"axes": m.Engine().Axes()})
 	})
 	return mux
 }
@@ -179,19 +183,26 @@ func serveRecords(m *Manager, w http.ResponseWriter, r *http.Request) {
 }
 
 // recordsCSV renders store records as per-run CSV rows (layouts
-// omitted). encoding/csv handles quoting, so error messages with commas,
-// quotes or newlines stay one row.
+// omitted). Generalized axis assignments collapse into one
+// "name=value;..." column so the header stays stable whatever axes a
+// sweep used. encoding/csv handles quoting, so error messages with
+// commas, quotes or newlines stay one row.
 func recordsCSV(recs []store.Record) string {
 	var sb strings.Builder
 	cw := csv.NewWriter(&sb)
-	cw.Write([]string{"index", "scheme", "scenario", "n", "repeat", "seed",
+	cw.Write([]string{"index", "scheme", "scenario", "n", "repeat", "axes", "seed",
 		"coverage", "coverage2", "alive", "avg_move_distance", "messages",
 		"convergence_time", "connected", "err"})
 	f6 := func(v float64) string { return strconv.FormatFloat(v, 'f', 6, 64) }
 	for _, rec := range recs {
+		axes := make([]string, len(rec.Axes))
+		for i, a := range rec.Axes {
+			axes[i] = a.Name + "=" + strconv.FormatFloat(a.Value, 'g', -1, 64)
+		}
 		cw.Write([]string{
 			strconv.Itoa(rec.Index), rec.Scheme, rec.Scenario,
 			strconv.Itoa(rec.N), strconv.Itoa(rec.Repeat),
+			strings.Join(axes, ";"),
 			strconv.FormatUint(rec.Seed, 10),
 			f6(rec.Coverage), f6(rec.Coverage2), strconv.Itoa(rec.Alive),
 			f6(rec.AvgMoveDistance), strconv.FormatInt(rec.Messages, 10),

@@ -14,6 +14,7 @@
 package server
 
 import (
+	"container/list"
 	"context"
 	"crypto/rand"
 	"encoding/hex"
@@ -85,10 +86,11 @@ type Engine interface {
 	// finished runs into job.StoreDir, and returns the JSON result
 	// summary. A ctx cancellation must surface as ctx.Err().
 	Execute(ctx context.Context, job ExecJob) (json.RawMessage, error)
-	// Schemes and Scenarios describe the registries for the introspection
-	// endpoints; the returned values must be JSON-encodable.
+	// Schemes, Scenarios and Axes describe the registries for the
+	// introspection endpoints; the returned values must be JSON-encodable.
 	Schemes() any
 	Scenarios() any
+	Axes() any
 }
 
 // Event is one server-sent update about a job.
@@ -118,16 +120,28 @@ type JobView struct {
 
 // jobFile is the persisted section of a job (jobs/<id>/job.json).
 type jobFile struct {
-	ID          string          `json:"id"`
-	Kind        string          `json:"kind"`
-	State       JobState        `json:"state"`
-	Fingerprint string          `json:"fingerprint"`
-	TotalRuns   int             `json:"total_runs"`
-	CacheHit    bool            `json:"cache_hit,omitempty"`
-	Created     time.Time       `json:"created"`
-	Request     json.RawMessage `json:"request"`
-	Error       string          `json:"error,omitempty"`
-	Result      json.RawMessage `json:"result,omitempty"`
+	ID          string    `json:"id"`
+	Kind        string    `json:"kind"`
+	State       JobState  `json:"state"`
+	Fingerprint string    `json:"fingerprint"`
+	TotalRuns   int       `json:"total_runs"`
+	CacheHit    bool      `json:"cache_hit,omitempty"`
+	Created     time.Time `json:"created"`
+	// Finished is when the job reached a terminal state (zero for jobs
+	// persisted before it existed, or not yet terminal); the GC ages
+	// terminal jobs by it, falling back to Created.
+	Finished time.Time       `json:"finished,omitzero"`
+	Request  json.RawMessage `json:"request"`
+	Error    string          `json:"error,omitempty"`
+	Result   json.RawMessage `json:"result,omitempty"`
+}
+
+// age returns the terminal job's reference time for TTL pruning.
+func (f jobFile) age() time.Time {
+	if !f.Finished.IsZero() {
+		return f.Finished
+	}
+	return f.Created
 }
 
 // job is the in-memory state of one job. All mutable fields are guarded
@@ -164,6 +178,62 @@ func (j *job) view() JobView {
 	return v
 }
 
+// DefaultCacheSize bounds the result cache when the caller passes no
+// explicit size.
+const DefaultCacheSize = 1024
+
+// resultCache is a max-entries LRU over completed job results, keyed by
+// request fingerprint. Hits stay O(1): a map finds the entry, the
+// intrusive list re-links it to the front, and inserts evict from the
+// back once the bound is reached. It is guarded by the manager's mutex.
+type resultCache struct {
+	max int
+	ll  *list.List // front = most recently used
+	m   map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key string
+	val json.RawMessage
+}
+
+func newResultCache(max int) *resultCache {
+	if max <= 0 {
+		max = DefaultCacheSize
+	}
+	return &resultCache{max: max, ll: list.New(), m: map[string]*list.Element{}}
+}
+
+func (c *resultCache) get(key string) (json.RawMessage, bool) {
+	el, ok := c.m[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).val, true
+}
+
+func (c *resultCache) add(key string, val json.RawMessage) {
+	if el, ok := c.m[key]; ok {
+		el.Value.(*cacheEntry).val = val
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.m[key] = c.ll.PushFront(&cacheEntry{key: key, val: val})
+	for c.ll.Len() > c.max {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.m, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+func (c *resultCache) remove(key string) {
+	if el, ok := c.m[key]; ok {
+		c.ll.Remove(el)
+		delete(c.m, key)
+	}
+}
+
 // Manager owns the job queue: submission, persistence, the result cache,
 // execution workers and event fan-out.
 type Manager struct {
@@ -179,7 +249,7 @@ type Manager struct {
 	jobs   map[string]*job
 	order  []string // submission order (restart: created order)
 	queue  []string // pending job IDs, FIFO
-	cache  map[string]json.RawMessage
+	cache  *resultCache
 	closed bool
 }
 
@@ -187,8 +257,10 @@ type Manager struct {
 // persisted job — terminal jobs populate the result cache, interrupted
 // ones re-queue with store resume — and starts `workers` job executors
 // (each job saturates the batch runner's own worker pool, so 1 is the
-// sensible default).
-func NewManager(dir string, engine Engine, workers int) (*Manager, error) {
+// sensible default). cacheSize bounds the result cache's entry count
+// (<= 0 selects DefaultCacheSize); the oldest completed entries are
+// evicted LRU once it fills.
+func NewManager(dir string, engine Engine, workers, cacheSize int) (*Manager, error) {
 	if dir == "" {
 		return nil, fmt.Errorf("server: no data directory")
 	}
@@ -205,7 +277,7 @@ func NewManager(dir string, engine Engine, workers int) (*Manager, error) {
 		ctx:    ctx,
 		cancel: cancel,
 		jobs:   map[string]*job{},
-		cache:  map[string]json.RawMessage{},
+		cache:  newResultCache(cacheSize),
 	}
 	m.wake = sync.NewCond(&m.mu)
 	if err := m.scan(); err != nil {
@@ -259,7 +331,7 @@ func (m *Manager) scan() error {
 		m.order = append(m.order, j.meta.ID)
 		switch {
 		case j.meta.State == StateDone && !j.meta.CacheHit && len(j.meta.Result) > 0:
-			m.cache[j.meta.Fingerprint] = j.meta.Result
+			m.cache.add(j.meta.Fingerprint, j.meta.Result)
 		case !j.meta.State.Terminal():
 			// Interrupted mid-flight (crash or shutdown): re-queue; the
 			// job's store resumes, so only missing runs execute.
@@ -329,11 +401,12 @@ func (m *Manager) Submit(kind string, req json.RawMessage) (JobView, error) {
 		Created:     time.Now().UTC(),
 		Request:     req,
 	}}
-	if result, hit := m.cache[prep.Fingerprint]; hit {
+	if result, hit := m.cache.get(prep.Fingerprint); hit {
 		// An identical computation already completed: answer O(1) from
 		// the cache, no store, no execution.
 		j.meta.State = StateDone
 		j.meta.CacheHit = true
+		j.meta.Finished = j.meta.Created
 		j.meta.Result = result
 	}
 	if err := m.persistLocked(j); err != nil {
@@ -383,6 +456,7 @@ func (m *Manager) Cancel(id string) (JobView, bool) {
 	case StateQueued:
 		j.cancelRequested = true
 		j.meta.State = StateCancelled
+		j.meta.Finished = time.Now().UTC()
 		m.persistLocked(j) // best effort; state change survives either way
 		m.broadcastLocked(j, Event{Type: "state", Payload: j.view()})
 		m.closeSubsLocked(j)
@@ -445,7 +519,8 @@ func (m *Manager) worker() {
 		id := m.queue[0]
 		m.queue = m.queue[1:]
 		j := m.jobs[id]
-		if j.meta.State != StateQueued || j.cancelRequested {
+		if j == nil || j.meta.State != StateQueued || j.cancelRequested {
+			// nil: the job was GC'd while its id sat in the queue.
 			m.mu.Unlock()
 			continue
 		}
@@ -482,7 +557,7 @@ func (m *Manager) worker() {
 		case err == nil:
 			j.meta.State = StateDone
 			j.meta.Result = result
-			m.cache[j.meta.Fingerprint] = result
+			m.cache.add(j.meta.Fingerprint, result)
 		case j.cancelRequested:
 			j.meta.State = StateCancelled
 			j.meta.Error = "cancelled"
@@ -494,6 +569,9 @@ func (m *Manager) worker() {
 			j.meta.State = StateFailed
 			j.meta.Error = err.Error()
 		}
+		if j.meta.State.Terminal() {
+			j.meta.Finished = time.Now().UTC()
+		}
 		m.persistLocked(j)
 		m.broadcastLocked(j, Event{Type: "state", Payload: j.view()})
 		if j.meta.State.Terminal() {
@@ -501,6 +579,68 @@ func (m *Manager) worker() {
 		}
 		m.mu.Unlock()
 	}
+}
+
+// GC prunes terminal jobs (and their on-disk directories, stores
+// included) whose terminal timestamp is older than ttl, returning how
+// many were removed. Queued and running jobs are never touched, whatever
+// their age. A pruned job's result-cache entry is dropped with it —
+// unless a surviving done job backs the same fingerprint — so the cache
+// never outlives every job that could repopulate it across a restart.
+// ttl <= 0 is a no-op.
+//
+// Directory deletion happens after the manager lock is released: a
+// multi-gigabyte layout store must not stall submissions or progress
+// broadcasts. If a deletion fails the job is already unregistered; the
+// leftover directory reloads as a terminal job on the next start and a
+// later sweep retries it.
+func (m *Manager) GC(ttl time.Duration) int {
+	if ttl <= 0 {
+		return 0
+	}
+	cutoff := time.Now().UTC().Add(-ttl)
+	m.mu.Lock()
+	var pruned []*job
+	kept := m.order[:0]
+	// Fingerprints still backed by a kept done job must stay cached.
+	keptBacking := map[string]bool{}
+	for _, id := range m.order {
+		j := m.jobs[id]
+		if !j.meta.State.Terminal() || j.meta.age().After(cutoff) {
+			kept = append(kept, id)
+			if j.meta.State == StateDone && !j.meta.CacheHit {
+				keptBacking[j.meta.Fingerprint] = true
+			}
+			continue
+		}
+		pruned = append(pruned, j)
+	}
+	m.order = kept
+	for _, j := range pruned {
+		if j.meta.State == StateDone && !j.meta.CacheHit && !keptBacking[j.meta.Fingerprint] {
+			m.cache.remove(j.meta.Fingerprint)
+		}
+		m.closeSubsLocked(j)
+		delete(m.jobs, j.meta.ID)
+	}
+	if len(pruned) > 0 {
+		// A job cancelled while queued is terminal but its id may still
+		// sit in the pending queue; drop pruned ids so the worker never
+		// pops an unregistered job.
+		queue := m.queue[:0]
+		for _, id := range m.queue {
+			if m.jobs[id] != nil {
+				queue = append(queue, id)
+			}
+		}
+		m.queue = queue
+	}
+	m.mu.Unlock()
+
+	for _, j := range pruned {
+		os.RemoveAll(filepath.Join(m.dir, "jobs", j.meta.ID))
+	}
+	return len(pruned)
 }
 
 // persistLocked writes the job's metadata atomically (write + rename).

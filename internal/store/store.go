@@ -30,6 +30,7 @@ import (
 	"os"
 	"path/filepath"
 	"reflect"
+	"strconv"
 	"sync"
 	"time"
 )
@@ -44,13 +45,33 @@ const (
 )
 
 // SweepAxes records the sweep definition that produced a store, for
-// resume-compatibility checks and reporting.
+// resume-compatibility checks and reporting. Every field is omitted when
+// empty, so pre-axis manifests load unchanged and axis-free sweeps keep
+// writing byte-identical manifests.
 type SweepAxes struct {
 	Schemes   []string `json:"schemes,omitempty"`
 	Scenarios []string `json:"scenarios,omitempty"`
 	Ns        []int    `json:"ns,omitempty"`
-	Repeats   int      `json:"repeats,omitempty"`
-	Seed      uint64   `json:"seed,omitempty"`
+	// Axes are the sweep's generalized parameter dimensions (rc, rs,
+	// speed, scheme options, custom axes) by name and ordered value list.
+	Axes []Axis `json:"axes,omitempty"`
+	// FixedSeed marks a sweep whose runs all use Seed verbatim instead of
+	// per-combination derived seeds (paired parameter studies).
+	FixedSeed bool   `json:"fixed_seed,omitempty"`
+	Repeats   int    `json:"repeats,omitempty"`
+	Seed      uint64 `json:"seed,omitempty"`
+}
+
+// Axis is one generalized sweep dimension as persisted in a manifest.
+type Axis struct {
+	Name   string    `json:"name"`
+	Values []float64 `json:"values"`
+}
+
+// AxisValue is one run's assignment on one axis, as persisted in records.
+type AxisValue struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
 }
 
 // Manifest identifies a store: what sweep it holds, which shard of it, and
@@ -94,21 +115,24 @@ func (m Manifest) compatible(n Manifest) bool {
 type Record struct {
 	// Index is the run's position in the full (unsharded) sweep expansion;
 	// merging shards sorts by it to reproduce the unsharded order.
-	Index             int     `json:"index"`
-	Scheme            string  `json:"scheme"`
-	Scenario          string  `json:"scenario,omitempty"`
-	N                 int     `json:"n"`
-	Repeat            int     `json:"repeat"`
-	Seed              uint64  `json:"seed"`
-	ConfigFingerprint string  `json:"config_fingerprint"`
-	Coverage          float64 `json:"coverage"`
-	Coverage2         float64 `json:"coverage2"`
-	Alive             int     `json:"alive"`
-	AvgMoveDistance   float64 `json:"avg_move_distance"`
-	Messages          int64   `json:"messages"`
-	ConvergenceTime   float64 `json:"convergence_time"`
-	Connected         bool    `json:"connected"`
-	IncorrectCells    int     `json:"incorrect_voronoi_cells,omitempty"`
+	Index    int    `json:"index"`
+	Scheme   string `json:"scheme"`
+	Scenario string `json:"scenario,omitempty"`
+	N        int    `json:"n"`
+	Repeat   int    `json:"repeat"`
+	// Axes are the run's generalized axis assignments, in axis order;
+	// omitted for axis-free runs so pre-axis records round-trip unchanged.
+	Axes              []AxisValue `json:"axes,omitempty"`
+	Seed              uint64      `json:"seed"`
+	ConfigFingerprint string      `json:"config_fingerprint"`
+	Coverage          float64     `json:"coverage"`
+	Coverage2         float64     `json:"coverage2"`
+	Alive             int         `json:"alive"`
+	AvgMoveDistance   float64     `json:"avg_move_distance"`
+	Messages          int64       `json:"messages"`
+	ConvergenceTime   float64     `json:"convergence_time"`
+	Connected         bool        `json:"connected"`
+	IncorrectCells    int         `json:"incorrect_voronoi_cells,omitempty"`
 	// Positions and InitialPositions are the run's final and starting
 	// sensor layouts, persisted only when the store was created with
 	// Manifest.Layouts — they make stored runs fully replayable (layout
@@ -130,10 +154,15 @@ type Point struct {
 
 // Key identifies a run within a sweep: every axis value plus the derived
 // seed and the per-run config fingerprint. Two runs share a key exactly
-// when they are the same deterministic computation.
+// when they are the same deterministic computation. Axis-free records
+// produce the exact pre-axis key, so old stores keep resuming.
 func (r Record) Key() string {
-	return fmt.Sprintf("%s|%s|n%d|r%d|s%016x|c%s",
+	k := fmt.Sprintf("%s|%s|n%d|r%d|s%016x|c%s",
 		r.Scheme, r.Scenario, r.N, r.Repeat, r.Seed, r.ConfigFingerprint)
+	for _, a := range r.Axes {
+		k += fmt.Sprintf("|%s=%s", a.Name, strconv.FormatFloat(a.Value, 'g', -1, 64))
+	}
+	return k
 }
 
 // Timing is the non-deterministic sidecar section of one record.

@@ -1,0 +1,109 @@
+package mobisense
+
+import (
+	"context"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// preAxisSweep reconstructs the sweep that produced the checked-in
+// pre-axis store fixture (testdata/preaxis, see gen.go there).
+func preAxisSweep() Sweep {
+	cfg := DefaultConfig(SchemeFLOOR)
+	cfg.N = 20
+	cfg.Duration = 60
+	return Sweep{
+		Base:      cfg,
+		Schemes:   []Scheme{SchemeCPVF, SchemeFLOOR},
+		Scenarios: []string{"free", "random-obstacles"},
+		Repeats:   2,
+		Seed:      42,
+	}
+}
+
+// copyDir clones a fixture store into a writable temp directory.
+func copyDir(t *testing.T, src, dst string) {
+	t.Helper()
+	if err := os.MkdirAll(dst, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	err := filepath.WalkDir(src, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return err
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(src, path)
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(filepath.Join(dst, rel), data, 0o644)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPreAxisStoreFixture is the backward-compatibility acceptance test:
+// stores written before the axis system (checked in under
+// testdata/preaxis) must still load, resume without re-running any stored
+// record, and merge into the same aggregates a live run produces.
+func TestPreAxisStoreFixture(t *testing.T) {
+	sweep := preAxisSweep()
+	shard0 := filepath.Join("testdata", "preaxis", "shard0")
+	shard1Fixture := filepath.Join("testdata", "preaxis", "shard1")
+
+	// Load: the complete pre-axis shard parses, axes absent.
+	data, err := LoadStores(shard0)
+	if err != nil {
+		t.Fatalf("pre-axis store no longer loads: %v", err)
+	}
+	if !data.Stores[0].Complete || data.Stores[0].TotalRuns != 4 || len(data.Runs) != 4 {
+		t.Fatalf("pre-axis shard0 = %+v with %d runs", data.Stores[0], len(data.Runs))
+	}
+	for _, br := range data.Runs {
+		if br.Spec.Axes != nil {
+			t.Errorf("pre-axis record %d grew axes: %+v", br.Spec.Index, br.Spec.Axes)
+		}
+	}
+
+	// Resume: the interrupted pre-axis shard1 (2 of 4 records) continues
+	// under the axis-aware runner, executing only the missing runs.
+	shard1 := filepath.Join(t.TempDir(), "shard1")
+	copyDir(t, shard1Fixture, shard1)
+	executed := 0
+	if _, err := sweep.Run(context.Background(), BatchOptions{
+		Workers:    1,
+		Store:      &Store{Dir: shard1, Resume: true},
+		Shard:      Shard{Index: 1, Count: 2},
+		OnProgress: func(int, int) { executed++ },
+	}); err != nil {
+		t.Fatalf("pre-axis store no longer resumes: %v", err)
+	}
+	if executed != 2 {
+		t.Errorf("resume executed %d runs, want 2 (2 of 4 were stored pre-axis)", executed)
+	}
+
+	// Merge: fixture shard0 + resumed shard1 reproduce the live sweep's
+	// aggregates exactly (what cmd/report prints over these directories).
+	want, err := sweep.Run(context.Background(), BatchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged, err := LoadStores(shard0, shard1)
+	if err != nil {
+		t.Fatalf("pre-axis shards no longer merge: %v", err)
+	}
+	if len(merged.Runs) != len(want.Runs) {
+		t.Fatalf("merged %d runs, want %d", len(merged.Runs), len(want.Runs))
+	}
+	if !reflect.DeepEqual(merged.Aggregates, want.Aggregates) {
+		t.Errorf("pre-axis merge aggregates differ from live run:\nmerged: %+v\nwant:   %+v",
+			merged.Aggregates, want.Aggregates)
+	}
+}

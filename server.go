@@ -123,7 +123,14 @@ type SweepRequest struct {
 	Schemes   []string `json:"schemes,omitempty"`
 	Scenarios []string `json:"scenarios,omitempty"`
 	Ns        []int    `json:"ns,omitempty"`
-	Repeats   int      `json:"repeats,omitempty"`
+	// Axes are generalized parameter dimensions by built-in axis name
+	// (see GET /v1/axes): e.g. {"name":"rc","values":[30,60]}. Aggregates
+	// in the job result carry the per-group axis values back.
+	Axes []AxisSpec `json:"axes,omitempty"`
+	// FixedSeed runs every combination with the base seed verbatim (the
+	// paper's paired parameter studies) instead of derived seeds.
+	FixedSeed bool `json:"fixed_seed,omitempty"`
+	Repeats   int  `json:"repeats,omitempty"`
 }
 
 // sweep expands the request into a Sweep. The scenario axis is always
@@ -146,13 +153,23 @@ func (r SweepRequest) sweep() (Sweep, error) {
 	for _, s := range r.Schemes {
 		schemes = append(schemes, Scheme(s))
 	}
+	axes := make([]ParamAxis, 0, len(r.Axes))
+	for _, spec := range r.Axes {
+		ax, err := BuildAxis(spec.Name, spec.Values...)
+		if err != nil {
+			return Sweep{}, err
+		}
+		axes = append(axes, ax)
+	}
 	return Sweep{
 		Base:      cfg,
 		Schemes:   schemes,
 		Scenarios: scenarios,
 		Ns:        r.Ns,
+		Axes:      axes,
 		Repeats:   r.Repeats,
 		Seed:      cfg.Seed,
+		FixedSeed: r.FixedSeed,
 	}, nil
 }
 
@@ -163,6 +180,10 @@ type ServiceOptions struct {
 	// Jobs is the number of jobs executing concurrently (default 1 —
 	// each job already saturates the batch pool).
 	Jobs int
+	// CacheSize bounds the fingerprint-keyed result cache's entry count;
+	// the least recently used completed entries are evicted beyond it
+	// (<= 0 selects the server default of 1024).
+	CacheSize int
 }
 
 // Service is a deployment server: an HTTP API over an async job queue
@@ -177,7 +198,7 @@ type Service struct {
 // re-queued immediately and resume from their stores, re-executing only
 // the runs that never finished.
 func NewService(dataDir string, opts ServiceOptions) (*Service, error) {
-	m, err := server.NewManager(dataDir, &serviceEngine{workers: opts.Workers}, opts.Jobs)
+	m, err := server.NewManager(dataDir, &serviceEngine{workers: opts.Workers}, opts.Jobs, opts.CacheSize)
 	if err != nil {
 		return nil, err
 	}
@@ -187,6 +208,12 @@ func NewService(dataDir string, opts ServiceOptions) (*Service, error) {
 // Handler returns the service's HTTP API (see internal/server.NewHandler
 // for the route table).
 func (s *Service) Handler() http.Handler { return server.NewHandler(s.m) }
+
+// GC prunes finished jobs — and their on-disk stores — older than ttl,
+// returning how many were removed. Queued and running jobs are never
+// touched. cmd/serve calls this at startup and periodically when
+// -jobs-ttl is set.
+func (s *Service) GC(ttl time.Duration) int { return s.m.GC(ttl) }
 
 // Close cancels running jobs (finished runs persist and resume on the
 // next start) and waits for the executors to stop.
@@ -404,6 +431,21 @@ func (e *serviceEngine) Scenarios() any {
 	out := make([]ScenarioInfo, 0, len(scs))
 	for _, sc := range scs {
 		out = append(out, ScenarioInfo{Name: sc.Name, Description: sc.Description, Seeded: sc.Seeded})
+	}
+	return out
+}
+
+// AxisInfo is the introspection document of one built-in sweep axis
+// (GET /v1/axes).
+type AxisInfo struct {
+	Name string `json:"name"`
+}
+
+func (e *serviceEngine) Axes() any {
+	names := AxisNames()
+	out := make([]AxisInfo, 0, len(names))
+	for _, name := range names {
+		out = append(out, AxisInfo{Name: name})
 	}
 	return out
 }

@@ -408,3 +408,36 @@ func mustGet(t *testing.T, url string) *http.Response {
 	}
 	return resp
 }
+
+// TestSweepRequestAxes: the wire axes resolve through the built-in axis
+// registry into real sweep dimensions, fixed_seed pins every run to the
+// base seed, and unknown axis names are rejected at validation.
+func TestSweepRequestAxes(t *testing.T) {
+	req := SweepRequest{
+		RunRequest: RunRequest{Scheme: "floor", N: 20, Duration: 60, Seed: 9},
+		Axes:       []AxisSpec{{Name: "rc", Values: []float64{50, 60}}},
+		FixedSeed:  true,
+	}
+	s, err := req.sweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs, err := s.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 2 {
+		t.Fatalf("expanded %d runs, want 2", len(specs))
+	}
+	for i, want := range []float64{50, 60} {
+		if specs[i].Config.Rc != want || specs[i].Seed != 9 {
+			t.Errorf("run %d: rc=%g seed=%d, want rc=%g seed=9",
+				i, specs[i].Config.Rc, specs[i].Seed, want)
+		}
+	}
+
+	req.Axes = []AxisSpec{{Name: "bogus", Values: []float64{1}}}
+	if _, err := req.sweep(); err == nil {
+		t.Error("unknown axis name should be rejected")
+	}
+}

@@ -134,6 +134,7 @@ func recordFrom(sp RunSpec, res Result, runErr error, layouts bool) istore.Recor
 		Scenario:          sp.Scenario,
 		N:                 sp.N,
 		Repeat:            sp.Repeat,
+		Axes:              toStoreAxes(sp.Axes),
 		Seed:              sp.Seed,
 		ConfigFingerprint: configFingerprint(sp.Config),
 	}
@@ -154,6 +155,28 @@ func recordFrom(sp RunSpec, res Result, runErr error, layouts bool) istore.Recor
 		rec.InitialPositions = toStorePoints(res.InitialPositions)
 	}
 	return rec
+}
+
+func toStoreAxes(axes []AxisValue) []istore.AxisValue {
+	if axes == nil {
+		return nil
+	}
+	out := make([]istore.AxisValue, len(axes))
+	for i, a := range axes {
+		out[i] = istore.AxisValue{Name: a.Name, Value: a.Value}
+	}
+	return out
+}
+
+func fromStoreAxes(axes []istore.AxisValue) []AxisValue {
+	if axes == nil {
+		return nil
+	}
+	out := make([]AxisValue, len(axes))
+	for i, a := range axes {
+		out[i] = AxisValue{Name: a.Name, Value: a.Value}
+	}
+	return out
 }
 
 func toStorePoints(ps []Point) []istore.Point {
@@ -348,6 +371,7 @@ func LoadStores(dirs ...string) (StoreData, error) {
 			Scenario: rec.Scenario,
 			N:        rec.N,
 			Repeat:   rec.Repeat,
+			Axes:     fromStoreAxes(rec.Axes),
 			Seed:     rec.Seed,
 		}
 		data.Runs = append(data.Runs, replayedResult(sp, rec))

@@ -1,0 +1,68 @@
+//go:build ignore
+
+// gen.go regenerated the pre-axis store fixture in this directory. It was
+// run against the last pre-axis commit, so shard0/ and shard1/ hold
+// manifests and records exactly as that version wrote them: no "axes"
+// section anywhere. TestPreAxisStoreFixture loads, resumes and merges
+// these bytes to prove the axis refactor never invalidates old stores.
+//
+// shard0 is a complete shard; shard1 was interrupted after two runs (its
+// manifest is not complete), so the fixture also exercises resume.
+//
+//	go run testdata/preaxis/gen.go
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"mobisense"
+)
+
+func main() {
+	dir := filepath.Join("testdata", "preaxis")
+	cfg := mobisense.DefaultConfig(mobisense.SchemeFLOOR)
+	cfg.N = 20
+	cfg.Duration = 60
+	sweep := mobisense.Sweep{
+		Base:      cfg,
+		Schemes:   []mobisense.Scheme{mobisense.SchemeCPVF, mobisense.SchemeFLOOR},
+		Scenarios: []string{"free", "random-obstacles"},
+		Repeats:   2,
+		Seed:      42,
+	}
+
+	shard0 := filepath.Join(dir, "shard0")
+	os.RemoveAll(shard0)
+	if _, err := sweep.Run(context.Background(), mobisense.BatchOptions{
+		Workers: 1,
+		Store:   &mobisense.Store{Dir: shard0},
+		Shard:   mobisense.Shard{Index: 0, Count: 2},
+	}); err != nil {
+		panic(err)
+	}
+
+	shard1 := filepath.Join(dir, "shard1")
+	os.RemoveAll(shard1)
+	ctx, cancel := context.WithCancel(context.Background())
+	var mu sync.Mutex
+	_, err := sweep.Run(ctx, mobisense.BatchOptions{
+		Workers: 1,
+		Store:   &mobisense.Store{Dir: shard1},
+		OnProgress: func(done, total int) {
+			mu.Lock()
+			defer mu.Unlock()
+			if done >= 2 {
+				cancel()
+			}
+		},
+		Shard: mobisense.Shard{Index: 1, Count: 2},
+	})
+	if err != context.Canceled {
+		panic(fmt.Sprintf("expected an interrupted shard1, got err=%v", err))
+	}
+	fmt.Println("fixture regenerated under", dir)
+}
