@@ -2,17 +2,22 @@ package mobisense
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strconv"
 	"strings"
+
+	"mobisense/internal/field"
 )
 
 // The axis system generalizes sweeps beyond scheme × scenario × N: any
 // config parameter — communication range, sensing range, speed, a scheme
-// option like FLOOR's invitation TTL or CPVF's oscillation factor δ —
-// becomes a first-class sweep dimension. The paper's evaluation is exactly
-// this shape: Figures 9–13 and Table 1 hold the deployment fixed and vary
-// one or two knobs, which previously lived as hand-built config lists.
+// option like FLOOR's invitation TTL or CPVF's oscillation factor δ, and
+// since the field-spec refactor the environment itself (obstacle count,
+// obstacle density, base-station placement) — becomes a first-class sweep
+// dimension. The paper's evaluation is exactly this shape: Figures 9–13
+// and Table 1 hold the deployment fixed and vary one or two knobs, which
+// previously lived as hand-built config lists.
 //
 // An axis is a name, an ordered value list, and a setter that applies one
 // value to a Config. Sweep.Expand folds every axis into the cross-product;
@@ -26,11 +31,17 @@ type ParamAxis struct {
 	Name string
 	// Values is the ordered list of axis values to expand.
 	Values []float64
+	// Integer marks an axis whose values must be whole numbers (hop
+	// counts, obstacle counts, round counts). Validation rejects
+	// fractional values up front — the setter would otherwise truncate
+	// silently while records carried the fractional value — and setters
+	// receive values that round-trip exactly through float64.
+	Integer bool
 	// Set applies one value to a run's config. It runs after the scheme,
 	// scenario field, N and seed are assigned, so setters may depend on
-	// them (e.g. a TTL expressed as a fraction of N, or a scheme-specific
-	// measurement protocol). Setters must not mutate structs shared with
-	// the base config — copy option structs before writing.
+	// them (e.g. a TTL expressed as a fraction of N, or a field rebuilt
+	// around a moved base station). Setters must not mutate structs shared
+	// with the base config — copy option structs before writing.
 	Set func(cfg *Config, v float64)
 }
 
@@ -43,6 +54,13 @@ func (a ParamAxis) validate() error {
 	}
 	if a.Set == nil {
 		return fmt.Errorf("mobisense: axis %q has no setter", a.Name)
+	}
+	if a.Integer {
+		for _, v := range a.Values {
+			if math.Trunc(v) != v {
+				return fmt.Errorf("mobisense: axis %q is integer-valued but has value %v", a.Name, v)
+			}
+		}
 	}
 	return nil
 }
@@ -64,34 +82,138 @@ type AxisSpec struct {
 
 // NewAxis defines a custom axis — the extension point for parameters the
 // built-ins don't cover (oscillation modes, TTLs as a fraction of N,
-// coupled rc/rs ratios, ...).
+// coupled rc/rs ratios, ...). Set ParamAxis.Integer afterwards for
+// whole-number axes.
 func NewAxis(name string, set func(cfg *Config, v float64), values ...float64) ParamAxis {
 	return ParamAxis{Name: name, Values: values, Set: set}
 }
 
-// builtinAxes maps the axis names accepted by BuildAxis (and therefore the
-// -axis CLI flag and the HTTP SweepRequest) to their setters. Option-struct
-// setters copy before writing so the shared base config stays untouched.
-var builtinAxes = map[string]func(cfg *Config, v float64){
-	"rc":    func(cfg *Config, v float64) { cfg.Rc = v },
-	"rs":    func(cfg *Config, v float64) { cfg.Rs = v },
-	"speed": func(cfg *Config, v float64) { cfg.Speed = v },
-	"cpvf.delta": func(cfg *Config, v float64) {
-		o := CPVFOptions{}
-		if cfg.CPVF != nil {
-			o = *cfg.CPVF
-		}
-		o.Delta = v
-		cfg.CPVF = &o
+// builtinAxis is one entry of the axis registry behind BuildAxis (and
+// therefore the -axis CLI flag and the HTTP SweepRequest).
+type builtinAxis struct {
+	set     func(cfg *Config, v float64)
+	integer bool
+	desc    string
+}
+
+// builtinAxes maps axis names to their setters. Option-struct setters
+// copy before writing so the shared base config stays untouched;
+// field-rebuilding setters go through the spec layer and the shared
+// build cache.
+var builtinAxes = map[string]builtinAxis{
+	"rc":    {set: func(cfg *Config, v float64) { cfg.Rc = v }, desc: "communication range rc (m)"},
+	"rs":    {set: func(cfg *Config, v float64) { cfg.Rs = v }, desc: "sensing range rs (m)"},
+	"speed": {set: func(cfg *Config, v float64) { cfg.Speed = v }, desc: "maximum speed V (m/s)"},
+	"cpvf.delta": {
+		set: func(cfg *Config, v float64) {
+			o := CPVFOptions{}
+			if cfg.CPVF != nil {
+				o = *cfg.CPVF
+			}
+			o.Delta = v
+			cfg.CPVF = &o
+		},
+		desc: "CPVF oscillation-avoidance factor δ (§6.3)",
 	},
-	"floor.ttl": func(cfg *Config, v float64) {
-		o := FloorOptions{}
-		if cfg.Floor != nil {
-			o = *cfg.Floor
-		}
-		o.TTL = int(v)
-		cfg.Floor = &o
+	"floor.ttl": {
+		set: func(cfg *Config, v float64) {
+			o := FloorOptions{}
+			if cfg.Floor != nil {
+				o = *cfg.Floor
+			}
+			o.TTL = int(v)
+			cfg.Floor = &o
+		},
+		integer: true,
+		desc:    "FLOOR invitation random-walk TTL in hops (§5.2)",
 	},
+	"field.obstacles": {
+		set: func(cfg *Config, v float64) {
+			regenerateField(cfg, func(spec *FieldSpec) {
+				g := generatorOf(spec)
+				g.MinCount, g.MaxCount = int(v), int(v)
+				spec.Generator = g
+			})
+		},
+		integer: true,
+		desc:    "exact random-obstacle count; regenerates the field per axis point",
+	},
+	"field.density": {
+		set: func(cfg *Config, v float64) {
+			regenerateField(cfg, func(spec *FieldSpec) {
+				g := generatorOf(spec)
+				b := spec.Bounds
+				w, h := b.MaxX-b.MinX, b.MaxY-b.MinY
+				// Size the count from the side range the generator
+				// actually samples (clamped to the field), or small
+				// fields would silently undershoot the requested density.
+				minSide, maxSide := g.ClampedSides(w, h)
+				mean := (minSide + maxSide) / 2
+				n := 0
+				if mean > 0 {
+					n = int(math.Round(v * w * h / (mean * mean)))
+				}
+				if n < 0 {
+					n = 0
+				}
+				g.MinCount, g.MaxCount = n, n
+				spec.Generator = g
+			})
+		},
+		desc: "target obstacle area fraction; picks a random-obstacle count to match and regenerates the field",
+	},
+	"field.ref": {
+		set: func(cfg *Config, v float64) {
+			regenerateField(cfg, func(spec *FieldSpec) {
+				b := spec.Bounds
+				spec.Reference = &PointSpec{
+					X: b.MinX + v*(b.MaxX-b.MinX),
+					Y: b.MinY + v*(b.MaxY-b.MinY),
+				}
+			})
+		},
+		desc: "base-station placement: fraction 0..1 along the field diagonal from the lower-left corner",
+	},
+}
+
+// generatorOf returns a copy of the spec's generator, or the §6.4
+// default side range when the field has none (fixed-geometry fields gain
+// generated obstacles on top of their fixed ones). Counts are always
+// overwritten by the caller.
+func generatorOf(spec *FieldSpec) *GeneratorSpec {
+	if spec.Generator != nil {
+		g := *spec.Generator
+		return &g
+	}
+	def := field.DefaultRandomObstacleConfig()
+	return &GeneratorSpec{MinSide: def.MinSide, MaxSide: def.MaxSide, KeepClear: def.KeepClear}
+}
+
+// regenerateField rebuilds cfg.Field from a mutated copy of its spec,
+// seeded by the run's environment seed (assigned per (scenario, repeat)
+// slot, independent of the scheme, N and the other axes) so every run
+// of one comparison point deploys into the same regenerated
+// environment. Build failures — an unreachable reference point,
+// obstacles that partition the field — are deferred to the run's
+// validation, failing that run with a clear error instead of aborting
+// the whole sweep expansion.
+func regenerateField(cfg *Config, mutate func(*FieldSpec)) {
+	if cfg.Field.internal() == nil {
+		cfg.specErr = fmt.Errorf("mobisense: field axis applied to a config with no field")
+		return
+	}
+	spec := cfg.Field.Spec()
+	mutate(&spec)
+	seed := cfg.fieldSeed
+	if seed == 0 {
+		seed = cfg.Seed
+	}
+	f, err := BuildFieldSpec(spec, seed)
+	if err != nil {
+		cfg.specErr = fmt.Errorf("mobisense: field axis: %w", err)
+		return
+	}
+	cfg.Field = f
 }
 
 // AxisNames lists the built-in axis names BuildAxis accepts, sorted.
@@ -116,6 +238,19 @@ func AxisCPVFDelta(values ...float64) ParamAxis { return mustBuildAxis("cpvf.del
 // AxisFloorTTL sweeps FLOOR's invitation random-walk TTL in hops (§5.2).
 func AxisFloorTTL(values ...float64) ParamAxis { return mustBuildAxis("floor.ttl", values) }
 
+// AxisFieldObstacles sweeps the exact random-obstacle count of the run's
+// field, regenerating it per axis point (seed-paired across schemes).
+func AxisFieldObstacles(values ...float64) ParamAxis { return mustBuildAxis("field.obstacles", values) }
+
+// AxisFieldDensity sweeps the target obstacle area fraction of the run's
+// field.
+func AxisFieldDensity(values ...float64) ParamAxis { return mustBuildAxis("field.density", values) }
+
+// AxisFieldRef sweeps the base-station placement as a fraction 0..1
+// along the field diagonal, rebuilding the field around the moved
+// reference point.
+func AxisFieldRef(values ...float64) ParamAxis { return mustBuildAxis("field.ref", values) }
+
 func mustBuildAxis(name string, values []float64) ParamAxis {
 	ax, err := BuildAxis(name, values...)
 	if err != nil {
@@ -125,17 +260,33 @@ func mustBuildAxis(name string, values []float64) ParamAxis {
 }
 
 // BuildAxis resolves a built-in axis by name over the given values — the
-// registry behind the CLI's -axis flag and the server's SweepRequest axes.
+// registry behind the CLI's -axis flag and the server's SweepRequest
+// axes. Integer-valued axes reject fractional values here, before any
+// run executes.
 func BuildAxis(name string, values ...float64) (ParamAxis, error) {
-	set, ok := builtinAxes[name]
+	def, ok := builtinAxes[name]
 	if !ok {
 		return ParamAxis{}, fmt.Errorf("mobisense: unknown axis %q (have %s)", name, strings.Join(AxisNames(), ", "))
 	}
-	return ParamAxis{Name: name, Values: values, Set: set}, nil
+	ax := ParamAxis{Name: name, Values: values, Integer: def.integer, Set: def.set}
+	if len(values) > 0 {
+		if err := ax.validate(); err != nil {
+			return ParamAxis{}, err
+		}
+	}
+	return ax, nil
 }
 
+// AxisIsInteger reports whether the named built-in axis takes integer
+// values (and "" description for unknown names).
+func AxisIsInteger(name string) bool { return builtinAxes[name].integer }
+
+// AxisDescription returns the one-line description of a built-in axis.
+func AxisDescription(name string) string { return builtinAxes[name].desc }
+
 // ParseAxis parses the CLI axis syntax "name=v1,v2,..." into a built-in
-// axis.
+// axis. Integer-valued axes (floor.ttl, field.obstacles) reject
+// fractional values.
 func ParseAxis(spec string) (ParamAxis, error) {
 	name, list, ok := strings.Cut(spec, "=")
 	if !ok || name == "" || list == "" {
@@ -154,7 +305,8 @@ func ParseAxis(spec string) (ParamAxis, error) {
 }
 
 // formatAxisValue renders an axis value compactly and losslessly for keys,
-// tables and CSV columns.
+// tables and CSV columns (integer axis values render without a decimal
+// point).
 func formatAxisValue(v float64) string {
 	return strconv.FormatFloat(v, 'g', -1, 64)
 }

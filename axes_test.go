@@ -2,6 +2,7 @@ package mobisense
 
 import (
 	"context"
+	"fmt"
 	"path/filepath"
 	"reflect"
 	"testing"
@@ -240,7 +241,7 @@ func TestAxisValidation(t *testing.T) {
 		t.Error("unknown built-in axis should error")
 	}
 	names := AxisNames()
-	want := []string{"cpvf.delta", "floor.ttl", "rc", "rs", "speed"}
+	want := []string{"cpvf.delta", "field.density", "field.obstacles", "field.ref", "floor.ttl", "rc", "rs", "speed"}
 	if !reflect.DeepEqual(names, want) {
 		t.Errorf("AxisNames() = %v, want %v", names, want)
 	}
@@ -280,5 +281,199 @@ func TestSpeedAndDeltaAxes(t *testing.T) {
 	last := specs[7].Config
 	if last.Speed != 2 || last.Rs != 40 || last.CPVF == nil || last.CPVF.Delta != 8 {
 		t.Errorf("last combo config = speed %g rs %g cpvf %+v", last.Speed, last.Rs, last.CPVF)
+	}
+}
+
+// TestIntegerAxisValidation is the regression test for the silent
+// floor.ttl truncation: integer-valued axes reject fractional values at
+// every entry point (BuildAxis, ParseAxis, Sweep.Expand) instead of
+// running one computation while recording another.
+func TestIntegerAxisValidation(t *testing.T) {
+	if _, err := BuildAxis("floor.ttl", 4, 6.5); err == nil {
+		t.Error("BuildAxis(floor.ttl, 6.5) should reject the fractional value")
+	}
+	if _, err := ParseAxis("floor.ttl=4,4.5"); err == nil {
+		t.Error("ParseAxis(floor.ttl=4.5) should reject the fractional value")
+	}
+	if _, err := ParseAxis("field.obstacles=2.5"); err == nil {
+		t.Error("ParseAxis(field.obstacles=2.5) should reject the fractional value")
+	}
+	// Whole-number values pass and apply exactly.
+	ax, err := ParseAxis("floor.ttl=4,8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ax.Integer {
+		t.Error("floor.ttl should be an integer axis")
+	}
+	for _, v := range ax.Values {
+		if formatAxisValue(v) != fmt.Sprintf("%d", int(v)) {
+			t.Errorf("integer axis value %v renders as %q", v, formatAxisValue(v))
+		}
+	}
+	// A custom integer axis is validated by the sweep too.
+	custom := NewAxis("probe", func(*Config, float64) {}, 1, 2.5)
+	custom.Integer = true
+	if _, err := (Sweep{Base: sweepConfig(), Axes: []ParamAxis{custom}}).Expand(); err == nil {
+		t.Error("sweep with fractional values on an integer axis should error")
+	}
+	// Float axes still accept fractions.
+	if _, err := ParseAxis("rc=45.5,60"); err != nil {
+		t.Errorf("float axis rejected fractional value: %v", err)
+	}
+	// The integer flag reaches the HTTP introspection layer.
+	if !AxisIsInteger("floor.ttl") || AxisIsInteger("rc") {
+		t.Error("AxisIsInteger misreports the built-ins")
+	}
+}
+
+// TestFieldRefAxis: the base-station placement axis moves the reference
+// point along the field diagonal, rebuilding the field per axis point
+// while keeping it paired across schemes.
+func TestFieldRefAxis(t *testing.T) {
+	s := Sweep{
+		Base:    sweepConfig(),
+		Schemes: []Scheme{SchemeCPVF, SchemeFLOOR},
+		Axes:    []ParamAxis{AxisFieldRef(0, 0.5)},
+		Seed:    11,
+	}
+	specs, err := s.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 4 {
+		t.Fatalf("expanded %d specs, want 4", len(specs))
+	}
+	refs := map[float64]PointSpec{}
+	for _, sp := range specs {
+		if sp.Config.specErr != nil {
+			t.Fatalf("run %d field rebuild failed: %v", sp.Index, sp.Config.specErr)
+		}
+		got := *sp.Config.Field.Spec().Reference
+		want := PointSpec{X: sp.Axes[0].Value * 1000, Y: sp.Axes[0].Value * 1000}
+		if got != want {
+			t.Errorf("run %d reference = %+v, want %+v", sp.Index, got, want)
+		}
+		if prev, ok := refs[sp.Axes[0].Value]; ok && prev != got {
+			t.Errorf("axis point %g has unpaired references across schemes", sp.Axes[0].Value)
+		}
+		refs[sp.Axes[0].Value] = got
+	}
+	// Out-of-bounds placement fails that run (not the whole sweep) with a
+	// clear error.
+	bad := Sweep{Base: sweepConfig(), Axes: []ParamAxis{AxisFieldRef(5)}, Seed: 3}
+	sr, err := bad.Run(context.Background(), BatchOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr.Runs[0].Err == nil {
+		t.Error("reference outside the field should fail the run")
+	}
+}
+
+// TestFieldObstaclesAxis: the obstacle-count axis regenerates the run's
+// field with exactly the requested number of random obstacles, sharing
+// the generated field across schemes of one axis point.
+func TestFieldObstaclesAxis(t *testing.T) {
+	s := Sweep{
+		Base:      sweepConfig(),
+		Schemes:   []Scheme{SchemeCPVF, SchemeFLOOR},
+		Scenarios: []string{"random-field"},
+		Axes:      []ParamAxis{AxisFieldObstacles(1, 3)},
+		Seed:      13,
+	}
+	specs, err := s.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fieldsAt := map[float64]Field{}
+	for _, sp := range specs {
+		if sp.Config.specErr != nil {
+			t.Fatalf("run %d field rebuild failed: %v", sp.Index, sp.Config.specErr)
+		}
+		want := int(sp.Axes[0].Value)
+		if got := sp.Config.Field.NumObstacles(); got != want {
+			t.Errorf("run %d has %d obstacles, want %d", sp.Index, got, want)
+		}
+		if g := sp.Config.Field.Spec().Generator; g == nil || g.MinCount != want || g.MaxCount != want {
+			t.Errorf("run %d generator = %+v, want pinned count %d", sp.Index, g, want)
+		}
+		if prev, ok := fieldsAt[sp.Axes[0].Value]; ok && prev.f != sp.Config.Field.f {
+			t.Errorf("axis point %g rebuilt distinct fields across schemes (cache miss)", sp.Axes[0].Value)
+		}
+		fieldsAt[sp.Axes[0].Value] = sp.Config.Field
+	}
+	// field.density on a plain field gains generated obstacles matching
+	// the requested fraction (count = round(density * area / meanSide²)).
+	d := Sweep{Base: sweepConfig(), Axes: []ParamAxis{AxisFieldDensity(0.2)}, Seed: 17}
+	dspecs, err := d.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dspecs[0].Config.specErr != nil {
+		t.Fatalf("density rebuild failed: %v", dspecs[0].Config.specErr)
+	}
+	// Default generator sides 80..400 → mean 240 → 0.2*1e6/57600 ≈ 3.
+	if got := dspecs[0].Config.Field.NumObstacles(); got != 3 {
+		t.Errorf("density 0.2 produced %d obstacles, want 3", got)
+	}
+}
+
+// TestFieldAxesPairAcrossOtherAxes: regenerated environments derive
+// from the (scenario, repeat) slot's field seed, so rc=30 and rc=60 (or
+// two N values) of one comparison point deploy into the same random
+// layout — only the field axes themselves and the repeat change it.
+func TestFieldAxesPairAcrossOtherAxes(t *testing.T) {
+	s := Sweep{
+		Base:      sweepConfig(),
+		Scenarios: []string{"random-field"},
+		Ns:        []int{20, 30},
+		Axes:      []ParamAxis{AxisRc(30, 60), AxisFieldObstacles(3)},
+		Repeats:   2,
+		Seed:      21,
+	}
+	specs, err := s.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byRepeat := map[int]Field{}
+	for _, sp := range specs {
+		if sp.Config.specErr != nil {
+			t.Fatalf("run %d: %v", sp.Index, sp.Config.specErr)
+		}
+		if prev, ok := byRepeat[sp.Repeat]; ok {
+			if prev.f != sp.Config.Field.f {
+				t.Fatalf("repeat %d regenerated distinct layouts across rc/N (run %d)", sp.Repeat, sp.Index)
+			}
+			continue
+		}
+		byRepeat[sp.Repeat] = sp.Config.Field
+	}
+	if byRepeat[0].f == byRepeat[1].f {
+		t.Error("distinct repeats should see distinct generated layouts")
+	}
+}
+
+// TestFieldDensityOnSmallField: the density→count formula uses the side
+// range the generator actually samples (clamped to the field), so small
+// custom fields get obstacles instead of silently running empty.
+func TestFieldDensityOnSmallField(t *testing.T) {
+	small, err := BuildFieldSpec(FieldSpec{Bounds: RectSpec{MaxX: 200, MaxY: 200}}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := sweepConfig()
+	base.Field = small
+	s := Sweep{Base: base, Axes: []ParamAxis{AxisFieldDensity(0.5)}, Seed: 3}
+	specs, err := s.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if specs[0].Config.specErr != nil {
+		t.Fatalf("density rebuild failed: %v", specs[0].Config.specErr)
+	}
+	// Clamped sides 80..200 → mean 140 → round(0.5·200²/140²) = 1.
+	if got := specs[0].Config.Field.NumObstacles(); got != 1 {
+		t.Errorf("density 0.5 on a 200 m field produced %d obstacles, want 1", got)
 	}
 }

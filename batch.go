@@ -312,11 +312,19 @@ type Sweep struct {
 	// Schemes to run (default: just Base.Scheme).
 	Schemes []Scheme
 	// Scenarios are registry names (see ScenarioNames). Empty keeps
-	// Base.Field for every run. Unseeded scenarios are built once and
-	// shared; seeded ones are rebuilt per repeat with a seed derived from
-	// the scenario and repeat only, so every scheme and N sees the same
-	// sequence of generated environments (paired comparisons).
+	// Base.Field (or Field, below) for every run. Unseeded scenarios are
+	// built once and shared; seeded ones are rebuilt per repeat with a
+	// seed derived from the scenario and repeat only, so every scheme and
+	// N sees the same sequence of generated environments (paired
+	// comparisons).
 	Scenarios []string
+	// Field is an inline declarative environment used when Scenarios is
+	// empty: the custom-field counterpart of a scenario name (deploy
+	// -field, the serve API's inline "field"). Seeded specs (generator
+	// set) derive one layout per repeat exactly like seeded scenarios;
+	// fixed specs build once. Setting both Field and Scenarios is an
+	// error.
+	Field *FieldSpec
 	// Ns are sensor counts (default: just Base.N).
 	Ns []int
 	// Axes are generalized parameter dimensions folded into the
@@ -400,28 +408,46 @@ func (s Sweep) Expand() ([]RunSpec, error) {
 		return nil, err
 	}
 
+	// Each slot is one value of the environment axis: a registry scenario,
+	// an inline field spec, or ("" with no spec) the base config's field.
+	// Inline specs reuse the scenario machinery through a synthetic
+	// Scenario so seeding, pairing and the build cache behave identically.
 	type slot struct {
-		name string
-		sc   Scenario
+		name  string
+		sc    Scenario
+		build bool
 	}
 	var scenarios []slot
 	if len(s.Scenarios) == 0 {
-		scenarios = []slot{{name: ""}}
+		if s.Field != nil {
+			spec, err := s.Field.Normalize()
+			if err != nil {
+				return nil, fmt.Errorf("mobisense: sweep field: %w", err)
+			}
+			scenarios = []slot{{sc: Scenario{Spec: spec, Seeded: spec.Seeded()}, build: true}}
+		} else {
+			scenarios = []slot{{}}
+		}
 	} else {
+		if s.Field != nil {
+			return nil, fmt.Errorf("mobisense: sweep sets both Scenarios and an inline Field; pick one environment axis")
+		}
 		for _, name := range s.Scenarios {
 			sc, ok := LookupScenario(name)
 			if !ok {
 				return nil, fmt.Errorf("mobisense: unknown scenario %q (have %v)", name, ScenarioNames())
 			}
-			scenarios = append(scenarios, slot{name: sc.Name, sc: sc})
+			scenarios = append(scenarios, slot{name: sc.Name, sc: sc, build: true})
 		}
 	}
 
 	// Pre-build each scenario's fields: one shared field for unseeded
-	// scenarios, one per repeat for seeded ones.
+	// scenarios, one per repeat for seeded ones. The build cache
+	// deduplicates across repeated expansions (the server expands once to
+	// fingerprint a job and again to execute it) and across sweeps.
 	fields := make([][]Field, len(scenarios))
 	for ci, sl := range scenarios {
-		if sl.name == "" {
+		if !sl.build {
 			fields[ci] = []Field{s.Base.Field}
 			continue
 		}
@@ -431,8 +457,11 @@ func (s Sweep) Expand() ([]RunSpec, error) {
 		}
 		fields[ci] = make([]Field, n)
 		for r := 0; r < n; r++ {
-			f, err := sl.sc.Build(deriveSeed(base, seedDomainField, uint64(ci), uint64(r)))
+			f, err := sl.sc.buildField(deriveSeed(base, seedDomainField, uint64(ci), uint64(r)))
 			if err != nil {
+				if sl.name == "" {
+					return nil, fmt.Errorf("mobisense: sweep field repeat %d: %w", r, err)
+				}
 				return nil, fmt.Errorf("mobisense: scenario %q repeat %d: %w", sl.name, r, err)
 			}
 			fields[ci][r] = f
@@ -459,6 +488,12 @@ func (s Sweep) Expand() ([]RunSpec, error) {
 						cfg := s.Base
 						cfg.Scheme = scheme
 						cfg.N = n
+						// The environment seed of this (scenario, repeat)
+						// slot — the seed its field was (or would be) built
+						// with. Field-rebuilding axis setters use it so
+						// regenerated environments stay paired across
+						// schemes, Ns and the other axes.
+						cfg.fieldSeed = deriveSeed(base, seedDomainField, uint64(ci), uint64(r))
 						if s.FixedSeed {
 							cfg.Seed = base
 						} else {
@@ -559,11 +594,53 @@ func (s Sweep) manifest(sh Shard, totalRuns int) istore.Manifest {
 			Seed:      base,
 			FixedSeed: s.FixedSeed,
 		},
+		Fields:            s.fieldEntries(),
 		ConfigFingerprint: configFingerprint(s.Base),
 		ShardIndex:        sh.Index,
 		ShardCount:        sh.count(),
 		TotalRuns:         totalRuns,
 	}
+}
+
+// fieldEntries collects the sweep's environment geometry as declarative
+// specs for the store manifest: one entry per scenario (its registered
+// spec) or one for the inline/base field. A store carrying them is
+// reproducible on a machine that has neither the originating binary nor
+// the -field file. Scenarios that only exist as code (Build-only, no
+// spec) are skipped; manifests written before the field-spec refactor
+// have no entries at all, and resume tolerates their absence.
+func (s Sweep) fieldEntries() []istore.FieldEntry {
+	if len(s.Scenarios) > 0 {
+		var out []istore.FieldEntry
+		for _, name := range s.Scenarios {
+			sc, ok := LookupScenario(name)
+			if !ok || sc.Spec.Empty() {
+				continue
+			}
+			out = append(out, istore.FieldEntry{Scenario: sc.Name, Spec: sc.Spec})
+		}
+		return out
+	}
+	var spec FieldSpec
+	switch {
+	case s.Field != nil:
+		n, err := s.Field.Normalize()
+		if err != nil {
+			return nil
+		}
+		spec = n
+	case s.Base.Field.internal() != nil:
+		spec = s.Base.Field.Spec()
+	default:
+		return nil
+	}
+	// The manifest is hashed into the sweep's cache fingerprint and
+	// compared for resume/merge compatibility, and the contract is that
+	// geometry — not names — decides identity: renaming a spec file's
+	// cosmetic "name" must stay a cache hit. Scenario entries carry their
+	// identity in FieldEntry.Scenario; the custom entry carries none.
+	spec.Name = ""
+	return []istore.FieldEntry{{Spec: spec}}
 }
 
 // Run expands the sweep and executes it on a worker pool, returning the

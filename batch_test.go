@@ -325,13 +325,17 @@ func TestSchemeRegistry(t *testing.T) {
 
 func TestScenarioRegistry(t *testing.T) {
 	names := ScenarioNames()
-	for _, want := range []string{"free", "two-obstacles", "random-obstacles", "corridor", "campus", "disaster"} {
+	for _, want := range []string{"free", "two-obstacles", "random-obstacles", "corridor",
+		"campus", "disaster", "narrow-door", "l-shaped", "random-field"} {
 		sc, ok := LookupScenario(want)
 		if !ok {
 			t.Errorf("scenario %q missing (have %v)", want, names)
 			continue
 		}
-		f, err := sc.Build(5)
+		if sc.Spec.Empty() {
+			t.Errorf("scenario %q has no declarative spec", want)
+		}
+		f, err := BuildScenario(want, 5)
 		if err != nil {
 			t.Errorf("build %q: %v", want, err)
 			continue

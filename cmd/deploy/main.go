@@ -27,6 +27,13 @@
 //
 //	deploy -scheme floor -axis rc=30,45,60 -runs 10
 //	deploy -scheme cpvf -axis rc=40,60 -axis speed=1,2 -fixed-seed
+//
+// Custom environments load from declarative field-spec JSON files
+// (-field): bounds, polygonal obstacles, the base-station reference
+// point, and optionally a seeded random-obstacle generator. The store
+// manifest embeds the spec, so the sweep reproduces anywhere:
+//
+//	deploy -scheme floor -field warehouse.json -runs 20 -store sweep/
 package main
 
 import (
@@ -53,8 +60,8 @@ func run() int {
 	var (
 		scheme    = flag.String("scheme", "floor", "deployment scheme: "+strings.Join(schemeNames, ", "))
 		scenario  = flag.String("scenario", "free", "scenario: "+strings.Join(mobisense.ScenarioNames(), ", "))
-		fieldKind = flag.String("field", "", "deprecated alias for -scenario")
-		fieldSeed = flag.Uint64("field-seed", 1, "seed for seeded scenarios in single runs; sweeps (-runs > 1) derive fields from -seed")
+		fieldKind = flag.String("field", "", "field-spec JSON file defining a custom environment (overrides -scenario); a registered scenario name is accepted as a deprecated alias for -scenario")
+		fieldSeed = flag.Uint64("field-seed", 1, "seed for seeded scenarios/specs in single runs; sweeps (-runs > 1) derive fields from -seed")
 		n         = flag.Int("n", 240, "number of sensors")
 		rc        = flag.Float64("rc", 60, "communication range (m)")
 		rs        = flag.Float64("rs", 40, "sensing range (m)")
@@ -88,14 +95,41 @@ func run() int {
 		})
 	flag.Parse()
 
+	scenarioExplicit := false
+	flag.Visit(func(f *flag.Flag) { scenarioExplicit = scenarioExplicit || f.Name == "scenario" })
 	scenarioName := *scenario
+	var fieldSpec *mobisense.FieldSpec
 	if *fieldKind != "" {
-		scenarioName = *fieldKind
+		// A regular file is a spec; anything else (including a directory
+		// that happens to share a scenario's name) falls through to the
+		// deprecated -field <scenario-name> alias.
+		if st, statErr := os.Stat(*fieldKind); statErr == nil && st.Mode().IsRegular() {
+			if scenarioExplicit {
+				// Mirror the serve API: a request may name a scenario or
+				// supply a field spec, never both silently.
+				fmt.Fprintln(os.Stderr, "-scenario and a -field spec file conflict: pick one environment")
+				return 2
+			}
+			spec, err := mobisense.LoadFieldSpecFile(*fieldKind)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return 2
+			}
+			fieldSpec = &spec
+		} else if _, ok := mobisense.LookupScenario(*fieldKind); ok {
+			scenarioName = *fieldKind
+		} else {
+			fmt.Fprintf(os.Stderr, "-field %q is neither a readable spec file nor a scenario name (have %s)\n",
+				*fieldKind, strings.Join(mobisense.ScenarioNames(), ", "))
+			return 2
+		}
 	}
-	if _, ok := mobisense.LookupScenario(scenarioName); !ok {
-		fmt.Fprintf(os.Stderr, "unknown scenario %q (have %s)\n",
-			scenarioName, strings.Join(mobisense.ScenarioNames(), ", "))
-		return 2
+	if fieldSpec == nil {
+		if _, ok := mobisense.LookupScenario(scenarioName); !ok {
+			fmt.Fprintf(os.Stderr, "unknown scenario %q (have %s)\n",
+				scenarioName, strings.Join(mobisense.ScenarioNames(), ", "))
+			return 2
+		}
 	}
 	shard, err := mobisense.ParseShard(*shardSpec)
 	if err != nil {
@@ -138,7 +172,13 @@ func run() int {
 		}
 		// For one run, honor -seed and -field-seed verbatim rather than
 		// deriving, so single-run invocations stay reproducible by hand.
-		f, err := mobisense.BuildScenario(scenarioName, *fieldSeed)
+		var f mobisense.Field
+		var err error
+		if fieldSpec != nil {
+			f, err = mobisense.BuildFieldSpec(*fieldSpec, *fieldSeed)
+		} else {
+			f, err = mobisense.BuildScenario(scenarioName, *fieldSeed)
+		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "scenario: %v\n", err)
 			return 1
@@ -160,11 +200,24 @@ func run() int {
 	// (-fixed-seed keeps run seeds verbatim for paired axis studies).
 	sweep := mobisense.Sweep{
 		Base:      cfg,
-		Scenarios: []string{scenarioName},
 		Axes:      axes,
 		Repeats:   *runs,
 		Seed:      *seed,
 		FixedSeed: *fixedSeed,
+	}
+	if fieldSpec != nil {
+		// The spec is the environment axis; the base config carries a
+		// field built from it (field-seed layout) so fingerprints match
+		// the serve API's handling of the same inline spec.
+		f, err := mobisense.BuildFieldSpec(*fieldSpec, *fieldSeed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "field: %v\n", err)
+			return 1
+		}
+		sweep.Base.Field = f
+		sweep.Field = fieldSpec
+	} else {
+		sweep.Scenarios = []string{scenarioName}
 	}
 	opts := mobisense.BatchOptions{
 		Workers: *workers,

@@ -25,6 +25,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -41,10 +42,11 @@ func main() {
 
 func run() int {
 	var (
-		csvPath  = flag.String("csv", "", "write the aggregate table as CSV to this path")
-		showRuns = flag.Bool("runs", false, "print one line per stored run instead of aggregates only")
-		watch    = flag.Bool("watch", false, "poll the store directories and live-refresh the table until they complete")
-		interval = flag.Duration("interval", 2*time.Second, "poll interval for -watch")
+		csvPath    = flag.String("csv", "", "write the aggregate table as CSV to this path")
+		showRuns   = flag.Bool("runs", false, "print one line per stored run instead of aggregates only")
+		showFields = flag.Bool("fields", false, "dump the field specs embedded in the store manifests as JSON (rebuild any store's environments without the originating binary)")
+		watch      = flag.Bool("watch", false, "poll the store directories and live-refresh the table until they complete")
+		interval   = flag.Duration("interval", 2*time.Second, "poll interval for -watch")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), "usage: report [flags] store-dir [store-dir ...]\n")
@@ -80,6 +82,10 @@ func run() int {
 			st.Dir, st.Kind, shard, state, st.Elapsed.Round(1e6))
 	}
 	fmt.Printf("merged: %d runs, %d aggregate group(s)\n\n", len(data.Runs), len(data.Aggregates))
+
+	if *showFields {
+		printFields(data.Stores)
+	}
 
 	if *showRuns {
 		printRuns(data.Runs)
@@ -179,6 +185,31 @@ func watchStores(dirs []string, interval time.Duration, showRuns bool) int {
 		}
 		time.Sleep(interval)
 	}
+}
+
+// printFields dumps the field specs embedded in the stores' manifests —
+// the geometry every run deployed into, reproducible with deploy -field
+// or the serve API on any machine. Stores written before the field-spec
+// refactor carry none.
+func printFields(stores []mobisense.StoreInfo) {
+	printed := map[string]bool{}
+	for _, st := range stores {
+		for _, fe := range st.Fields {
+			data, err := json.MarshalIndent(fe.Spec, "", "  ")
+			if err != nil {
+				continue
+			}
+			if printed[string(data)] {
+				continue // shards repeat the same specs
+			}
+			printed[string(data)] = true
+			fmt.Printf("field %s:\n%s\n", scenarioLabel(fe.Scenario), data)
+		}
+	}
+	if len(printed) == 0 {
+		fmt.Println("no embedded field specs (store predates the field-spec format)")
+	}
+	fmt.Println()
 }
 
 func scenarioLabel(s string) string {

@@ -8,6 +8,7 @@
 // Usage:
 //
 //	serve -addr :8080 -data serve-data
+//	serve -field warehouse.json        # register a custom scenario from a field spec
 //
 // API (see the README's Serving section for curl examples):
 //
@@ -48,7 +49,34 @@ func run() int {
 		jobsTTL   = flag.Duration("jobs-ttl", 0, "prune finished jobs (and their stores) older than this at startup and periodically (0 = keep forever)")
 		cacheSize = flag.Int("cache-size", 0, "max entries in the fingerprint result cache, evicted LRU (0 = server default of 1024)")
 	)
+	var fieldErr error
+	flag.Func("field", "register a custom scenario from a field-spec JSON file (named by the spec's \"name\"); repeatable",
+		func(path string) error {
+			spec, err := mobisense.LoadFieldSpecFile(path)
+			if err != nil {
+				return err
+			}
+			if spec.Name == "" {
+				return fmt.Errorf("field spec %s has no \"name\"; served scenarios are resolved by name", path)
+			}
+			// Registration panics on duplicates; surface that as a flag error.
+			defer func() {
+				if r := recover(); r != nil {
+					fieldErr = fmt.Errorf("%v", r)
+				}
+			}()
+			mobisense.RegisterScenario(mobisense.Scenario{
+				Name:        spec.Name,
+				Description: "custom field from " + path,
+				Spec:        spec,
+			})
+			return nil
+		})
 	flag.Parse()
+	if fieldErr != nil {
+		fmt.Fprintln(os.Stderr, fieldErr)
+		return 2
+	}
 
 	svc, err := mobisense.NewService(*dataDir, mobisense.ServiceOptions{
 		Workers:   *workers,

@@ -77,6 +77,16 @@ type Config struct {
 	// estimators is an optional cache of coverage estimators shared across
 	// the runs of a batch (set by RunBatch/Sweep).
 	estimators *estimatorCache
+	// specErr records a deferred field-construction failure (an axis
+	// setter rebuilding the field around an invalid spec); validate
+	// surfaces it so only that run fails, with the cause.
+	specErr error
+	// fieldSeed is the environment-derivation seed Sweep.Expand assigned
+	// to this run's (scenario, repeat) slot — independent of the scheme,
+	// N and non-field axes, so field-rebuilding axis setters regenerate
+	// the same environment for every run of one comparison point. Zero
+	// (plain RunBatch configs) falls back to Seed.
+	fieldSeed uint64
 	// CPVF optionally tunes the CPVF scheme.
 	CPVF *CPVFOptions
 	// Floor optionally tunes the FLOOR scheme.
@@ -165,6 +175,9 @@ func DefaultConfig(scheme Scheme) Config {
 }
 
 func (c Config) validate() error {
+	if c.specErr != nil {
+		return c.specErr
+	}
 	if _, ok := lookupScheme(c.Scheme); !ok {
 		return fmt.Errorf("mobisense: unknown scheme %q", c.Scheme)
 	}

@@ -1,0 +1,104 @@
+package mobisense
+
+import (
+	"fmt"
+	"os"
+
+	"mobisense/internal/field"
+)
+
+// FieldSpec is the declarative, serializable description of a deployment
+// environment: rectangular bounds, polygonal obstacles, the base-station
+// reference point, and optionally a seeded random-obstacle generator.
+// Specs are pure data — every registered scenario is one, stores embed
+// them in their manifests, the HTTP API accepts them inline, and
+// cmd/deploy loads them from JSON files — so any environment reproduces
+// on any machine without the binary that first defined it.
+//
+// A minimal custom field:
+//
+//	{
+//	  "name": "depot",
+//	  "bounds": {"max_x": 800, "max_y": 600},
+//	  "obstacles": [{"rect": [150, 100, 350, 250]}]
+//	}
+//
+// The aliased types below (RectSpec, PointSpec, ObstacleSpec,
+// GeneratorSpec) compose specs in Go; see the README's Scenarios section
+// for the JSON shape.
+type FieldSpec = field.Spec
+
+// RectSpec is an axis-aligned rectangle in a field spec.
+type RectSpec = field.RectSpec
+
+// PointSpec is a point in a field spec, in meters.
+type PointSpec = field.PointSpec
+
+// ObstacleSpec is one obstacle in a field spec: a [x0,y0,x1,y1] Rect
+// shorthand or an explicit polygon as Points.
+type ObstacleSpec = field.ObstacleSpec
+
+// GeneratorSpec parameterizes a spec's seeded random rectangular
+// obstacles (§6.4).
+type GeneratorSpec = field.GeneratorSpec
+
+// RectObstacle is shorthand for an axis-aligned rectangular obstacle.
+func RectObstacle(x0, y0, x1, y1 float64) ObstacleSpec {
+	return ObstacleSpec{Rect: []float64{x0, y0, x1, y1}}
+}
+
+// ParseFieldSpec decodes a JSON field spec strictly: unknown fields,
+// trailing input and non-normalizable geometry are errors.
+func ParseFieldSpec(data []byte) (FieldSpec, error) {
+	s, err := field.ParseSpec(data)
+	if err != nil {
+		return FieldSpec{}, fmt.Errorf("mobisense: %w", err)
+	}
+	return s, nil
+}
+
+// LoadFieldSpecFile reads and parses a field-spec JSON file (the format
+// behind deploy/serve's -field flag).
+func LoadFieldSpecFile(path string) (FieldSpec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return FieldSpec{}, fmt.Errorf("mobisense: field spec: %w", err)
+	}
+	s, err := ParseFieldSpec(data)
+	if err != nil {
+		return FieldSpec{}, fmt.Errorf("mobisense: field spec %s: %w", path, err)
+	}
+	return s, nil
+}
+
+// BuildFieldSpec constructs a field from a declarative spec. For seeded
+// specs (Generator set) the seed selects the generated layout; fixed
+// specs ignore it. Builds are cached by geometry fingerprint and seed, so
+// sweeps, paired scheme comparisons and repeated service requests share
+// one immutable field (and therefore one coverage estimator) instead of
+// re-validating the free space every time.
+func BuildFieldSpec(spec FieldSpec, seed uint64) (Field, error) {
+	eff := seed
+	if !spec.Seeded() {
+		eff = 0
+	}
+	return cachedFieldBuild("spec:"+spec.Fingerprint(), eff, func() (Field, error) {
+		f, err := spec.Build(seed)
+		if err != nil {
+			return Field{}, fmt.Errorf("mobisense: field spec: %w", err)
+		}
+		return Field{f: f}, nil
+	})
+}
+
+// Spec returns the declarative spec describing this field. Fields built
+// from a spec (scenario registry, BuildFieldSpec, -field files) return
+// that spec, generator parameters included; fields built directly from
+// geometry return an extraction of their bounds, reference and
+// obstacles. A zero Field returns a zero spec.
+func (fl Field) Spec() FieldSpec {
+	if fl.f == nil {
+		return FieldSpec{}
+	}
+	return fl.f.Spec()
+}

@@ -1,0 +1,386 @@
+package mobisense
+
+import (
+	"context"
+	"encoding/json"
+	"math/rand/v2"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	ifield "mobisense/internal/field"
+	istore "mobisense/internal/store"
+)
+
+// specTestConfig is a small, fast config for spec-equivalence runs.
+func specTestConfig() Config {
+	cfg := DefaultConfig(SchemeFLOOR)
+	cfg.N = 20
+	cfg.Duration = 60
+	return cfg
+}
+
+// runOn executes the test config on f with timing cleared, so results
+// compare bit for bit.
+func runOn(t *testing.T, f Field) Result {
+	t.Helper()
+	cfg := specTestConfig()
+	cfg.Field = f
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Clear the volatile parts: wall-clock time, and the internal field
+	// handle (two identical geometries are distinct instances).
+	res.Elapsed = 0
+	res.fieldRef = nil
+	return res
+}
+
+// TestScenarioSpecsMatchLegacyBuilders is the field-spec refactor's
+// acceptance test: every built-in scenario, rebuilt from its encoded
+// (JSON round-tripped) spec, must produce bit-identical run metrics to
+// the pre-spec code builder for that environment. New spec-only
+// scenarios compare the registry build against an uncached rebuild from
+// the encoded spec instead.
+func TestScenarioSpecsMatchLegacyBuilders(t *testing.T) {
+	const seed = 7
+	legacy := map[string]func() (Field, error){
+		"free":          func() (Field, error) { return Field{f: ifield.ObstacleFree()}, nil },
+		"two-obstacles": func() (Field, error) { return Field{f: ifield.TwoObstacles()}, nil },
+		"corridor":      func() (Field, error) { return Field{f: ifield.Corridor()}, nil },
+		"campus":        func() (Field, error) { return Field{f: ifield.Campus()}, nil },
+		"random-obstacles": func() (Field, error) {
+			return RandomObstacleField(seed)
+		},
+		"disaster": func() (Field, error) {
+			rng := rand.New(rand.NewPCG(seed, seed^0x6d0b15a7e9c3))
+			f, err := ifield.RandomObstacles(rng, ifield.DisasterObstacleConfig())
+			return Field{f: f}, err
+		},
+	}
+
+	for _, sc := range Scenarios() {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			t.Parallel()
+			if sc.Spec.Empty() {
+				t.Fatalf("built-in scenario %q is not expressed as a spec", sc.Name)
+			}
+			// Encode → decode → build, bypassing the build cache so the
+			// comparison exercises a genuine reconstruction.
+			data, err := json.Marshal(sc.Spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			decoded, err := ParseFieldSpec(data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			inner, err := decoded.Build(seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fromSpec := runOn(t, Field{f: inner})
+
+			build := legacy[sc.Name]
+			if build == nil {
+				// Spec-only scenario: the registry build is the reference.
+				f, err := BuildScenario(sc.Name, seed)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if ref := runOn(t, f); !reflect.DeepEqual(ref, fromSpec) {
+					t.Errorf("registry and encoded-spec builds diverge:\nregistry: %+v\nspec:     %+v", ref, fromSpec)
+				}
+				return
+			}
+			f, err := build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ref := runOn(t, f); !reflect.DeepEqual(ref, fromSpec) {
+				t.Errorf("legacy builder and encoded spec diverge:\nlegacy: %+v\nspec:   %+v", ref, fromSpec)
+			}
+		})
+	}
+}
+
+// TestSweepInlineFieldStoreReproducible: a sweep over an inline custom
+// field embeds the spec in its store manifest, and the embedded spec
+// alone — no scenario registry entry, no spec file — rebuilds the exact
+// environment and reproduces the stored metrics.
+func TestSweepInlineFieldStoreReproducible(t *testing.T) {
+	spec := FieldSpec{
+		Name:   "test-depot",
+		Bounds: RectSpec{MaxX: 900, MaxY: 700},
+		Obstacles: []ObstacleSpec{
+			RectObstacle(300, 150, 500, 350),
+			{Points: []PointSpec{{X: 600, Y: 100}, {X: 780, Y: 120}, {X: 690, Y: 300}}},
+		},
+	}
+	base := specTestConfig()
+	built, err := BuildFieldSpec(spec, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base.Field = built
+
+	dir := filepath.Join(t.TempDir(), "store")
+	s := Sweep{Base: base, Field: &spec, Repeats: 2, Seed: 5}
+	want, err := s.Run(context.Background(), BatchOptions{Store: &Store{Dir: dir}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The manifest embeds the normalized spec.
+	raw, err := os.ReadFile(filepath.Join(dir, "manifest.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), `"fields"`) {
+		t.Fatalf("manifest has no embedded field specs:\n%s", raw)
+	}
+
+	// "Foreign machine": load the store, take the embedded spec, rebuild
+	// the field, and re-run the first record's combination.
+	data, err := LoadStores(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data.Stores[0].Fields) != 1 || data.Stores[0].Fields[0].Scenario != "" {
+		t.Fatalf("loaded store fields = %+v", data.Stores[0].Fields)
+	}
+	embedded := data.Stores[0].Fields[0].Spec
+	if embedded.Fingerprint() != spec.Fingerprint() {
+		t.Fatalf("embedded spec fingerprint %s != source %s", embedded.Fingerprint(), spec.Fingerprint())
+	}
+	rebuilt, err := BuildFieldSpec(embedded, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := specTestConfig()
+	cfg.Field = rebuilt
+	cfg.Seed = want.Runs[0].Spec.Seed
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Coverage != want.Runs[0].Result.Coverage || res.Messages != want.Runs[0].Result.Messages {
+		t.Errorf("re-run from embedded spec diverged: cov %v vs %v", res.Coverage, want.Runs[0].Result.Coverage)
+	}
+
+	// Resume of the spec-backed store executes nothing.
+	executed := 0
+	if _, err := s.Run(context.Background(), BatchOptions{
+		Store:      &Store{Dir: dir, Resume: true},
+		OnProgress: func(int, int) { executed++ },
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if executed != 0 {
+		t.Errorf("resume executed %d runs, want 0", executed)
+	}
+
+	// A name-only (pre-spec) manifest still resumes: strip the fields
+	// section and retry.
+	var m map[string]any
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatal(err)
+	}
+	delete(m, "fields")
+	stripped, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "manifest.json"), stripped, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	executed = 0
+	if _, err := s.Run(context.Background(), BatchOptions{
+		Store:      &Store{Dir: dir, Resume: true},
+		OnProgress: func(int, int) { executed++ },
+	}); err != nil {
+		t.Fatalf("name-only manifest no longer resumes: %v", err)
+	}
+	if executed != 0 {
+		t.Errorf("name-only resume executed %d runs, want 0", executed)
+	}
+}
+
+// TestSweepScenarioManifestEmbedsSpecs: scenario sweeps record each
+// scenario's registered spec in the manifest, keyed by name.
+func TestSweepScenarioManifestEmbedsSpecs(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "store")
+	s := Sweep{Base: specTestConfig(), Scenarios: []string{"free", "narrow-door"}, Seed: 3}
+	if _, err := s.Run(context.Background(), BatchOptions{Store: &Store{Dir: dir}}); err != nil {
+		t.Fatal(err)
+	}
+	m, _, err := istore.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Fields) != 2 {
+		t.Fatalf("manifest fields = %+v, want 2 entries", m.Fields)
+	}
+	byName := map[string]FieldSpec{}
+	for _, fe := range m.Fields {
+		byName[fe.Scenario] = fe.Spec
+	}
+	if door, ok := byName["narrow-door"]; !ok || len(door.Obstacles) != 2 {
+		t.Errorf("narrow-door spec not embedded: %+v", byName)
+	}
+	if free, ok := byName["free"]; !ok || free.Bounds.MaxX != 1000 {
+		t.Errorf("free spec not embedded: %+v", byName)
+	}
+}
+
+// TestSweepFieldScenarioExclusive: a sweep may vary scenarios or supply
+// one inline field, not both.
+func TestSweepFieldScenarioExclusive(t *testing.T) {
+	spec := FieldSpec{Bounds: RectSpec{MaxX: 500, MaxY: 500}}
+	s := Sweep{Base: specTestConfig(), Scenarios: []string{"free"}, Field: &spec}
+	if _, err := s.Expand(); err == nil || !strings.Contains(err.Error(), "both") {
+		t.Errorf("Expand with Scenarios and Field should error, got %v", err)
+	}
+}
+
+// TestScenarioBuildCache: seeded scenario builds are cached per
+// (scenario, seed) — repeated expansions and paired scheme comparisons
+// share one generated field instead of re-running the generator.
+func TestScenarioBuildCache(t *testing.T) {
+	builds := 0
+	RegisterScenario(Scenario{
+		Name:        "cache-probe",
+		Description: "test scenario counting its builds",
+		Seeded:      true,
+		Build: func(seed uint64) (Field, error) {
+			builds++
+			return RandomObstacleField(seed)
+		},
+	})
+
+	f1, err := BuildScenario("cache-probe", 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := BuildScenario("cache-probe", 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if builds != 1 {
+		t.Errorf("two builds of the same (scenario, seed) ran the builder %d times, want 1", builds)
+	}
+	if f1.f != f2.f {
+		t.Error("cache returned distinct field instances for one (scenario, seed)")
+	}
+	if _, err := BuildScenario("cache-probe", 32); err != nil {
+		t.Fatal(err)
+	}
+	if builds != 2 {
+		t.Errorf("a new seed should build again (builds = %d)", builds)
+	}
+
+	// A two-scheme paired sweep over the seeded scenario: expanding twice
+	// (the server expands once to fingerprint and once to execute) must
+	// not rebuild the generated environments.
+	builds = 0
+	s := Sweep{
+		Base:      specTestConfig(),
+		Schemes:   []Scheme{SchemeCPVF, SchemeFLOOR},
+		Scenarios: []string{"cache-probe"},
+		Repeats:   2,
+		Seed:      9,
+	}
+	if _, err := s.Expand(); err != nil {
+		t.Fatal(err)
+	}
+	first := builds
+	if first != 2 {
+		t.Errorf("first expansion built %d fields, want 2 (one per repeat)", first)
+	}
+	if _, err := s.Expand(); err != nil {
+		t.Fatal(err)
+	}
+	if builds != first {
+		t.Errorf("re-expansion rebuilt fields (%d -> %d builds)", first, builds)
+	}
+}
+
+// TestBuildFieldSpecCachesUnseeded: fixed-geometry specs ignore the seed
+// in the cache key, so every seed maps to the single shared instance.
+func TestBuildFieldSpecCachesUnseeded(t *testing.T) {
+	spec := FieldSpec{Bounds: RectSpec{MaxX: 640, MaxY: 480}}
+	a, err := BuildFieldSpec(spec, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BuildFieldSpec(spec, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.f != b.f {
+		t.Error("unseeded spec builds should share one instance across seeds")
+	}
+}
+
+// TestManifestIgnoresSpecName: the cosmetic spec "name" must not enter
+// sweep identity — renaming a spec file stays a cache hit and resumes
+// the same store.
+func TestManifestIgnoresSpecName(t *testing.T) {
+	mk := func(name string) Sweep {
+		spec := FieldSpec{Name: name, Bounds: RectSpec{MaxX: 600, MaxY: 600}}
+		base := specTestConfig()
+		f, err := BuildFieldSpec(spec, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		base.Field = f
+		return Sweep{Base: base, Field: &spec, Repeats: 1, Seed: 5}
+	}
+	a := mk("alpha").manifest(Shard{}, 1)
+	b := mk("beta").manifest(Shard{}, 1)
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("manifests differ on the cosmetic spec name:\n%+v\n%+v", a, b)
+	}
+	// A renamed spec resumes the other name's store.
+	dir := filepath.Join(t.TempDir(), "store")
+	if _, err := mk("alpha").Run(context.Background(), BatchOptions{Store: &Store{Dir: dir}}); err != nil {
+		t.Fatal(err)
+	}
+	executed := 0
+	if _, err := mk("beta").Run(context.Background(), BatchOptions{
+		Store:      &Store{Dir: dir, Resume: true},
+		OnProgress: func(int, int) { executed++ },
+	}); err != nil {
+		t.Fatalf("renamed spec no longer resumes: %v", err)
+	}
+	if executed != 0 {
+		t.Errorf("renamed spec re-executed %d runs, want 0", executed)
+	}
+}
+
+// TestGeneratorClampsToSmallBounds: a generator tuned for the standard
+// field applied to a small custom one clamps its side range to the
+// bounds instead of sampling obstacle corners outside the field.
+func TestGeneratorClampsToSmallBounds(t *testing.T) {
+	spec := FieldSpec{
+		Bounds:    RectSpec{MaxX: 300, MaxY: 300},
+		Generator: &GeneratorSpec{MinCount: 1, MaxCount: 2, MinSide: 80, MaxSide: 400, KeepClear: 20},
+	}
+	for seed := uint64(1); seed <= 8; seed++ {
+		f, err := BuildFieldSpec(spec, seed)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for i, ob := range f.Spec().Obstacles {
+			for _, p := range ob.Points {
+				if p.X < 0 || p.X > 300 || p.Y < 0 || p.Y > 300 {
+					t.Fatalf("seed %d obstacle %d vertex %+v outside the 300 m bounds", seed, i, p)
+				}
+			}
+		}
+	}
+}

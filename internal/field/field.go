@@ -37,6 +37,7 @@ type Field struct {
 	obstacles []geom.Polygon // interior obstacles, CCW
 	all       []geom.Polygon // obstacles followed by the 4 frame polygons, CCW
 	reference geom.Vec       // base station / reference point O
+	spec      *Spec          // originating spec, when built from one (normalized)
 }
 
 // Option customizes field construction.

@@ -33,6 +33,8 @@ import (
 	"strconv"
 	"sync"
 	"time"
+
+	"mobisense/internal/field"
 )
 
 // Version is the store layout version written to manifests.
@@ -68,6 +70,16 @@ type Axis struct {
 	Values []float64 `json:"values"`
 }
 
+// FieldEntry embeds one environment's declarative geometry in a
+// manifest: the field spec behind a scenario name (or behind the sweep's
+// inline/custom field, with an empty Scenario). A store carrying its
+// FieldEntries is reproducible on a machine without the originating
+// binary or spec files.
+type FieldEntry struct {
+	Scenario string     `json:"scenario,omitempty"`
+	Spec     field.Spec `json:"spec"`
+}
+
 // AxisValue is one run's assignment on one axis, as persisted in records.
 type AxisValue struct {
 	Name  string  `json:"name"`
@@ -82,6 +94,11 @@ type Manifest struct {
 	// Kind is "sweep" for Sweep.Run stores and "batch" for RunBatch stores.
 	Kind  string    `json:"kind"`
 	Sweep SweepAxes `json:"sweep,omitzero"`
+	// Fields are the declarative specs of the sweep's environments, one
+	// per scenario (or one nameless entry for a custom field). Stores
+	// written before the field-spec refactor omit them; compatibility
+	// checks only compare Fields when both manifests carry them.
+	Fields []FieldEntry `json:"fields,omitempty"`
 	// ConfigFingerprint hashes the non-axis base configuration (ranges,
 	// speeds, horizons, scheme options); resuming with a different base
 	// config is refused.
@@ -103,9 +120,16 @@ type Manifest struct {
 
 // compatible reports whether a store created with manifest m can be
 // resumed by a runner expecting manifest n (everything but the completion
-// state must match).
+// state must match). Embedded field specs are compared only when both
+// manifests carry them: pre-spec stores have none, and refusing to
+// resume them would orphan every store written before the refactor. The
+// geometry is still guarded — the base-config fingerprint hashes it, and
+// every record key carries a per-run config fingerprint.
 func (m Manifest) compatible(n Manifest) bool {
 	m.Complete, n.Complete = false, false
+	if m.Fields == nil || n.Fields == nil {
+		m.Fields, n.Fields = nil, nil
+	}
 	return reflect.DeepEqual(m, n)
 }
 

@@ -2,27 +2,32 @@ package mobisense
 
 import (
 	"fmt"
-	"math/rand/v2"
 	"sort"
 	"sync"
-
-	"mobisense/internal/field"
 )
 
 // Scenario is a named, parameterized deployment environment. Scenarios are
 // resolved by string from the CLIs and from Sweep, so new environments
-// plug in with a single registration.
+// plug in with a single registration. Since the field-spec refactor a
+// scenario is data first: its geometry lives in a declarative FieldSpec
+// that encodes to JSON, embeds in store manifests, and rebuilds the exact
+// same field anywhere; the optional Build hook remains for environments
+// that cannot be expressed as data.
 type Scenario struct {
 	// Name identifies the scenario (e.g. "two-obstacles").
 	Name string
 	// Description is a one-line summary for catalogs and -help output.
 	Description string
-	// Seeded reports whether Build's output varies with the seed
-	// (randomly generated environments). Unseeded scenarios are built once
-	// per sweep and shared across runs.
+	// Seeded reports whether the built field varies with the seed
+	// (randomly generated environments). It is set automatically for
+	// specs with a Generator. Unseeded scenarios are built once per sweep
+	// and shared across runs.
 	Seeded bool
-	// Build constructs the scenario's field. Unseeded scenarios ignore the
-	// seed.
+	// Spec is the scenario's declarative geometry. RegisterScenario
+	// normalizes it, so lookups always observe the canonical form.
+	Spec FieldSpec
+	// Build, when set, overrides spec-driven construction. Scenarios with
+	// only a Build cannot be exported to foreign machines; prefer Spec.
 	Build func(seed uint64) (Field, error)
 }
 
@@ -33,10 +38,22 @@ var (
 )
 
 // RegisterScenario adds a scenario to the registry; it panics on an empty
-// name, nil builder, or duplicate registration.
+// name, a scenario with neither a Spec nor a Build, an invalid spec, or a
+// duplicate registration.
 func RegisterScenario(sc Scenario) {
-	if sc.Name == "" || sc.Build == nil {
-		panic("mobisense: RegisterScenario with empty name or nil Build")
+	if sc.Name == "" || (sc.Build == nil && sc.Spec.Empty()) {
+		panic("mobisense: RegisterScenario needs a name and a Spec or Build")
+	}
+	if !sc.Spec.Empty() {
+		n, err := sc.Spec.Normalize()
+		if err != nil {
+			panic(fmt.Sprintf("mobisense: scenario %q: %v", sc.Name, err))
+		}
+		n.Name = sc.Name
+		sc.Spec = n
+		if sc.Spec.Seeded() {
+			sc.Seeded = true
+		}
 	}
 	scenarioMu.Lock()
 	defer scenarioMu.Unlock()
@@ -94,61 +111,183 @@ func ScenarioNames() []string {
 }
 
 // BuildScenario constructs the named scenario's field. For seeded
-// scenarios the seed selects the generated environment.
+// scenarios the seed selects the generated environment. Builds are
+// cached (see BuildFieldSpec), so the schemes of a paired comparison —
+// and repeated requests for the same generated environment — share one
+// field instead of regenerating it.
 func BuildScenario(name string, seed uint64) (Field, error) {
 	sc, ok := LookupScenario(name)
 	if !ok {
 		return Field{}, fmt.Errorf("mobisense: unknown scenario %q (have %v)", name, ScenarioNames())
 	}
-	return sc.Build(seed)
+	return sc.buildField(seed)
 }
+
+// buildField constructs the scenario's field through the shared build
+// cache. Unseeded scenarios normalize the cache seed to 0 so every seed
+// maps to the single shared instance.
+func (sc Scenario) buildField(seed uint64) (Field, error) {
+	if sc.Build != nil {
+		eff := seed
+		if !sc.Seeded {
+			eff = 0
+		}
+		return cachedFieldBuild("name:"+sc.Name, eff, func() (Field, error) {
+			return sc.Build(seed)
+		})
+	}
+	return BuildFieldSpec(sc.Spec, seed)
+}
+
+// fieldBuildCache memoizes field construction by geometry identity and
+// seed. Building a field validates free-space connectivity on a grid —
+// pure waste to repeat for the same geometry — and sharing the immutable
+// *field.Field also lets the batch runner's estimator cache share one
+// coverage estimator across every run of that environment. The cache is
+// bounded FIFO; a sweep touches few distinct fields, so the bound only
+// matters for long-lived services crossing many seeded layouts.
+const fieldBuildCacheCap = 128
+
+var fieldBuildCache = struct {
+	sync.Mutex
+	m     map[fieldCacheKey]Field
+	order []fieldCacheKey
+}{m: map[fieldCacheKey]Field{}}
+
+type fieldCacheKey struct {
+	id   string
+	seed uint64
+}
+
+func cachedFieldBuild(id string, seed uint64, build func() (Field, error)) (Field, error) {
+	k := fieldCacheKey{id, seed}
+	fieldBuildCache.Lock()
+	if f, ok := fieldBuildCache.m[k]; ok {
+		fieldBuildCache.Unlock()
+		return f, nil
+	}
+	fieldBuildCache.Unlock()
+	// Build outside the lock: construction can flood-fill a large grid,
+	// and a duplicate concurrent build is benign (identical geometry).
+	f, err := build()
+	if err != nil || f.f == nil {
+		return f, err
+	}
+	fieldBuildCache.Lock()
+	if _, ok := fieldBuildCache.m[k]; !ok {
+		fieldBuildCache.m[k] = f
+		fieldBuildCache.order = append(fieldBuildCache.order, k)
+		if len(fieldBuildCache.order) > fieldBuildCacheCap {
+			evict := fieldBuildCache.order[0]
+			fieldBuildCache.order = fieldBuildCache.order[1:]
+			delete(fieldBuildCache.m, evict)
+		}
+	}
+	fieldBuildCache.Unlock()
+	return f, nil
+}
+
+// standardBoundsSpec is the paper's 1000×1000 m field rectangle (§4.3).
+func standardBoundsSpec() RectSpec { return RectSpec{MaxX: 1000, MaxY: 1000} }
 
 func init() {
 	RegisterScenario(Scenario{
 		Name:        "free",
 		Description: "the paper's obstacle-free 1000×1000 m field (§4.3)",
-		Build:       func(uint64) (Field, error) { return ObstacleFreeField(), nil },
+		Spec:        FieldSpec{Bounds: standardBoundsSpec()},
 	})
 	registerScenarioAlias("obstacle-free", "free")
 
 	RegisterScenario(Scenario{
 		Name:        "two-obstacles",
 		Description: "two wall slabs boxing in the initial cluster with three exits (Fig 3c/8c)",
-		Build:       func(uint64) (Field, error) { return TwoObstacleField(), nil },
+		Spec: FieldSpec{
+			Bounds: standardBoundsSpec(),
+			Obstacles: []ObstacleSpec{
+				RectObstacle(500, 40, 550, 500),  // vertical slab; bottom exit y ∈ [0,40]
+				RectObstacle(120, 500, 450, 550), // horizontal slab; left exit x ∈ [0,120], corner exit x ∈ [450,500]
+			},
+		},
 	})
 
 	RegisterScenario(Scenario{
 		Name:        "random-obstacles",
 		Description: "1–4 random rectangular obstacles per §6.4; the seed picks the layout",
-		Seeded:      true,
-		Build:       RandomObstacleField,
+		Spec: FieldSpec{
+			Bounds: standardBoundsSpec(),
+			// Salt matches the pre-spec RandomObstacleField stream, so old
+			// seeds keep producing bit-identical layouts.
+			Generator: &GeneratorSpec{MinCount: 1, MaxCount: 4, MinSide: 80, MaxSide: 400, KeepClear: 30, Salt: 0xabcdef12345},
+		},
 	})
 	registerScenarioAlias("random", "random-obstacles")
 
 	RegisterScenario(Scenario{
 		Name:        "corridor",
 		Description: "serpentine corridor folded by three wall slabs with alternating gaps",
-		Build:       func(uint64) (Field, error) { return Field{f: field.Corridor()}, nil },
+		Spec: FieldSpec{
+			Bounds: standardBoundsSpec(),
+			Obstacles: []ObstacleSpec{
+				RectObstacle(150, 200, 1000, 260), // gap at the left edge
+				RectObstacle(0, 450, 850, 510),    // gap at the right edge
+				RectObstacle(150, 700, 1000, 760), // gap at the left edge
+			},
+		},
 	})
 	registerScenarioAlias("maze", "corridor")
 
 	RegisterScenario(Scenario{
 		Name:        "campus",
 		Description: "800×600 m campus: three buildings forming two corridors and a quad",
-		Build:       func(uint64) (Field, error) { return Field{f: field.Campus()}, nil },
+		Spec: FieldSpec{
+			Bounds: RectSpec{MaxX: 800, MaxY: 600},
+			Obstacles: []ObstacleSpec{
+				RectObstacle(150, 100, 350, 250), // west hall
+				RectObstacle(450, 100, 650, 250), // east hall
+				RectObstacle(250, 350, 550, 480), // north hall
+			},
+		},
 	})
 
 	RegisterScenario(Scenario{
 		Name:        "disaster",
 		Description: "disaster zone strewn with 3–6 random debris fields; the seed picks the layout",
-		Seeded:      true,
-		Build: func(seed uint64) (Field, error) {
-			rng := rand.New(rand.NewPCG(seed, seed^0x6d0b15a7e9c3))
-			f, err := field.RandomObstacles(rng, field.DisasterObstacleConfig())
-			if err != nil {
-				return Field{}, fmt.Errorf("mobisense: %w", err)
-			}
-			return Field{f: f}, nil
+		Spec: FieldSpec{
+			Bounds:    standardBoundsSpec(),
+			Generator: &GeneratorSpec{MinCount: 3, MaxCount: 6, MinSide: 60, MaxSide: 250, KeepClear: 30, Salt: 0x6d0b15a7e9c3},
+		},
+	})
+
+	RegisterScenario(Scenario{
+		Name:        "narrow-door",
+		Description: "a 40 m thick wall splits the field, pierced by a single 50 m door — the connectivity stress test",
+		Spec: FieldSpec{
+			Bounds: standardBoundsSpec(),
+			Obstacles: []ObstacleSpec{
+				RectObstacle(480, 0, 520, 475),    // south wall segment
+				RectObstacle(480, 525, 520, 1000), // north wall segment; door y ∈ [475,525]
+			},
+		},
+	})
+	registerScenarioAlias("door", "narrow-door")
+
+	RegisterScenario(Scenario{
+		Name:        "l-shaped",
+		Description: "L-shaped free space: the north-east quadrant of the 1000×1000 m field is solid",
+		Spec: FieldSpec{
+			Bounds:    standardBoundsSpec(),
+			Obstacles: []ObstacleSpec{RectObstacle(500, 500, 1000, 1000)},
+		},
+	})
+	registerScenarioAlias("l", "l-shaped")
+
+	RegisterScenario(Scenario{
+		Name: "random-field",
+		Description: "parameterized random field: 2–8 rectangles of 50–300 m; sweep obstacle count or density " +
+			"with the field.obstacles / field.density axes",
+		Spec: FieldSpec{
+			Bounds:    standardBoundsSpec(),
+			Generator: &GeneratorSpec{MinCount: 2, MaxCount: 8, MinSide: 50, MaxSide: 300, KeepClear: 30, Salt: 0x51f0e7d2c4b1},
 		},
 	})
 }

@@ -84,11 +84,17 @@ func TestScenarioAliasLookup(t *testing.T) {
 func TestRegisterScenarioValidation(t *testing.T) {
 	build := func(uint64) (Field, error) { return ObstacleFreeField(), nil }
 
-	mustPanic(t, "empty name or nil Build", func() {
+	mustPanic(t, "needs a name and a Spec or Build", func() {
 		RegisterScenario(Scenario{Name: "", Build: build})
 	})
-	mustPanic(t, "empty name or nil Build", func() {
+	mustPanic(t, "needs a name and a Spec or Build", func() {
 		RegisterScenario(Scenario{Name: "no-builder"})
+	})
+	// A spec that cannot normalize is rejected at registration, not at
+	// first build.
+	mustPanic(t, "bounds", func() {
+		RegisterScenario(Scenario{Name: "degenerate",
+			Spec: FieldSpec{Obstacles: []ObstacleSpec{RectObstacle(0, 0, 10, 10)}}})
 	})
 
 	// Duplicate registration of an existing scenario panics and leaves the

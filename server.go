@@ -34,9 +34,14 @@ type RunRequest struct {
 	Scheme string `json:"scheme"`
 	// Scenario names the deployment environment (default "free"); see
 	// GET /v1/scenarios. FieldSeed selects the generated layout of seeded
-	// scenarios (default 1).
+	// scenarios and field specs (default 1).
 	Scenario  string `json:"scenario,omitempty"`
 	FieldSeed uint64 `json:"field_seed,omitempty"`
+	// Field is an inline declarative environment — bounds, obstacles,
+	// reference point, optional generator — submitted as data instead of
+	// a scenario name (setting both is an error). The job's store
+	// manifest embeds it, so the result is reproducible anywhere.
+	Field *FieldSpec `json:"field,omitempty"`
 
 	N           int     `json:"n,omitempty"`
 	Rc          float64 `json:"rc,omitempty"`
@@ -63,15 +68,24 @@ func (r RunRequest) config() (Config, error) {
 		return Config{}, fmt.Errorf("mobisense: request has no scheme (have %v)", RegisteredSchemes())
 	}
 	cfg := DefaultConfig(Scheme(r.Scheme))
-	scenario := r.Scenario
-	if scenario == "" {
-		scenario = "free"
-	}
 	fieldSeed := r.FieldSeed
 	if fieldSeed == 0 {
 		fieldSeed = 1
 	}
-	f, err := BuildScenario(scenario, fieldSeed)
+	var f Field
+	var err error
+	if r.Field != nil {
+		if r.Scenario != "" {
+			return Config{}, fmt.Errorf("mobisense: request sets both scenario %q and an inline field; pick one", r.Scenario)
+		}
+		f, err = BuildFieldSpec(*r.Field, fieldSeed)
+	} else {
+		scenario := r.Scenario
+		if scenario == "" {
+			scenario = "free"
+		}
+		f, err = BuildScenario(scenario, fieldSeed)
+	}
 	if err != nil {
 		return Config{}, err
 	}
@@ -107,8 +121,12 @@ func (r RunRequest) config() (Config, error) {
 	return cfg, nil
 }
 
-// scenarioName returns the request's effective scenario name.
+// scenarioName returns the request's effective scenario name ("" for an
+// inline custom field, which store records report as such).
 func (r RunRequest) scenarioName() string {
+	if r.Field != nil {
+		return ""
+	}
 	if r.Scenario == "" {
 		return "free"
 	}
@@ -146,7 +164,13 @@ func (r SweepRequest) sweep() (Sweep, error) {
 		return Sweep{}, err
 	}
 	scenarios := r.Scenarios
-	if len(scenarios) == 0 {
+	if r.Field != nil {
+		// An inline field is the sweep's environment; the scenario axis
+		// stays empty (Sweep.Expand rejects setting both).
+		if len(scenarios) > 0 {
+			return Sweep{}, fmt.Errorf("mobisense: request sets both scenarios and an inline field; pick one")
+		}
+	} else if len(scenarios) == 0 {
 		scenarios = []string{base.scenarioName()}
 	}
 	schemes := make([]Scheme, 0, len(r.Schemes))
@@ -165,6 +189,7 @@ func (r SweepRequest) sweep() (Sweep, error) {
 		Base:      cfg,
 		Schemes:   schemes,
 		Scenarios: scenarios,
+		Field:     r.Field,
 		Ns:        r.Ns,
 		Axes:      axes,
 		Repeats:   r.Repeats,
@@ -335,6 +360,7 @@ func (e *serviceEngine) Execute(ctx context.Context, job server.ExecJob) (json.R
 		}}
 		m := istore.Manifest{
 			Kind:              "batch",
+			Fields:            runFieldEntries(req, cfg),
 			ConfigFingerprint: combinedFingerprint(specs),
 			ShardCount:        1,
 			TotalRuns:         1,
@@ -384,6 +410,27 @@ func (e *serviceEngine) Execute(ctx context.Context, job server.ExecJob) (json.R
 	}
 }
 
+// runFieldEntries embeds a single-run job's environment spec in its
+// store manifest: the registered scenario's spec when one was named, or
+// the inline/built field's spec otherwise, so the job store reproduces
+// without this server's binary.
+func runFieldEntries(req RunRequest, cfg Config) []istore.FieldEntry {
+	if name := req.scenarioName(); name != "" {
+		if sc, ok := LookupScenario(name); ok && !sc.Spec.Empty() {
+			return []istore.FieldEntry{{Scenario: sc.Name, Spec: sc.Spec}}
+		}
+		return nil
+	}
+	if cfg.Field.internal() == nil {
+		return nil
+	}
+	// Cosmetic names stay out of manifests (and therefore out of cache
+	// fingerprints); see Sweep.fieldEntries.
+	spec := cfg.Field.Spec()
+	spec.Name = ""
+	return []istore.FieldEntry{{Spec: spec}}
+}
+
 // progressAdapter converts batch progress callbacks into server progress
 // events, extrapolating the ETA from the live execution rate via the
 // shared snapshot helper (replays from a resumed store are excluded from
@@ -416,6 +463,13 @@ type ScenarioInfo struct {
 	Name        string `json:"name"`
 	Description string `json:"description"`
 	Seeded      bool   `json:"seeded"`
+	// Obstacles counts the scenario's fixed obstacles (seeded scenarios
+	// add generated ones on top; see the spec's generator).
+	Obstacles int `json:"obstacles"`
+	// Spec is the scenario's full declarative geometry — fetch it, tweak
+	// it, and resubmit it as an inline "field". Omitted for the rare
+	// code-only scenario that has no spec.
+	Spec *FieldSpec `json:"spec,omitempty"`
 }
 
 func (e *serviceEngine) Schemes() any {
@@ -430,7 +484,13 @@ func (e *serviceEngine) Scenarios() any {
 	scs := Scenarios()
 	out := make([]ScenarioInfo, 0, len(scs))
 	for _, sc := range scs {
-		out = append(out, ScenarioInfo{Name: sc.Name, Description: sc.Description, Seeded: sc.Seeded})
+		info := ScenarioInfo{Name: sc.Name, Description: sc.Description, Seeded: sc.Seeded}
+		if !sc.Spec.Empty() {
+			spec := sc.Spec
+			info.Spec = &spec
+			info.Obstacles = len(spec.Obstacles)
+		}
+		out = append(out, info)
 	}
 	return out
 }
@@ -439,13 +499,16 @@ func (e *serviceEngine) Scenarios() any {
 // (GET /v1/axes).
 type AxisInfo struct {
 	Name string `json:"name"`
+	// Integer marks axes whose values must be whole numbers.
+	Integer     bool   `json:"integer,omitempty"`
+	Description string `json:"description,omitempty"`
 }
 
 func (e *serviceEngine) Axes() any {
 	names := AxisNames()
 	out := make([]AxisInfo, 0, len(names))
 	for _, name := range names {
-		out = append(out, AxisInfo{Name: name})
+		out = append(out, AxisInfo{Name: name, Integer: AxisIsInteger(name), Description: AxisDescription(name)})
 	}
 	return out
 }

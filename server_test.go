@@ -441,3 +441,94 @@ func TestSweepRequestAxes(t *testing.T) {
 		t.Error("unknown axis name should be rejected")
 	}
 }
+
+// TestServerInlineField: a custom environment submitted as inline JSON
+// data runs end to end — the job completes, its record carries an empty
+// scenario (custom field), the store manifest embeds the spec, the
+// catalog exposes every scenario's spec, and conflicting or malformed
+// field requests are rejected up front.
+func TestServerInlineField(t *testing.T) {
+	dir := t.TempDir()
+	svc, ts := startService(t, dir, 2)
+	defer ts.Close()
+	defer svc.Close()
+
+	field := `{"name":"depot","bounds":{"max_x":900,"max_y":700},"obstacles":[{"rect":[300,150,500,350]}]}`
+
+	// Single run over the inline field.
+	v, status := postJSON(t, ts.URL+"/v1/runs", `{"scheme":"floor","n":20,"duration":60,"field":`+field+`}`)
+	if status != http.StatusAccepted {
+		t.Fatalf("inline-field run submit status = %d", status)
+	}
+	done := waitState(t, ts.URL, v.ID, server.StateDone)
+	var rec struct {
+		Scenario string  `json:"scenario"`
+		Coverage float64 `json:"coverage"`
+	}
+	if err := json.Unmarshal(done.Result, &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Scenario != "" || rec.Coverage <= 0 {
+		t.Errorf("inline-field run result = %+v", rec)
+	}
+
+	// A sweep over the inline field persists the spec in its store
+	// manifest, so the store reproduces without this server.
+	sv, status := postJSON(t, ts.URL+"/v1/sweeps",
+		`{"scheme":"floor","n":20,"duration":60,"repeats":2,"seed":5,"field":`+field+`}`)
+	if status != http.StatusAccepted {
+		t.Fatalf("inline-field sweep submit status = %d", status)
+	}
+	waitState(t, ts.URL, sv.ID, server.StateDone)
+	manifest, err := os.ReadFile(filepath.Join(dir, "jobs", sv.ID, "store", "manifest.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(manifest, []byte(`"fields"`)) || !bytes.Contains(manifest, []byte(`"max_x": 900`)) {
+		t.Errorf("sweep store manifest lacks the embedded field spec:\n%s", manifest)
+	}
+	// The identical resubmission is a cache hit: the fingerprint hashes
+	// the geometry, not a scenario name.
+	if hit, status := postJSON(t, ts.URL+"/v1/sweeps",
+		`{"scheme":"floor","n":20,"duration":60,"repeats":2,"seed":5,"field":`+field+`}`); status != http.StatusOK || !hit.CacheHit {
+		t.Errorf("identical inline-field sweep: status %d cacheHit=%v", status, hit.CacheHit)
+	}
+
+	// Conflicts and malformed specs are 400s.
+	if _, status := postJSON(t, ts.URL+"/v1/runs",
+		`{"scheme":"floor","scenario":"free","field":`+field+`}`); status != http.StatusBadRequest {
+		t.Errorf("field+scenario status = %d, want 400", status)
+	}
+	if _, status := postJSON(t, ts.URL+"/v1/sweeps",
+		`{"scheme":"floor","scenarios":["free"],"field":`+field+`}`); status != http.StatusBadRequest {
+		t.Errorf("field+scenarios status = %d, want 400", status)
+	}
+	if _, status := postJSON(t, ts.URL+"/v1/runs",
+		`{"scheme":"floor","field":{"bounds":{"max_x":0,"max_y":0}}}`); status != http.StatusBadRequest {
+		t.Errorf("degenerate field status = %d, want 400", status)
+	}
+
+	// The scenario catalog carries each entry's spec and obstacle count,
+	// and the axis catalog marks integer axes.
+	catalog, _ := readAll(t, mustGet(t, ts.URL+"/v1/scenarios"))
+	var scList struct {
+		Scenarios []ScenarioInfo `json:"scenarios"`
+	}
+	if err := json.Unmarshal(catalog, &scList); err != nil {
+		t.Fatal(err)
+	}
+	found := map[string]ScenarioInfo{}
+	for _, sc := range scList.Scenarios {
+		found[sc.Name] = sc
+	}
+	if sc := found["narrow-door"]; sc.Spec == nil || sc.Obstacles != 2 {
+		t.Errorf("narrow-door catalog entry = %+v", sc)
+	}
+	if sc := found["random-field"]; sc.Spec == nil || !sc.Seeded || sc.Spec.Generator == nil {
+		t.Errorf("random-field catalog entry = %+v", sc)
+	}
+	axes, _ := readAll(t, mustGet(t, ts.URL+"/v1/axes"))
+	if !bytes.Contains(axes, []byte(`"field.ref"`)) || !bytes.Contains(axes, []byte(`"integer": true`)) {
+		t.Errorf("axes catalog = %s", axes)
+	}
+}

@@ -293,9 +293,21 @@ type StoreInfo struct {
 	// are actually on disk; Complete is the manifest's completion mark.
 	TotalRuns, Records int
 	Complete           bool
+	// Fields are the environment specs embedded in the store's manifest
+	// (empty for stores written before the field-spec refactor). They
+	// make a foreign store reproducible: rebuild any entry with
+	// BuildFieldSpec and re-run its records' configs.
+	Fields []StoreField
 	// Elapsed is the total wall-clock compute time recorded in the store's
 	// timing sidecar (non-deterministic, informational).
 	Elapsed time.Duration
+}
+
+// StoreField is one embedded environment of a store: the scenario name
+// (empty for a custom field) and its declarative spec.
+type StoreField struct {
+	Scenario string
+	Spec     FieldSpec
 }
 
 // StoreData is the merged content of one or more store directories —
@@ -340,6 +352,10 @@ func LoadStores(dirs ...string) (StoreData, error) {
 		for _, d := range times {
 			elapsed += d
 		}
+		var specs []StoreField
+		for _, fe := range m.Fields {
+			specs = append(specs, StoreField{Scenario: fe.Scenario, Spec: fe.Spec})
+		}
 		data.Stores = append(data.Stores, StoreInfo{
 			Dir:        dir,
 			Kind:       m.Kind,
@@ -348,6 +364,7 @@ func LoadStores(dirs ...string) (StoreData, error) {
 			TotalRuns:  m.TotalRuns,
 			Records:    len(recs),
 			Complete:   m.Complete,
+			Fields:     specs,
 			Elapsed:    elapsed,
 		})
 		for _, rec := range recs {
@@ -382,11 +399,16 @@ func LoadStores(dirs ...string) (StoreData, error) {
 }
 
 // sameSweep reports whether two manifests describe the same sweep,
-// ignoring shard placement and completion state.
+// ignoring shard placement and completion state. Embedded field specs
+// are compared only when both stores carry them, so shards written
+// before the field-spec refactor still merge with newer ones.
 func sameSweep(a, b istore.Manifest) bool {
 	a.ShardIndex, b.ShardIndex = 0, 0
 	a.ShardCount, b.ShardCount = 0, 0
 	a.TotalRuns, b.TotalRuns = 0, 0
 	a.Complete, b.Complete = false, false
+	if a.Fields == nil || b.Fields == nil {
+		a.Fields, b.Fields = nil, nil
+	}
 	return reflect.DeepEqual(a, b)
 }
