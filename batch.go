@@ -800,8 +800,9 @@ func splitmix64(x uint64) uint64 {
 
 // estimatorCache shares one coverage.Estimator per (field, resolution)
 // across the runs of a batch: rebuilding the free-space mask per run is
-// pure waste in sweeps. Estimators are immutable after construction, so
-// concurrent use is safe.
+// pure waste in sweeps. The shared geometry (free-space mask, bounds) is
+// immutable after construction and the mutable query scratch lives in an
+// internal sync.Pool, so concurrent use is safe.
 type estimatorCache struct {
 	mu sync.Mutex
 	m  map[estimatorKey]*coverage.Estimator

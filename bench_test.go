@@ -284,11 +284,13 @@ func batchSweep() mobisense.Sweep {
 }
 
 func benchmarkBatchSweep(b *testing.B, workers int) {
-	// Allocation tracking guards the per-run pooling work (pooled event
-	// heaps and spatial indexes, scratch neighbor buffers, a boxing-free
-	// event heap): introducing it cut this sweep from ~594k allocs/op and
-	// ~18.1 MB/op to ~199k allocs/op and ~10.0 MB/op (−66% / −45%) with
-	// bit-identical coverage metrics.
+	// Allocation tracking guards the per-run pooling work. The first
+	// pooling pass (event heaps, spatial indexes, neighbor scratch) cut
+	// this sweep from ~594k to ~199k allocs/op; the epoch-stamped coverage
+	// scratch, dense spatial buckets, struct-of-arrays world state and
+	// scheme-layer scratch then took it to ~2.8k allocs/op and ~1.6 MB/op,
+	// every step with bit-identical coverage metrics. The checked-in
+	// BENCH_PR6.json snapshot and cmd/bench gate this in CI.
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		sr, err := batchSweep().Run(context.Background(), mobisense.BatchOptions{Workers: workers})

@@ -1,0 +1,254 @@
+// Command bench runs the repository's perf-tracking benchmark suite with
+// allocation accounting, records the results as a JSON snapshot, and
+// compares the current tree against a checked-in snapshot.
+//
+// Snapshot a baseline (done once per perf-sensitive PR):
+//
+//	go run ./cmd/bench -count 3 -out BENCH_PR6.json
+//
+// Gate the current tree against it (CI's bench-gate job):
+//
+//	go run ./cmd/bench -count 3 -compare BENCH_PR6.json
+//
+// The gate fails when any benchmark's allocs/op regresses by more than
+// -allocs-tol (default 10%). Wall-clock (ns/op) is machine-dependent, so
+// ns/op regressions beyond -ns-tol (default 15%) only warn unless -ns-gate
+// is set. With -count > 1 the best (minimum) of the repetitions is used,
+// which suppresses GC-timing noise in pooled allocation counts.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// defaultBenchRegexp selects the perf-tracking benchmarks: the end-to-end
+// batch sweep (the headline allocs/op number), the store writer, and the
+// pooled hot-path micro benches in internal/coverage and internal/spatial.
+const defaultBenchRegexp = "^(BenchmarkBatchSweepSequential|BenchmarkBatchSweepParallel|" +
+	"BenchmarkStoreWrite|BenchmarkFractionReuse|BenchmarkInsertMoveQuery)$"
+
+// Result is one benchmark's measured costs.
+type Result struct {
+	Pkg      string  `json:"pkg"`
+	NsOp     float64 `json:"ns_op"`
+	BOp      float64 `json:"b_op"`
+	AllocsOp float64 `json:"allocs_op"`
+}
+
+// Snapshot is the on-disk baseline format (BENCH_PR6.json).
+type Snapshot struct {
+	GoVersion  string            `json:"go_version"`
+	GOOS       string            `json:"goos"`
+	GOARCH     string            `json:"goarch"`
+	GOMAXPROCS int               `json:"gomaxprocs"`
+	BenchRegex string            `json:"bench_regex"`
+	BenchTime  string            `json:"bench_time"`
+	Count      int               `json:"count"`
+	Benchmarks map[string]Result `json:"benchmarks"`
+}
+
+func main() {
+	var (
+		benchRe   = flag.String("bench", defaultBenchRegexp, "benchmark regexp passed to go test -bench")
+		benchTime = flag.String("benchtime", "1x", "go test -benchtime value")
+		count     = flag.Int("count", 1, "repetitions; the best (min) of each metric is kept")
+		pkgs      = flag.String("pkgs", "./...", "packages to benchmark")
+		out       = flag.String("out", "", "write the snapshot JSON to this path")
+		compare   = flag.String("compare", "", "compare against the snapshot JSON at this path")
+		allocsTol = flag.Float64("allocs-tol", 0.10, "max allowed fractional allocs/op regression")
+		nsTol     = flag.Float64("ns-tol", 0.15, "ns/op regression fraction that triggers a warning")
+		nsGate    = flag.Bool("ns-gate", false, "fail (not just warn) on ns/op regressions beyond -ns-tol")
+	)
+	flag.Parse()
+
+	cur, err := run(*benchRe, *benchTime, *count, *pkgs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	snap := Snapshot{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		BenchRegex: *benchRe,
+		BenchTime:  *benchTime,
+		Count:      *count,
+		Benchmarks: cur,
+	}
+
+	for _, name := range sortedNames(cur) {
+		r := cur[name]
+		fmt.Printf("%-32s %14.0f ns/op %12.0f B/op %10.0f allocs/op\n", name, r.NsOp, r.BOp, r.AllocsOp)
+	}
+
+	if *out != "" {
+		buf, err := json.MarshalIndent(snap, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*out, append(buf, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		fmt.Println("snapshot written to", *out)
+	}
+
+	if *compare != "" {
+		base, err := load(*compare)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		if base.GOMAXPROCS != snap.GOMAXPROCS {
+			fmt.Printf("note: snapshot taken at GOMAXPROCS=%d, running at %d; "+
+				"ns/op comparisons are indicative only\n", base.GOMAXPROCS, snap.GOMAXPROCS)
+		}
+		if !gate(base, snap, *allocsTol, *nsTol, *nsGate) {
+			os.Exit(1)
+		}
+		fmt.Println("bench gate: PASS")
+	}
+}
+
+// run executes the benchmark suite `count` times and keeps the minimum of
+// every metric per benchmark.
+func run(benchRe, benchTime string, count int, pkgs string) (map[string]Result, error) {
+	args := []string{"test", "-run", "^$", "-bench", benchRe, "-benchmem",
+		"-benchtime", benchTime, "-count", strconv.Itoa(count)}
+	args = append(args, strings.Fields(pkgs)...)
+	cmd := exec.Command("go", args...)
+	cmd.Stderr = os.Stderr
+	outBuf, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go test -bench: %w", err)
+	}
+	res := parse(string(outBuf))
+	if len(res) == 0 {
+		return nil, fmt.Errorf("no benchmark results matched %q", benchRe)
+	}
+	return res, nil
+}
+
+// parse extracts ns/op, B/op and allocs/op from `go test -bench` output,
+// keeping the minimum across repeated lines of the same benchmark.
+func parse(out string) map[string]Result {
+	res := make(map[string]Result)
+	pkg := ""
+	for _, line := range strings.Split(out, "\n") {
+		if rest, ok := strings.CutPrefix(line, "pkg: "); ok {
+			pkg = strings.TrimSpace(rest)
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") || !strings.Contains(line, "ns/op") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 {
+			continue
+		}
+		// Strip the -GOMAXPROCS suffix from the name.
+		name := fields[0]
+		if i := strings.LastIndexByte(name, '-'); i > 0 {
+			name = name[:i]
+		}
+		r := Result{Pkg: pkg, NsOp: -1, BOp: -1, AllocsOp: -1}
+		for i := 2; i < len(fields); i++ {
+			v, err := strconv.ParseFloat(fields[i-1], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i] {
+			case "ns/op":
+				r.NsOp = v
+			case "B/op":
+				r.BOp = v
+			case "allocs/op":
+				r.AllocsOp = v
+			}
+		}
+		if r.NsOp < 0 {
+			continue
+		}
+		if prev, ok := res[name]; ok {
+			r.NsOp = min(r.NsOp, prev.NsOp)
+			r.BOp = min(r.BOp, prev.BOp)
+			r.AllocsOp = min(r.AllocsOp, prev.AllocsOp)
+		}
+		res[name] = r
+	}
+	return res
+}
+
+// gate compares current results against the baseline snapshot. It returns
+// false when any gated threshold is exceeded or a baseline benchmark is
+// missing from the current run.
+func gate(base, cur Snapshot, allocsTol, nsTol float64, nsGate bool) bool {
+	ok := true
+	for _, name := range sortedNames(base.Benchmarks) {
+		b := base.Benchmarks[name]
+		c, found := cur.Benchmarks[name]
+		if !found {
+			fmt.Printf("FAIL %s: benchmark missing from current run\n", name)
+			ok = false
+			continue
+		}
+		if b.AllocsOp > 0 {
+			frac := c.AllocsOp/b.AllocsOp - 1
+			if frac > allocsTol {
+				fmt.Printf("FAIL %s: allocs/op %.0f -> %.0f (%+.1f%%, tolerance %.0f%%)\n",
+					name, b.AllocsOp, c.AllocsOp, 100*frac, 100*allocsTol)
+				ok = false
+			} else {
+				fmt.Printf("ok   %s: allocs/op %.0f -> %.0f (%+.1f%%)\n",
+					name, b.AllocsOp, c.AllocsOp, 100*frac)
+			}
+		}
+		if b.NsOp > 0 {
+			frac := c.NsOp/b.NsOp - 1
+			if frac > nsTol {
+				verdict := "warn"
+				if nsGate {
+					verdict = "FAIL"
+					ok = false
+				}
+				fmt.Printf("%s %s: ns/op %.0f -> %.0f (%+.1f%%, tolerance %.0f%%)\n",
+					verdict, name, b.NsOp, c.NsOp, 100*frac, 100*nsTol)
+			}
+		}
+	}
+	return ok
+}
+
+func load(path string) (Snapshot, error) {
+	var s Snapshot
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return s, err
+	}
+	if err := json.Unmarshal(buf, &s); err != nil {
+		return s, fmt.Errorf("%s: %w", path, err)
+	}
+	return s, nil
+}
+
+func sortedNames(m map[string]Result) []string {
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	for i := 1; i < len(names); i++ {
+		for j := i; j > 0 && names[j] < names[j-1]; j-- {
+			names[j], names[j-1] = names[j-1], names[j]
+		}
+	}
+	return names
+}

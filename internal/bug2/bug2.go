@@ -132,24 +132,37 @@ func WithStopOnHit() Option {
 
 // New creates a planner from start to target on field f.
 func New(f *field.Field, start, target geom.Vec, opts ...Option) *Planner {
-	p := &Planner{
+	p := &Planner{hand: RightHand, arriveTol: defaultArriveTol}
+	for _, opt := range opts {
+		opt(p)
+	}
+	p.Init(f, start, target, p.hand, p.arriveTol, p.stopOnHit)
+	return p
+}
+
+// Init (re)initializes p in place for a fresh start→target walk with the
+// given configuration, letting callers that plan many consecutive legs
+// (e.g. multi-leg route walkers) reuse one planner value instead of
+// allocating one per leg. A zero arriveTol selects the default.
+func (p *Planner) Init(f *field.Field, start, target geom.Vec, hand Hand, arriveTol float64, stopOnHit bool) {
+	if arriveTol <= 0 {
+		arriveTol = defaultArriveTol
+	}
+	*p = Planner{
 		f:         f,
 		start:     start,
 		target:    target,
 		pos:       start,
 		status:    StatusMoving,
-		hand:      RightHand,
-		arriveTol: defaultArriveTol,
+		hand:      hand,
+		arriveTol: arriveTol,
+		stopOnHit: stopOnHit,
 		mode:      modeStraight,
 		maxFollow: followBudget(f),
-	}
-	for _, opt := range opts {
-		opt(p)
 	}
 	if p.pos.Dist(p.target) <= p.arriveTol {
 		p.status = StatusArrived
 	}
-	return p
 }
 
 // followBudget returns the maximum boundary-following distance before the

@@ -50,13 +50,13 @@ func TestParamsValidate(t *testing.T) {
 
 func TestNewWorldPlacement(t *testing.T) {
 	w := testWorld(t)
-	for _, s := range w.Sensors {
-		pos := s.PosAt(0)
+	for i := range w.Sensors {
+		pos := w.PosAt(i, 0)
 		if !w.P.InitRegion.Contains(pos) {
-			t.Errorf("sensor %d at %v outside init region", s.ID, pos)
+			t.Errorf("sensor %d at %v outside init region", i, pos)
 		}
 		if !w.F.Free(pos) {
-			t.Errorf("sensor %d placed in obstacle", s.ID)
+			t.Errorf("sensor %d placed in obstacle", i)
 		}
 	}
 }
@@ -66,14 +66,25 @@ func TestWorldDeterminism(t *testing.T) {
 	w1, _ := NewWorld(f, testParams())
 	w2, _ := NewWorld(f, testParams())
 	for i := range w1.Sensors {
-		if !w1.Sensors[i].PosAt(0).Eq(w2.Sensors[i].PosAt(0)) {
+		if !w1.PosAt(i, 0).Eq(w2.PosAt(i, 0)) {
 			t.Fatal("same seed produced different initial layouts")
 		}
 	}
 }
 
 func TestSensorPosInterpolation(t *testing.T) {
-	s := &Sensor{From: geom.V(0, 0), To: geom.V(10, 0), T0: 5, T1: 10}
+	f := field.MustNew(geom.R(0, 0, 200, 200), nil)
+	p := testParams()
+	p.N = 1
+	w, err := NewWorld(f, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Install a step record directly: 0 moves (0,0)→(10,0) over [5, 10].
+	w.stepFrom[0] = geom.V(0, 0)
+	w.stepTo[0] = geom.V(10, 0)
+	w.stepT0[0] = 5
+	w.stepT1[0] = 10
 	tests := []struct {
 		t    float64
 		want geom.Vec
@@ -85,11 +96,11 @@ func TestSensorPosInterpolation(t *testing.T) {
 		{99, geom.V(10, 0)},
 	}
 	for _, tt := range tests {
-		if got := s.PosAt(tt.t); !got.Eq(tt.want) {
+		if got := w.PosAt(0, tt.t); !got.Eq(tt.want) {
 			t.Errorf("PosAt(%v) = %v, want %v", tt.t, got, tt.want)
 		}
 	}
-	if !s.Moving(7) || s.Moving(4) || s.Moving(10) {
+	if !w.Moving(0, 7) || w.Moving(0, 4) || w.Moving(0, 10) {
 		t.Error("Moving window incorrect")
 	}
 }

@@ -17,14 +17,14 @@ import (
 // re-homes them), and disappears from the radio neighborhood. Killing an
 // already-dead sensor is a no-op. It returns the sensor's former children.
 func (w *World) Kill(id int) []int {
-	s := w.Sensors[id]
+	s := &w.Sensors[id]
 	if s.Failed {
 		return nil
 	}
 	now := w.Now()
-	pos := s.PosAt(now)
-	s.From, s.To = pos, pos
-	s.T0, s.T1 = now, now
+	pos := w.PosAt(id, now)
+	w.stepFrom[id], w.stepTo[id] = pos, pos
+	w.stepT0[id], w.stepT1[id] = now, now
 	s.Failed = true
 	s.Connected = false
 
@@ -43,8 +43,8 @@ func (w *World) Alive(id int) bool { return !w.Sensors[id].Failed }
 // AliveCount returns the number of non-failed sensors.
 func (w *World) AliveCount() int {
 	n := 0
-	for _, s := range w.Sensors {
-		if !s.Failed {
+	for i := range w.Sensors {
+		if !w.Sensors[i].Failed {
 			n++
 		}
 	}
@@ -55,9 +55,9 @@ func (w *World) AliveCount() int {
 func (w *World) AliveLayout() []geom.Vec {
 	out := make([]geom.Vec, 0, len(w.Sensors))
 	now := w.Now()
-	for _, s := range w.Sensors {
-		if !s.Failed {
-			out = append(out, s.PosAt(now))
+	for i := range w.Sensors {
+		if !w.Sensors[i].Failed {
+			out = append(out, w.PosAt(i, now))
 		}
 	}
 	return out
@@ -72,9 +72,9 @@ func (w *World) PhysicallyStranded(radius float64) []int {
 	positions := make([]geom.Vec, 0, len(w.Sensors))
 	ids := make([]int, 0, len(w.Sensors))
 	now := w.Now()
-	for i, s := range w.Sensors {
-		if !s.Failed {
-			positions = append(positions, s.PosAt(now))
+	for i := range w.Sensors {
+		if !w.Sensors[i].Failed {
+			positions = append(positions, w.PosAt(i, now))
 			ids = append(ids, i)
 		}
 	}
@@ -132,8 +132,8 @@ func (fi *FailureInjector) Killed() int { return fi.killed }
 
 func (fi *FailureInjector) pickVictim(w *World, rng *rand.Rand) (int, bool) {
 	alive := make([]int, 0, len(w.Sensors))
-	for i, s := range w.Sensors {
-		if !s.Failed {
+	for i := range w.Sensors {
+		if !w.Sensors[i].Failed {
 			alive = append(alive, i)
 		}
 	}

@@ -19,7 +19,8 @@ func UnitDiskReachable(positions []geom.Vec, base geom.Vec, radius float64) []bo
 	if n == 0 {
 		return reached
 	}
-	idx := spatial.New(radius, n)
+	idx := spatial.NewBounded(radius, boundsOf(positions), n)
+	defer idx.Release()
 	for i, p := range positions {
 		idx.Insert(i, p)
 	}
@@ -43,6 +44,26 @@ func UnitDiskReachable(positions []geom.Vec, base geom.Vec, radius float64) []bo
 	return reached
 }
 
+// boundsOf returns the bounding rectangle of the given points.
+func boundsOf(pts []geom.Vec) geom.Rect {
+	b := geom.Rect{Min: pts[0], Max: pts[0]}
+	for _, p := range pts[1:] {
+		if p.X < b.Min.X {
+			b.Min.X = p.X
+		}
+		if p.Y < b.Min.Y {
+			b.Min.Y = p.Y
+		}
+		if p.X > b.Max.X {
+			b.Max.X = p.X
+		}
+		if p.Y > b.Max.Y {
+			b.Max.Y = p.Y
+		}
+	}
+	return b
+}
+
 // AllConnected reports whether every position is unit-disk reachable from
 // the base.
 func AllConnected(positions []geom.Vec, base geom.Vec, radius float64) bool {
@@ -59,16 +80,26 @@ func AllConnected(positions []geom.Vec, base geom.Vec, radius float64) bool {
 // rebroadcast; every sensor the flood reaches is marked Connected and
 // attached to the tree through the neighbor it first heard from (BFS
 // parent), giving an initial shortest-hop tree. One MsgFlood transmission
-// is counted per node that broadcasts (each sends once).
+// is counted per node that broadcasts (each sends once). The traversal
+// runs on scratch buffers held by the world, so repeated floods allocate
+// nothing.
 func (w *World) FloodFromBase(radius float64) {
-	positions := w.Layout()
-	n := len(positions)
-	idx := spatial.New(radius, n)
+	n := len(w.Sensors)
+	now := w.Now()
+	positions := resize(w.floodPos, n)
+	w.floodPos = positions
+	for i := range w.Sensors {
+		positions[i] = w.PosAt(i, now)
+	}
+	idx := spatial.NewBounded(radius, w.F.Bounds(), n)
+	defer idx.Release()
 	for i, p := range positions {
 		idx.Insert(i, p)
 	}
-	visited := make([]bool, n)
-	queue := make([]int, 0, n)
+	visited := resize(w.floodVisited, n)
+	w.floodVisited = visited
+	clear(visited)
+	queue := w.floodQueue[:0]
 	w.Msg.Count(MsgFlood, 1) // base station's initial broadcast
 	for i, p := range positions {
 		if p.Dist(w.F.Reference()) <= radius {
@@ -91,4 +122,5 @@ func (w *World) FloodFromBase(radius float64) {
 			queue = append(queue, j)
 		})
 	}
+	w.floodQueue = queue
 }

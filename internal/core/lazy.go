@@ -111,11 +111,10 @@ func (lc *LazyCoordinator) Step(id int) LazyResult {
 	pos := w.Pos(id)
 	now := w.Now()
 	w.ForNeighbors(id, lc.cfg.ConnectRadius, func(j int, p geom.Vec) {
-		peer := w.Sensors[j]
-		if !peer.Connected {
+		if !w.Sensors[j].Connected {
 			return
 		}
-		if peer.PosAt(math.Max(peer.T1, now)).Dist(pos) > lc.cfg.ConnectRadius {
+		if w.PosAt(j, math.Max(w.StepEndTime(j), now)).Dist(pos) > lc.cfg.ConnectRadius {
 			return
 		}
 		if d := p.Dist(pos); d < best {

@@ -1,5 +1,7 @@
 package core
 
+import "sync"
+
 // Tree is the connectivity tree rooted at the base station. parent[i] is a
 // sensor ID, BaseParent, or NoParent. The tree is maintained by the schemes
 // during connectivity establishment (§4.1, §5.2), parent changes (§4.2) and
@@ -7,18 +9,43 @@ package core
 type Tree struct {
 	parent   []int
 	children [][]int
+
+	// chainA/chainB back TreeDist's two root chains; the registry's
+	// covered-query path calls TreeDist once per candidate header per
+	// period, so per-call chain allocation dominates a run's garbage.
+	chainA, chainB []int
 }
 
-// NewTree creates a tree of n detached sensors.
+// treePool recycles trees (their parent/children arrays and chain
+// scratch) across runs; one tree is built per run, and sweeps run
+// thousands.
+var treePool sync.Pool
+
+// NewTree creates a tree of n detached sensors, reusing a pooled tree's
+// storage when available (see Release).
 func NewTree(n int) *Tree {
-	t := &Tree{
-		parent:   make([]int, n),
-		children: make([][]int, n),
+	t, _ := treePool.Get().(*Tree)
+	if t == nil {
+		t = &Tree{}
+	}
+	if cap(t.parent) < n {
+		t.parent = make([]int, n)
+		t.children = make([][]int, n)
+	} else {
+		t.parent = t.parent[:n]
+		t.children = t.children[:n]
 	}
 	for i := range t.parent {
 		t.parent[i] = NoParent
+		t.children[i] = t.children[i][:0]
 	}
 	return t
+}
+
+// Release returns the tree's storage to the shared pool for reuse by a
+// future NewTree. The tree must not be used after Release.
+func (t *Tree) Release() {
+	treePool.Put(t)
 }
 
 // Len returns the number of sensors.
@@ -100,7 +127,12 @@ func (t *Tree) IsAncestor(a, id int) bool {
 // excluding the base station sentinel. FLOOR keeps this list in each
 // sensor's memory (§5.3).
 func (t *Tree) Ancestors(id int) []int {
-	var out []int
+	return t.AncestorsAppend(nil, id)
+}
+
+// AncestorsAppend appends the chain of sensor ancestors of id (nearest
+// first, excluding the base-station sentinel) to out and returns it.
+func (t *Tree) AncestorsAppend(out []int, id int) []int {
 	cur := t.parent[id]
 	for hops := 0; hops <= len(t.parent) && cur >= 0; hops++ {
 		out = append(out, cur)
@@ -130,8 +162,15 @@ func (t *Tree) Depth(id int) int {
 
 // Subtree returns id and every descendant of id, in BFS order.
 func (t *Tree) Subtree(id int) []int {
-	out := []int{id}
-	for i := 0; i < len(out); i++ {
+	return t.SubtreeAppend(nil, id)
+}
+
+// SubtreeAppend appends id and every descendant of id (in BFS order,
+// starting from out's existing length) to out and returns it.
+func (t *Tree) SubtreeAppend(out []int, id int) []int {
+	start := len(out)
+	out = append(out, id)
+	for i := start; i < len(out); i++ {
 		out = append(out, t.children[out[i]]...)
 	}
 	return out
@@ -139,11 +178,15 @@ func (t *Tree) Subtree(id int) []int {
 
 // TreeDist returns the number of tree edges on the path between a and b
 // (treating the base station as the common root), or -1 if they are in
-// different fragments.
+// different fragments. The chain scratch makes repeated calls
+// allocation-free; like all tree mutation, it is not safe for concurrent
+// use on one tree.
 func (t *Tree) TreeDist(a, b int) int {
-	da := t.depthChain(a)
-	db := t.depthChain(b)
-	if da == nil || db == nil {
+	da, okA := t.depthChain(t.chainA[:0], a)
+	t.chainA = da
+	db, okB := t.depthChain(t.chainB[:0], b)
+	t.chainB = db
+	if !okA || !okB {
 		return -1
 	}
 	// Chains end at BaseParent; walk back from the root to find the
@@ -156,21 +199,21 @@ func (t *Tree) TreeDist(a, b int) int {
 	return (i + 1) + (j + 1)
 }
 
-// depthChain returns the chain [id, parent, ..., last-before-base], or nil
-// if id is not rooted at the base station.
-func (t *Tree) depthChain(id int) []int {
-	chain := []int{id}
+// depthChain appends the chain [id, parent, ..., last-before-base] to buf,
+// reporting false if id is not rooted at the base station.
+func (t *Tree) depthChain(buf []int, id int) ([]int, bool) {
+	buf = append(buf, id)
 	cur := id
 	for hops := 0; hops <= len(t.parent); hops++ {
 		p := t.parent[cur]
 		if p == BaseParent {
-			return chain
+			return buf, true
 		}
 		if p == NoParent {
-			return nil
+			return buf, false
 		}
-		chain = append(chain, p)
+		buf = append(buf, p)
 		cur = p
 	}
-	return nil
+	return buf, false
 }

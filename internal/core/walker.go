@@ -36,15 +36,17 @@ type Leg struct {
 }
 
 // RouteWalker walks a sequence of legs with BUG2, starting each leg from
-// wherever the previous one ended.
+// wherever the previous one ended. One planner value is reused in place
+// across legs (it is re-initialized per leg, never heap-allocated).
 type RouteWalker struct {
-	f       *field.Field
-	legs    []Leg
-	cur     int
-	pos     geom.Vec
-	planner *bug2.Planner
-	hand    bug2.Hand
-	stuck   bool
+	f        *field.Field
+	legs     []Leg
+	cur      int
+	pos      geom.Vec
+	planner  bug2.Planner
+	planning bool
+	hand     bug2.Hand
+	stuck    bool
 }
 
 var _ Walker = (*RouteWalker)(nil)
@@ -92,12 +94,9 @@ func (r *RouteWalker) Advance(budget float64) float64 {
 	var moved float64
 	for budget-moved > 1e-9 && !r.Arrived() && !r.stuck {
 		leg := r.legs[r.cur]
-		if r.planner == nil {
-			opts := []bug2.Option{bug2.WithHand(r.hand), bug2.WithArriveTolerance(0.5)}
-			if leg.StopOnHit {
-				opts = append(opts, bug2.WithStopOnHit())
-			}
-			r.planner = bug2.New(r.f, r.pos, leg.Target, opts...)
+		if !r.planning {
+			r.planner.Init(r.f, r.pos, leg.Target, r.hand, 0.5, leg.StopOnHit)
+			r.planning = true
 		}
 		moved += r.planner.Advance(budget - moved)
 		r.pos = r.planner.Pos()
@@ -109,11 +108,11 @@ func (r *RouteWalker) Advance(budget float64) float64 {
 			// Leg complete (or cut short by obstacle contact in
 			// stop-on-hit legs); move to the next leg.
 			r.cur++
-			r.planner = nil
+			r.planning = false
 		case bug2.StatusStuck:
 			if leg.StopOnHit {
 				r.cur++
-				r.planner = nil
+				r.planning = false
 			} else {
 				r.stuck = true
 			}

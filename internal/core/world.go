@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"slices"
+	"sync"
 
 	"mobisense/internal/field"
 	"mobisense/internal/geom"
@@ -10,16 +11,12 @@ import (
 	"mobisense/internal/spatial"
 )
 
-// Sensor is one mobile node. Its position is piecewise linear in time: a
-// step record says it moves from From to To during [T0, T1] at uniform
-// speed (§3.1). Outside that window it is stationary at the nearer
-// endpoint.
+// Sensor is one mobile node's slow-changing state. The per-tick motion
+// state (the current step record) lives in the World's parallel arrays —
+// see World.PosAt — so the hot interpolation loops stream through compact
+// struct-of-arrays storage instead of chasing per-sensor pointers.
 type Sensor struct {
 	ID int
-
-	// Current step record.
-	From, To geom.Vec
-	T0, T1   float64
 
 	// Traveled is the cumulative path length (the energy-dominating
 	// metric of §6.2). It may exceed the displacement when BUG2 rounds
@@ -38,86 +35,134 @@ type Sensor struct {
 	Phase float64
 }
 
-// PosAt returns the sensor position at time t.
-func (s *Sensor) PosAt(t float64) geom.Vec {
-	switch {
-	case t <= s.T0:
-		return s.From
-	case t >= s.T1:
-		return s.To
-	default:
-		return s.From.Lerp(s.To, (t-s.T0)/(s.T1-s.T0))
-	}
-}
-
-// Moving reports whether the sensor is mid-step at time t.
-func (s *Sensor) Moving(t float64) bool {
-	return t >= s.T0 && t < s.T1 && !s.From.Eq(s.To)
-}
-
 // World owns the sensors, the field, the clock and the message counters; it
 // is shared by every deployment scheme.
 type World struct {
 	P       Params
 	E       *sim.Engine
 	F       *field.Field
-	Sensors []*Sensor
+	Sensors []Sensor
 	Msg     *MsgStats
 	Tree    *Tree
+
+	// Step records, struct-of-arrays indexed by sensor ID: sensor id
+	// moves from stepFrom[id] to stepTo[id] during [stepT0[id],
+	// stepT1[id]] at uniform speed (§3.1). Outside that window it is
+	// stationary at the nearer endpoint.
+	stepFrom []geom.Vec
+	stepTo   []geom.Vec
+	stepT0   []float64
+	stepT1   []float64
+
+	msgStore MsgStats
 
 	idx        *spatial.Index
 	lastMove   float64
 	nbrScratch []int // Neighbors result buffer, reused across calls
+
+	// Flood scratch (see FloodFromBase), reused across floods and runs.
+	floodPos     []geom.Vec
+	floodVisited []bool
+	floodQueue   []int
 }
 
+// worldPool recycles worlds — their sensor arrays, step records and
+// scratch buffers — across runs; batch sweeps build one world per run.
+var worldPool sync.Pool
+
 // NewWorld builds a world with sensors placed uniformly at random in
-// P.InitRegion (clipped to free space).
+// P.InitRegion (clipped to free space). Pooled storage from released
+// worlds is reused when available (see Release).
 func NewWorld(f *field.Field, p Params) (*World, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-	w := &World{
-		P:       p,
-		E:       sim.NewEngine(p.Seed),
-		F:       f,
-		Sensors: make([]*Sensor, p.N),
-		Msg:     &MsgStats{},
-		Tree:    NewTree(p.N),
-		idx:     spatial.New(p.Rc, p.N),
+	w, _ := worldPool.Get().(*World)
+	if w == nil {
+		w = &World{}
 	}
+	w.P = p
+	w.E = sim.NewEngine(p.Seed)
+	w.F = f
+	w.Tree = NewTree(p.N)
+	w.idx = spatial.NewBounded(p.Rc, f.Bounds(), p.N)
+	w.msgStore = MsgStats{}
+	w.Msg = &w.msgStore
+	w.lastMove = 0
+	w.Sensors = resize(w.Sensors, p.N)
+	w.stepFrom = resize(w.stepFrom, p.N)
+	w.stepTo = resize(w.stepTo, p.N)
+	w.stepT0 = resize(w.stepT0, p.N)
+	w.stepT1 = resize(w.stepT1, p.N)
 	rng := w.E.Rand()
 	for i := 0; i < p.N; i++ {
 		pos := f.RandomFreePoint(rng, p.InitRegion)
-		s := &Sensor{ID: i, From: pos, To: pos}
+		w.Sensors[i] = Sensor{ID: i}
 		if p.PhaseJitter > 0 {
-			s.Phase = rng.Float64() * p.PhaseJitter * p.Period
+			w.Sensors[i].Phase = rng.Float64() * p.PhaseJitter * p.Period
 		}
-		w.Sensors[i] = s
+		w.stepFrom[i] = pos
+		w.stepTo[i] = pos
+		w.stepT0[i] = 0
+		w.stepT1[i] = 0
 		w.idx.Insert(i, pos)
 	}
 	return w, nil
 }
 
-// Release returns the world's pooled internals — the event engine's heap
-// and the spatial index — for reuse by future runs, cutting GC pressure
-// in large batch sweeps (one world is built per run). The caller must be
-// done with the world, its engine and its schemes: no field of the world
-// may be touched after Release.
+// resize returns s with length n, reusing capacity; contents are
+// unspecified (callers overwrite every element).
+func resize[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
+}
+
+// Release returns the world's pooled internals — the event engine's heap,
+// the spatial index, the tree and the world's own arrays — for reuse by
+// future runs, cutting GC pressure in large batch sweeps (one world is
+// built per run). The caller must be done with the world, its engine and
+// its schemes: no field of the world may be touched after Release.
 func (w *World) Release() {
 	w.E.Release()
 	w.idx.Release()
+	w.Tree.Release()
 	w.E = nil
 	w.idx = nil
+	w.Tree = nil
+	w.F = nil
+	w.Msg = nil
+	worldPool.Put(w)
 }
 
 // Now returns the current simulation time.
 func (w *World) Now() float64 { return w.E.Now() }
 
 // Pos returns sensor id's position at the current time.
-func (w *World) Pos(id int) geom.Vec { return w.Sensors[id].PosAt(w.Now()) }
+func (w *World) Pos(id int) geom.Vec { return w.PosAt(id, w.Now()) }
 
-// PosAt returns sensor id's position at time t.
-func (w *World) PosAt(id int, t float64) geom.Vec { return w.Sensors[id].PosAt(t) }
+// PosAt returns sensor id's position at time t, interpolating its current
+// step record.
+func (w *World) PosAt(id int, t float64) geom.Vec {
+	switch {
+	case t <= w.stepT0[id]:
+		return w.stepFrom[id]
+	case t >= w.stepT1[id]:
+		return w.stepTo[id]
+	default:
+		return w.stepFrom[id].Lerp(w.stepTo[id], (t-w.stepT0[id])/(w.stepT1[id]-w.stepT0[id]))
+	}
+}
+
+// Moving reports whether sensor id is mid-step at time t.
+func (w *World) Moving(id int, t float64) bool {
+	return t >= w.stepT0[id] && t < w.stepT1[id] && !w.stepFrom[id].Eq(w.stepTo[id])
+}
+
+// StepEndTime returns the end time of sensor id's current step record
+// (its committed position stops changing at that time).
+func (w *World) StepEndTime(id int) float64 { return w.stepT1[id] }
 
 // BeginStep commits sensor id to move from its current position to `to`
 // during the next dur seconds, traveling pathLen meters (pathLen may exceed
@@ -125,9 +170,8 @@ func (w *World) PosAt(id int, t float64) geom.Vec { return w.Sensors[id].PosAt(t
 // The paper's motion model (§3.1): one straight-line step per period at
 // uniform speed.
 func (w *World) BeginStep(id int, to geom.Vec, pathLen, dur float64) {
-	s := w.Sensors[id]
 	now := w.Now()
-	from := s.PosAt(now)
+	from := w.PosAt(id, now)
 	if pathLen < 0 {
 		panic(fmt.Sprintf("core: negative path length %v for sensor %d", pathLen, id))
 	}
@@ -135,11 +179,11 @@ func (w *World) BeginStep(id int, to geom.Vec, pathLen, dur float64) {
 	if pathLen > maxLen {
 		panic(fmt.Sprintf("core: step of %v m exceeds speed limit %v m for sensor %d", pathLen, maxLen, id))
 	}
-	s.From = from
-	s.To = to
-	s.T0 = now
-	s.T1 = now + dur
-	s.Traveled += pathLen
+	w.stepFrom[id] = from
+	w.stepTo[id] = to
+	w.stepT0[id] = now
+	w.stepT1[id] = now + dur
+	w.Sensors[id].Traveled += pathLen
 	if pathLen > 1e-9 {
 		w.lastMove = now + dur
 		w.idx.Insert(id, from)
@@ -151,24 +195,22 @@ func (w *World) BeginStep(id int, to geom.Vec, pathLen, dur float64) {
 // pre-computed relocation cost is accounted separately (the explosion phase
 // of §6.2).
 func (w *World) Teleport(id int, pos geom.Vec) {
-	s := w.Sensors[id]
 	now := w.Now()
-	s.From = pos
-	s.To = pos
-	s.T0 = now
-	s.T1 = now
+	w.stepFrom[id] = pos
+	w.stepTo[id] = pos
+	w.stepT0[id] = now
+	w.stepT1[id] = now
 	w.idx.Insert(id, pos)
 }
 
 // Stay commits sensor id to remain stationary for the next dur seconds.
 func (w *World) Stay(id int, dur float64) {
-	s := w.Sensors[id]
 	now := w.Now()
-	pos := s.PosAt(now)
-	s.From = pos
-	s.To = pos
-	s.T0 = now
-	s.T1 = now + dur
+	pos := w.PosAt(id, now)
+	w.stepFrom[id] = pos
+	w.stepTo[id] = pos
+	w.stepT0[id] = now
+	w.stepT1[id] = now + dur
 }
 
 // ForNeighbors calls fn for every other sensor within radius r of sensor id
@@ -177,13 +219,13 @@ func (w *World) Stay(id int, dur float64) {
 // filtered exactly.
 func (w *World) ForNeighbors(id int, r float64, fn func(j int, pos geom.Vec)) {
 	now := w.Now()
-	center := w.Pos(id)
+	center := w.PosAt(id, now)
 	pad := 2 * w.P.MaxStep()
-	w.idx.ForNeighbors(center, r+pad, func(j int, _ geom.Vec) {
-		if j == id || w.Sensors[j].Failed {
+	w.idx.ForNeighborsSkip(id, center, r+pad, func(j int, _ geom.Vec) {
+		if w.Sensors[j].Failed {
 			return
 		}
-		p := w.Sensors[j].PosAt(now)
+		p := w.PosAt(j, now)
 		if p.Dist(center) <= r {
 			fn(j, p)
 		}
@@ -213,8 +255,9 @@ func (w *World) NearBase(id int, r float64) bool {
 // Layout returns a snapshot of all sensor positions at the current time.
 func (w *World) Layout() []geom.Vec {
 	out := make([]geom.Vec, len(w.Sensors))
-	for i, s := range w.Sensors {
-		out[i] = s.PosAt(w.Now())
+	now := w.Now()
+	for i := range w.Sensors {
+		out[i] = w.PosAt(i, now)
 	}
 	return out
 }
@@ -222,8 +265,8 @@ func (w *World) Layout() []geom.Vec {
 // AvgTraveled returns the mean cumulative moving distance per sensor.
 func (w *World) AvgTraveled() float64 {
 	var sum float64
-	for _, s := range w.Sensors {
-		sum += s.Traveled
+	for i := range w.Sensors {
+		sum += w.Sensors[i].Traveled
 	}
 	return sum / float64(len(w.Sensors))
 }
@@ -235,8 +278,8 @@ func (w *World) LastMoveTime() float64 { return w.lastMove }
 // ConnectedCount returns the number of sensors flagged Connected.
 func (w *World) ConnectedCount() int {
 	n := 0
-	for _, s := range w.Sensors {
-		if s.Connected {
+	for i := range w.Sensors {
+		if w.Sensors[i].Connected {
 			n++
 		}
 	}
@@ -246,15 +289,15 @@ func (w *World) ConnectedCount() int {
 // PeriodStart returns the first decision time at or after t for sensor id,
 // respecting its phase offset.
 func (w *World) PeriodStart(id int, t float64) float64 {
-	s := w.Sensors[id]
+	phase := w.Sensors[id].Phase
 	T := w.P.Period
-	if t <= s.Phase {
-		return s.Phase
+	if t <= phase {
+		return phase
 	}
-	k := (t - s.Phase) / T
+	k := (t - phase) / T
 	ki := float64(int(k))
 	if k > ki {
 		ki++
 	}
-	return s.Phase + ki*T
+	return phase + ki*T
 }

@@ -6,6 +6,7 @@ package coverage
 
 import (
 	"math"
+	"sync"
 
 	"mobisense/internal/field"
 	"mobisense/internal/geom"
@@ -13,6 +14,11 @@ import (
 
 // Estimator measures coverage on a fixed grid over a field. Construct once
 // per field/resolution and reuse; the free-space mask is precomputed.
+//
+// Estimators are safe for concurrent use: each evaluation borrows an
+// epoch-stamped scratch grid from an internal pool, so repeated calls
+// allocate nothing in the steady state even when many sweep workers share
+// one estimator.
 type Estimator struct {
 	f     *field.Field
 	res   float64
@@ -20,6 +26,28 @@ type Estimator struct {
 	ny    int
 	free  []bool
 	nFree int
+
+	scratch sync.Pool // *gridScratch
+}
+
+// gridScratch is a reusable evaluation grid. Instead of clearing nx*ny
+// cells between calls, each call bumps the epoch; a cell is "set" when its
+// stamp equals the current epoch. counts carries the per-cell disk counts
+// for KFraction, valid only where the stamp is current.
+type gridScratch struct {
+	epoch  uint32
+	stamps []uint32
+	counts []int16
+}
+
+// next prepares the scratch for a fresh evaluation in O(1), falling back
+// to an O(n) clear only when the 32-bit epoch wraps.
+func (g *gridScratch) next() {
+	g.epoch++
+	if g.epoch == 0 {
+		clear(g.stamps)
+		g.epoch = 1
+	}
 }
 
 // NewEstimator builds an estimator with the given grid resolution in
@@ -45,6 +73,12 @@ func NewEstimator(f *field.Field, res float64) *Estimator {
 			}
 		}
 	}
+	e.scratch.New = func() any {
+		return &gridScratch{
+			stamps: make([]uint32, len(e.free)),
+			counts: make([]int16, len(e.free)),
+		}
+	}
 	return e
 }
 
@@ -61,6 +95,27 @@ func (e *Estimator) FreeArea() float64 {
 	return float64(e.nFree) * e.res * e.res
 }
 
+// window is the clamped scan rectangle of grid cells a disk can touch.
+type window struct{ ix0, ix1, iy0, iy1 int }
+
+// fullWindow reports whether rs is so large that every position's scan
+// window spans the whole grid, letting callers clamp once instead of per
+// position.
+func (e *Estimator) fullWindow(rs float64) bool {
+	b := e.f.Bounds()
+	return rs >= b.W()+e.res && rs >= b.H()+e.res
+}
+
+func (e *Estimator) windowAround(p geom.Vec, rs float64) window {
+	b := e.f.Bounds()
+	return window{
+		ix0: clamp(int((p.X-rs-b.Min.X)/e.res), 0, e.nx-1),
+		ix1: clamp(int((p.X+rs-b.Min.X)/e.res), 0, e.nx-1),
+		iy0: clamp(int((p.Y-rs-b.Min.Y)/e.res), 0, e.ny-1),
+		iy1: clamp(int((p.Y+rs-b.Min.Y)/e.res), 0, e.ny-1),
+	}
+}
+
 // Fraction returns the fraction of the free area covered by at least one
 // disk of radius rs centered at the given positions. Sensing is
 // line-of-sight: area behind an obstacle is not covered.
@@ -68,20 +123,24 @@ func (e *Estimator) Fraction(positions []geom.Vec, rs float64) float64 {
 	if e.nFree == 0 {
 		return 0
 	}
-	covered := make([]bool, len(e.free))
+	g := e.scratch.Get().(*gridScratch)
+	defer e.scratch.Put(g)
+	g.next()
+	covered := g.stamps
+	epoch := g.epoch
 	count := 0
-	b := e.f.Bounds()
 	rs2 := rs * rs
 	los := len(e.f.Obstacles()) > 0
+	full := e.fullWindow(rs)
+	w := window{ix1: e.nx - 1, iy1: e.ny - 1}
 	for _, p := range positions {
-		ix0 := clamp(int((p.X-rs-b.Min.X)/e.res), 0, e.nx-1)
-		ix1 := clamp(int((p.X+rs-b.Min.X)/e.res), 0, e.nx-1)
-		iy0 := clamp(int((p.Y-rs-b.Min.Y)/e.res), 0, e.ny-1)
-		iy1 := clamp(int((p.Y+rs-b.Min.Y)/e.res), 0, e.ny-1)
-		for iy := iy0; iy <= iy1; iy++ {
-			for ix := ix0; ix <= ix1; ix++ {
+		if !full {
+			w = e.windowAround(p, rs)
+		}
+		for iy := w.iy0; iy <= w.iy1; iy++ {
+			for ix := w.ix0; ix <= w.ix1; ix++ {
 				i := iy*e.nx + ix
-				if covered[i] || !e.free[i] {
+				if covered[i] == epoch || !e.free[i] {
 					continue
 				}
 				c := e.cellCenter(ix, iy)
@@ -91,9 +150,12 @@ func (e *Estimator) Fraction(positions []geom.Vec, rs float64) float64 {
 				if los && !e.f.Visible(p, c) {
 					continue
 				}
-				covered[i] = true
+				covered[i] = epoch
 				count++
 			}
+		}
+		if count == e.nFree {
+			return 1
 		}
 	}
 	return float64(count) / float64(e.nFree)
@@ -111,17 +173,20 @@ func (e *Estimator) KFraction(positions []geom.Vec, rs float64, k int) float64 {
 	if e.nFree == 0 || k <= 0 {
 		return 0
 	}
-	counts := make([]int16, len(e.free))
-	b := e.f.Bounds()
+	g := e.scratch.Get().(*gridScratch)
+	defer e.scratch.Put(g)
+	g.next()
+	epoch := g.epoch
 	rs2 := rs * rs
 	los := len(e.f.Obstacles()) > 0
+	full := e.fullWindow(rs)
+	w := window{ix1: e.nx - 1, iy1: e.ny - 1}
 	for _, p := range positions {
-		ix0 := clamp(int((p.X-rs-b.Min.X)/e.res), 0, e.nx-1)
-		ix1 := clamp(int((p.X+rs-b.Min.X)/e.res), 0, e.nx-1)
-		iy0 := clamp(int((p.Y-rs-b.Min.Y)/e.res), 0, e.ny-1)
-		iy1 := clamp(int((p.Y+rs-b.Min.Y)/e.res), 0, e.ny-1)
-		for iy := iy0; iy <= iy1; iy++ {
-			for ix := ix0; ix <= ix1; ix++ {
+		if !full {
+			w = e.windowAround(p, rs)
+		}
+		for iy := w.iy0; iy <= w.iy1; iy++ {
+			for ix := w.ix0; ix <= w.ix1; ix++ {
 				i := iy*e.nx + ix
 				if !e.free[i] {
 					continue
@@ -133,13 +198,17 @@ func (e *Estimator) KFraction(positions []geom.Vec, rs float64, k int) float64 {
 				if los && !e.f.Visible(p, c) {
 					continue
 				}
-				counts[i]++
+				if g.stamps[i] != epoch {
+					g.stamps[i] = epoch
+					g.counts[i] = 0
+				}
+				g.counts[i]++
 			}
 		}
 	}
 	covered := 0
-	for i, n := range counts {
-		if e.free[i] && int(n) >= k {
+	for i := range e.free {
+		if e.free[i] && g.stamps[i] == epoch && int(g.counts[i]) >= k {
 			covered++
 		}
 	}
@@ -149,8 +218,8 @@ func (e *Estimator) KFraction(positions []geom.Vec, rs float64, k int) float64 {
 // ExclusiveArea estimates the free area covered (with line of sight) by a
 // disk of radius rs at center and by no disk at any of the others (§5.3: a
 // sensor becomes movable only when the area it covers exclusively is below
-// a threshold). The estimate samples the disk on a grid of the given
-// resolution.
+// a threshold). The estimate samples the disk on a local window of the
+// given resolution; no per-call grid is materialized.
 func ExclusiveArea(f *field.Field, center geom.Vec, rs float64, others []geom.Vec, res float64) float64 {
 	if res <= 0 {
 		res = rs / 10

@@ -1,0 +1,231 @@
+package coverage
+
+import (
+	"math/rand/v2"
+	"sync"
+	"testing"
+
+	"mobisense/internal/field"
+	"mobisense/internal/geom"
+)
+
+// referenceFraction is the pre-epoch-buffer implementation of Fraction: a
+// freshly allocated bool grid per call, no early-out. The production path
+// must stay bit-identical to it.
+func referenceFraction(e *Estimator, positions []geom.Vec, rs float64) float64 {
+	if e.nFree == 0 {
+		return 0
+	}
+	covered := make([]bool, len(e.free))
+	count := 0
+	b := e.f.Bounds()
+	rs2 := rs * rs
+	los := len(e.f.Obstacles()) > 0
+	for _, p := range positions {
+		ix0 := clamp(int((p.X-rs-b.Min.X)/e.res), 0, e.nx-1)
+		ix1 := clamp(int((p.X+rs-b.Min.X)/e.res), 0, e.nx-1)
+		iy0 := clamp(int((p.Y-rs-b.Min.Y)/e.res), 0, e.ny-1)
+		iy1 := clamp(int((p.Y+rs-b.Min.Y)/e.res), 0, e.ny-1)
+		for iy := iy0; iy <= iy1; iy++ {
+			for ix := ix0; ix <= ix1; ix++ {
+				i := iy*e.nx + ix
+				if covered[i] || !e.free[i] {
+					continue
+				}
+				c := e.cellCenter(ix, iy)
+				if c.Dist2(p) > rs2 {
+					continue
+				}
+				if los && !e.f.Visible(p, c) {
+					continue
+				}
+				covered[i] = true
+				count++
+			}
+		}
+	}
+	return float64(count) / float64(e.nFree)
+}
+
+// referenceKFraction is the pre-epoch-buffer implementation of KFraction.
+func referenceKFraction(e *Estimator, positions []geom.Vec, rs float64, k int) float64 {
+	if e.nFree == 0 || k <= 0 {
+		return 0
+	}
+	counts := make([]int16, len(e.free))
+	b := e.f.Bounds()
+	rs2 := rs * rs
+	los := len(e.f.Obstacles()) > 0
+	for _, p := range positions {
+		ix0 := clamp(int((p.X-rs-b.Min.X)/e.res), 0, e.nx-1)
+		ix1 := clamp(int((p.X+rs-b.Min.X)/e.res), 0, e.nx-1)
+		iy0 := clamp(int((p.Y-rs-b.Min.Y)/e.res), 0, e.ny-1)
+		iy1 := clamp(int((p.Y+rs-b.Min.Y)/e.res), 0, e.ny-1)
+		for iy := iy0; iy <= iy1; iy++ {
+			for ix := ix0; ix <= ix1; ix++ {
+				i := iy*e.nx + ix
+				if !e.free[i] {
+					continue
+				}
+				c := e.cellCenter(ix, iy)
+				if c.Dist2(p) > rs2 {
+					continue
+				}
+				if los && !e.f.Visible(p, c) {
+					continue
+				}
+				counts[i]++
+			}
+		}
+	}
+	covered := 0
+	for i, n := range counts {
+		if e.free[i] && int(n) >= k {
+			covered++
+		}
+	}
+	return float64(covered) / float64(e.nFree)
+}
+
+// scratchCase is one randomized field + layout scenario for the property
+// tests below.
+type scratchCase struct {
+	f         *field.Field
+	positions []geom.Vec
+	rs        float64
+}
+
+func randomScratchCases(t *testing.T, n int) []*scratchCase {
+	t.Helper()
+	rng := rand.New(rand.NewPCG(42, 99))
+	out := make([]*scratchCase, 0, n)
+	for c := 0; c < n; c++ {
+		w := 60 + rng.Float64()*140
+		h := 60 + rng.Float64()*140
+		var obs []geom.Polygon
+		for o := rng.IntN(3); o > 0; o-- {
+			x0 := rng.Float64() * w * 0.6
+			y0 := rng.Float64() * h * 0.6
+			obs = append(obs, geom.R(x0, y0, x0+10+rng.Float64()*w*0.3, y0+10+rng.Float64()*h*0.3).Polygon())
+		}
+		f, err := field.New(geom.R(0, 0, w, h), obs)
+		if err != nil {
+			continue
+		}
+		sc := &scratchCase{f: f, rs: 5 + rng.Float64()*50}
+		if c%5 == 0 {
+			// Exercise the giant-radius fast path: the disk swallows the
+			// whole field, so the scan window is the full grid.
+			sc.rs = w + h
+		}
+		for p := 3 + rng.IntN(20); p > 0; p-- {
+			pos := geom.V(rng.Float64()*w, rng.Float64()*h)
+			sc.positions = append(sc.positions, pos)
+		}
+		out = append(out, sc)
+	}
+	return out
+}
+
+// TestScratchReuseBitIdentical asserts that Fraction, KFraction and
+// ExclusiveArea produce bit-identical results to the pre-epoch-buffer
+// reference implementations, including across repeated (pooled) reuse of
+// the same estimator where stale stamps from earlier evaluations could
+// leak into later ones.
+func TestScratchReuseBitIdentical(t *testing.T) {
+	for _, sc := range randomScratchCases(t, 25) {
+		e := NewEstimator(sc.f, 4)
+		wantF := referenceFraction(e, sc.positions, sc.rs)
+		wantK2 := referenceKFraction(e, sc.positions, sc.rs, 2)
+		// Repeated calls reuse pooled scratch; every round must match.
+		for round := 0; round < 3; round++ {
+			if got := e.Fraction(sc.positions, sc.rs); got != wantF {
+				t.Fatalf("round %d: Fraction = %v, want %v", round, got, wantF)
+			}
+			if got := e.KFraction(sc.positions, sc.rs, 2); got != wantK2 {
+				t.Fatalf("round %d: KFraction = %v, want %v", round, got, wantK2)
+			}
+			if k1, f1 := e.KFraction(sc.positions, sc.rs, 1), e.Fraction(sc.positions, sc.rs); k1 != f1 {
+				t.Fatalf("round %d: KFraction(1) = %v != Fraction = %v", round, k1, f1)
+			}
+		}
+		// ExclusiveArea for each position against the others.
+		for i, p := range sc.positions[:min(4, len(sc.positions))] {
+			others := append([]geom.Vec(nil), sc.positions[:i]...)
+			others = append(others, sc.positions[i+1:]...)
+			a := ExclusiveArea(sc.f, p, sc.rs, others, sc.rs/8)
+			b := ExclusiveArea(sc.f, p, sc.rs, others, sc.rs/8)
+			if a != b {
+				t.Fatalf("ExclusiveArea not reproducible: %v vs %v", a, b)
+			}
+		}
+	}
+}
+
+// TestScratchConcurrentSweeps hammers one shared estimator from many
+// goroutines (the batch-sweep sharing pattern) and checks every result
+// stays bit-identical to the reference. Run under -race to verify the
+// pooled scratch grids are properly isolated per evaluation.
+func TestScratchConcurrentSweeps(t *testing.T) {
+	cases := randomScratchCases(t, 6)
+	for _, sc := range cases {
+		e := NewEstimator(sc.f, 4)
+		wantF := referenceFraction(e, sc.positions, sc.rs)
+		wantK := referenceKFraction(e, sc.positions, sc.rs, 2)
+		var wg sync.WaitGroup
+		errs := make(chan string, 64)
+		for g := 0; g < 8; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < 8; i++ {
+					if got := e.Fraction(sc.positions, sc.rs); got != wantF {
+						errs <- "Fraction mismatch under concurrency"
+						return
+					}
+					if got := e.KFraction(sc.positions, sc.rs, 2); got != wantK {
+						errs <- "KFraction mismatch under concurrency"
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		close(errs)
+		for msg := range errs {
+			t.Fatal(msg)
+		}
+	}
+}
+
+// TestFractionEarlyOutExact checks the count==nFree early-out returns
+// exactly 1 and matches the reference on full-coverage layouts.
+func TestFractionEarlyOutExact(t *testing.T) {
+	f := field.MustNew(geom.R(0, 0, 80, 80), nil)
+	e := NewEstimator(f, 4)
+	pos := []geom.Vec{geom.V(40, 40), geom.V(10, 10), geom.V(70, 70)}
+	got := e.Fraction(pos, 200)
+	if got != 1 {
+		t.Fatalf("full coverage fraction = %v, want exactly 1", got)
+	}
+	if want := referenceFraction(e, pos, 200); got != want {
+		t.Fatalf("early-out diverged from reference: %v vs %v", got, want)
+	}
+}
+
+// BenchmarkFractionReuse measures the steady-state allocation cost of
+// repeated Fraction calls on one estimator (the batch-sweep hot path).
+func BenchmarkFractionReuse(b *testing.B) {
+	f := field.MustNew(geom.R(0, 0, 800, 600), nil)
+	e := NewEstimator(f, 5)
+	rng := rand.New(rand.NewPCG(1, 2))
+	positions := make([]geom.Vec, 120)
+	for i := range positions {
+		positions[i] = geom.V(rng.Float64()*800, rng.Float64()*600)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Fraction(positions, 40)
+	}
+}

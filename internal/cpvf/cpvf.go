@@ -12,6 +12,7 @@ import (
 	"math"
 
 	"mobisense/internal/core"
+	"mobisense/internal/field"
 	"mobisense/internal/geom"
 )
 
@@ -81,6 +82,16 @@ type Scheme struct {
 	// lastParentChange[i] is the time sensor i last changed parent;
 	// LockTree fails if the subtree contains a node that just changed.
 	lastParentChange []float64
+	// decideFns[i] is sensor i's prebuilt period handler, so rescheduling
+	// does not allocate a fresh closure every period.
+	decideFns []func()
+	// Per-period scratch, reused across decisions (one decision runs at a
+	// time on this scheme's world).
+	linkScratch []link
+	subScratch  []int
+	inSub       []int32
+	subEpoch    int32
+	proxScratch []field.BoundaryProximity
 	// failures arms the periodic stranded-sensor sweep after the first
 	// death.
 	failures bool
@@ -112,8 +123,14 @@ func (c *Scheme) Attach(w *core.World) {
 	c.prevEnd = make([]geom.Vec, n)
 	c.hasPrev = make([]bool, n)
 	c.lastParentChange = make([]float64, n)
+	c.inSub = make([]int32, n)
 	for i := range c.lastParentChange {
 		c.lastParentChange[i] = -1
+	}
+	c.decideFns = make([]func(), n)
+	for i := 0; i < n; i++ {
+		id := i
+		c.decideFns[i] = func() { c.decide(id) }
 	}
 
 	w.FloodFromBase(w.P.Rc)
@@ -132,8 +149,7 @@ func (c *Scheme) Attach(w *core.World) {
 	})
 
 	for i := 0; i < n; i++ {
-		id := i
-		w.E.ScheduleAt(w.PeriodStart(id, 0), func() { c.decide(id) })
+		w.E.ScheduleAt(w.PeriodStart(i, 0), c.decideFns[i])
 	}
 }
 
@@ -144,7 +160,7 @@ func (c *Scheme) decide(id int) {
 		return // dead sensors neither act nor reschedule
 	}
 	if w.Now() < w.P.Duration {
-		w.E.Schedule(w.P.Period, func() { c.decide(id) })
+		w.E.Schedule(w.P.Period, c.decideFns[id])
 	}
 	if !w.Sensors[id].Connected {
 		c.decideDisconnected(id)
@@ -360,7 +376,8 @@ func (c *Scheme) force(id int, pos geom.Vec) geom.Vec {
 		}
 		f = f.Add(pos.Sub(q).Unit().Scale(1 - d/w.P.Rc))
 	})
-	for _, prox := range w.F.BoundariesWithin(pos, w.P.Rs) {
+	c.proxScratch = w.F.BoundariesWithinAppend(c.proxScratch[:0], pos, w.P.Rs)
+	for _, prox := range c.proxScratch {
 		if prox.Dist < 1e-9 {
 			continue
 		}
@@ -376,10 +393,11 @@ type link struct {
 }
 
 // maintainedLinks returns the tree links sensor id must keep: its parent
-// and all of its children (§4.2).
+// and all of its children (§4.2). The returned slice is scratch reused by
+// the next maintainedLinks call on this scheme.
 func (c *Scheme) maintainedLinks(id int) []link {
 	t := c.w.Tree
-	var out []link
+	out := c.linkScratch[:0]
 	switch p := t.Parent(id); {
 	case p == core.BaseParent:
 		out = append(out, link{isBase: true})
@@ -389,6 +407,7 @@ func (c *Scheme) maintainedLinks(id int) []link {
 	for _, child := range t.Children(id) {
 		out = append(out, link{id: child})
 	}
+	c.linkScratch = out
 	return out
 }
 
@@ -439,9 +458,8 @@ func (c *Scheme) stepPreservesLinks(id int, pos, dir geom.Vec, step float64, lin
 			peerT1 = now
 			peerAtT1 = w.F.Reference()
 		} else {
-			peer := w.Sensors[l.id]
-			peerT1 = math.Max(peer.T1, now) // t' ≤ t+T; idle peers pin t' = t
-			peerAtT1 = peer.PosAt(peerT1)
+			peerT1 = math.Max(w.StepEndTime(l.id), now) // t' ≤ t+T; idle peers pin t' = t
+			peerAtT1 = w.PosAt(l.id, peerT1)
 		}
 		// Condition 1: our interpolated position at t'.
 		frac := (peerT1 - now) / T
@@ -468,24 +486,26 @@ func (c *Scheme) tryParentChange(id int, pos geom.Vec) bool {
 	w := c.w
 	t := w.Tree
 
-	// Candidate parents: connected neighbors outside our subtree.
-	sub := t.Subtree(id)
-	inSub := make(map[int]bool, len(sub))
+	// Candidate parents: connected neighbors outside our subtree. The
+	// subtree membership test uses an epoch-stamped array instead of a
+	// per-call map.
+	sub := t.SubtreeAppend(c.subScratch[:0], id)
+	c.subScratch = sub
+	c.subEpoch++
 	for _, s := range sub {
-		inSub[s] = true
+		c.inSub[s] = c.subEpoch
 	}
 	cur := t.Parent(id)
 	best := core.NoParent
 	bestDist := math.Inf(1)
 	now := w.Now()
 	w.ForNeighbors(id, w.P.Rc, func(j int, q geom.Vec) {
-		if !w.Sensors[j].Connected || inSub[j] || j == cur {
+		if !w.Sensors[j].Connected || c.inSub[j] == c.subEpoch || j == cur {
 			return
 		}
 		// The candidate only learns of the new link at its next decision:
 		// its committed step must not carry it out of range first.
-		peer := w.Sensors[j]
-		if peer.PosAt(math.Max(peer.T1, now)).Dist(pos) > w.P.Rc {
+		if w.PosAt(j, math.Max(w.StepEndTime(j), now)).Dist(pos) > w.P.Rc {
 			return
 		}
 		if d := pos.Dist(q); d < bestDist {

@@ -79,7 +79,12 @@ type BoundaryProximity struct {
 // p, the closest boundary point. Used by the virtual-force obstacle
 // repulsion and by sensing-range boundary detection.
 func (f *Field) BoundariesWithin(p geom.Vec, r float64) []BoundaryProximity {
-	var out []BoundaryProximity
+	return f.BoundariesWithinAppend(nil, p, r)
+}
+
+// BoundariesWithinAppend is BoundariesWithin appending to out, letting
+// per-period callers reuse one scratch slice instead of allocating.
+func (f *Field) BoundariesWithinAppend(out []BoundaryProximity, p geom.Vec, r float64) []BoundaryProximity {
 	for i, poly := range f.all {
 		// Cheap reject using the polygon bounding box.
 		if !poly.Bounds().Expand(r).Contains(p) {
@@ -106,8 +111,13 @@ type BoundarySegment struct {
 // assumption of §3.1 ("a sensor ... can recognize the boundary of the
 // obstacles within its sensing range") and feeds BLG-expansion (§5.5.1).
 func (f *Field) BoundarySegmentsWithin(p geom.Vec, r float64) []BoundarySegment {
+	return f.BoundarySegmentsWithinAppend(nil, p, r)
+}
+
+// BoundarySegmentsWithinAppend is BoundarySegmentsWithin appending to
+// out, letting per-period callers reuse one scratch slice.
+func (f *Field) BoundarySegmentsWithinAppend(out []BoundarySegment, p geom.Vec, r float64) []BoundarySegment {
 	disk := geom.Circle{C: p, R: r}
-	var out []BoundarySegment
 	for i, poly := range f.all {
 		if !poly.Bounds().Expand(r).Contains(p) {
 			continue

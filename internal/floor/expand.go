@@ -117,8 +117,10 @@ func (s *Scheme) pendingNear(id int, p geom.Vec) bool {
 // which pipelines chain growth ahead of sensors still in transit.
 func (s *Scheme) discoverEPs(id int) []epCandidate {
 	budget := s.cfg.MaxInvitesPerPeriod
-	out := make([]epCandidate, 0, budget)
-	anchors := make([]geom.Vec, 0, 1+len(s.ownedVirtuals[id])+len(s.pendings[id]))
+	// Both slices are per-run scratch: the caller consumes the result
+	// before the next discovery, so the backing arrays are reused.
+	out := s.epScratch[:0]
+	anchors := s.anchorScratch[:0]
 	anchors = append(anchors, s.w.Pos(id))
 	for _, v := range s.ownedVirtuals[id] {
 		anchors = append(anchors, v.pos)
@@ -148,8 +150,10 @@ func (s *Scheme) discoverEPs(id int) []epCandidate {
 	// whole-tile FLG placements are never starved by sliver filling.
 	if len(out) == 0 && len(s.ownedVirtuals[id]) == 0 && len(s.pendings[id]) == 0 &&
 		s.w.Now() > s.w.P.Duration/2 {
-		out = append(out, s.iflgEPs(id, budget)...)
+		out = s.iflgEPs(out, id, budget)
 	}
+	s.epScratch = out
+	s.anchorScratch = anchors
 	return out
 }
 
@@ -176,7 +180,7 @@ func (s *Scheme) flgEP(id int, pos geom.Vec) (epCandidate, bool) {
 		if !w.F.SegmentFree(pos, frontier) {
 			continue
 		}
-		if s.reg.coveredQuery(w, id, frontier, rs, skipIDOrPos(id, pos, true)) {
+		if s.reg.coveredQuery(w, id, frontier, rs, skipSpec{id: id, pos: pos, usePos: true}) {
 			continue
 		}
 		var ep geom.Vec
@@ -197,7 +201,8 @@ func (s *Scheme) flgEP(id int, pos geom.Vec) (epCandidate, bool) {
 // left-hand rule, and place the EP toward it on the expansion circle.
 func (s *Scheme) blgEP(id int, pos geom.Vec) (epCandidate, bool) {
 	w := s.w
-	segs := w.F.BoundarySegmentsWithin(pos, w.P.Rs)
+	s.segScratch = w.F.BoundarySegmentsWithinAppend(s.segScratch[:0], pos, w.P.Rs)
+	segs := s.segScratch
 	if len(segs) == 0 {
 		return epCandidate{}, false
 	}
@@ -227,7 +232,7 @@ func (s *Scheme) blgEP(id int, pos geom.Vec) (epCandidate, bool) {
 		if !w.F.SegmentFree(pos, frontier) {
 			continue
 		}
-		if s.reg.coveredQuery(w, id, frontier, w.P.Rs, skipIDOrPos(id, pos, true)) {
+		if s.reg.coveredQuery(w, id, frontier, w.P.Rs, skipSpec{id: id, pos: pos, usePos: true}) {
 			continue
 		}
 		ep := pos.Towards(frontier, s.re)
@@ -240,14 +245,15 @@ func (s *Scheme) blgEP(id int, pos geom.Vec) (epCandidate, bool) {
 
 // iflgEPs implements IFLG-expansion: for each same-floor fixed child, the
 // two expansion circles intersect at two points; the one on the side of an
-// uncovered inter-floor probe becomes an EP (§5.5.1, Figure 7d).
-func (s *Scheme) iflgEPs(id, budget int) []epCandidate {
+// uncovered inter-floor probe becomes an EP (§5.5.1, Figure 7d). Results
+// are appended to out (caller-held scratch) and the grown slice returned.
+func (s *Scheme) iflgEPs(out []epCandidate, id, budget int) []epCandidate {
 	w := s.w
 	pos := w.Pos(id)
-	var out []epCandidate
+	base := len(out)
 	floorK := s.fl.Index(pos.Y)
 	for _, c := range w.Tree.Children(id) {
-		if len(out) >= budget {
+		if len(out)-base >= budget {
 			break
 		}
 		if s.st[c] != stateFixed {
@@ -266,7 +272,7 @@ func (s *Scheme) iflgEPs(id, budget int) []epCandidate {
 			continue
 		}
 		for _, q := range []geom.Vec{p1, p2} {
-			if len(out) >= budget {
+			if len(out)-base >= budget {
 				break
 			}
 			probe, ok := s.interFloorProbe(pos, cpos, q, floorK)
@@ -281,7 +287,7 @@ func (s *Scheme) iflgEPs(id, budget int) []epCandidate {
 			if !w.F.Free(probe) {
 				continue
 			}
-			if s.reg.coveredQuery(w, id, probe, w.P.Rs, nil) {
+			if s.reg.coveredQuery(w, id, probe, w.P.Rs, noSkip) {
 				continue
 			}
 			if s.placementOK(id, pos, q) {
@@ -336,6 +342,9 @@ func (s *Scheme) placementTaken(ep geom.Vec, exclude int) bool {
 	limit := placementSpacing * s.re
 	limit2 := limit * limit
 	for _, k := range s.reg.queryFloors(ep) {
+		if k < 0 {
+			continue
+		}
 		for _, rec := range s.reg.nodesInFloor(k) {
 			if !rec.virtual && rec.id == exclude {
 				continue

@@ -5,6 +5,7 @@ import (
 
 	"mobisense/internal/bug2"
 	"mobisense/internal/core"
+	"mobisense/internal/field"
 	"mobisense/internal/geom"
 )
 
@@ -91,9 +92,11 @@ type invitation struct {
 	hops    int
 }
 
-// relocation tracks a movable sensor traveling to its accepted EP.
+// relocation tracks a movable sensor traveling to its accepted EP. The
+// planner is embedded by value and re-initialized in place per relocation,
+// so accepting an invitation allocates nothing.
 type relocation struct {
-	planner *bug2.Planner
+	planner bug2.Planner
 	ep      geom.Vec
 	kind    epKind
 	inviter int
@@ -147,6 +150,19 @@ type Scheme struct {
 	// once per period by the monitor; placement checks consult it so
 	// parallel chains never target overlapping spots.
 	allPendingPos []geom.Vec
+
+	// decideFns[i] is the prebuilt per-period event closure for sensor i
+	// and monitorFn the base station's; building them once in Attach keeps
+	// the event loop's rescheduling allocation-free.
+	decideFns []func()
+	monitorFn func()
+
+	// Per-run scratch reused across periods by the discovery and
+	// classification hot paths.
+	epScratch     []epCandidate
+	anchorScratch []geom.Vec
+	segScratch    []field.BoundarySegment
+	othersScratch []geom.Vec
 }
 
 // pendingEP is an advertised expansion point awaiting acceptance.
@@ -216,6 +232,12 @@ func (s *Scheme) Attach(w *core.World) {
 	s.firstInvite = make([]float64, n)
 	s.pendings = make([][]pendingEP, n)
 	s.phase = 1
+	s.decideFns = make([]func(), n)
+	for i := 0; i < n; i++ {
+		id := i
+		s.decideFns[i] = func() { s.decide(id) }
+	}
+	s.monitorFn = s.monitor
 
 	w.FloodFromBase(s.connectR)
 
@@ -237,12 +259,10 @@ func (s *Scheme) Attach(w *core.World) {
 	s.lazy = core.NewLazyCoordinator(w, walkers, core.LazyConfig{ConnectRadius: s.connectR})
 
 	for i := 0; i < n; i++ {
-		id := i
-		delay := startDelay[i]
-		w.E.ScheduleAt(math.Max(w.PeriodStart(id, 0), delay), func() { s.decide(id) })
+		w.E.ScheduleAt(math.Max(w.PeriodStart(i, 0), startDelay[i]), s.decideFns[i])
 	}
 	// Global phase monitor (the base station's coordination role).
-	w.E.ScheduleAt(0, s.monitor)
+	w.E.ScheduleAt(0, s.monitorFn)
 }
 
 // newConnectWalker builds the three-leg route of Algorithm 1: to the
@@ -268,7 +288,7 @@ func (s *Scheme) newConnectWalker(pos geom.Vec) core.Walker {
 func (s *Scheme) monitor() {
 	w := s.w
 	if w.Now() < w.P.Duration {
-		w.E.Schedule(w.P.Period, s.monitor)
+		w.E.Schedule(w.P.Period, s.monitorFn)
 	}
 	// Refresh the global pending-EP cache (stale by at most one period).
 	s.allPendingPos = s.allPendingPos[:0]
@@ -300,7 +320,7 @@ func (s *Scheme) decide(id int) {
 		return // dead sensors neither act nor reschedule
 	}
 	if w.Now() < w.P.Duration {
-		w.E.Schedule(w.P.Period, func() { s.decide(id) })
+		w.E.Schedule(w.P.Period, s.decideFns[id])
 	}
 	switch s.st[id] {
 	case stateWalking:
@@ -426,7 +446,9 @@ func (s *Scheme) becomeFixed(id int, r *relocation) {
 	// parent link re-parent to the new arrival when it is closer.
 	myPos := w.Pos(id)
 	w.ForNeighbors(id, s.connectR, func(j int, q geom.Vec) {
-		if s.st[j] != stateFixed || j == id {
+		// ForNeighbors never yields id itself, so only the state filter
+		// remains.
+		if s.st[j] != stateFixed {
 			return
 		}
 		par := w.Tree.Parent(j)

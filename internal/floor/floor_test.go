@@ -54,22 +54,22 @@ func TestRegistryBasics(t *testing.T) {
 	if h := r.header(0); h != 3 {
 		t.Errorf("header = %d, want 3 (smallest x)", h)
 	}
-	if !r.floorCovers(0, geom.V(60, 45), 40, nil) {
+	if !r.floorCovers(0, geom.V(60, 45), 40, noSkip) {
 		t.Error("floor 0 should cover (60,45)")
 	}
-	if r.floorCovers(0, geom.V(60, 45), 40, skipIDOrPos(3, geom.Vec{}, false)) {
+	if r.floorCovers(0, geom.V(60, 45), 40, skipSpec{id: 3}) {
 		t.Error("excluding node 3 leaves (60,45) uncovered by node 7? distance is 40.3")
 	}
 	// Virtual node lifecycle.
 	tok := r.addVirtual(geom.V(200, 40))
-	if !r.floorCovers(0, geom.V(200, 40), 10, nil) {
+	if !r.floorCovers(0, geom.V(200, 40), 10, noSkip) {
 		t.Error("virtual node should cover its EP")
 	}
 	if h := r.header(0); h != 3 {
 		t.Error("virtual nodes must not become headers")
 	}
 	r.removeVirtual(tok)
-	if r.floorCovers(0, geom.V(200, 40), 10, nil) {
+	if r.floorCovers(0, geom.V(200, 40), 10, noSkip) {
 		t.Error("virtual node not removed")
 	}
 	if h := r.header(5); h != -1 {

@@ -119,13 +119,12 @@ func (s *Scheme) movableStep(id int) {
 		w.Msg.Count(core.MsgUpdate, d)
 	}
 	s.st[id] = stateRelocating
-	s.reloc[id] = relocation{
-		planner: bug2.New(w.F, pos, inv.ep, bug2.WithArriveTolerance(0.3)),
-		ep:      inv.ep,
-		kind:    inv.kind,
-		inviter: inv.inviter,
-		token:   token,
-	}
+	rel := &s.reloc[id]
+	rel.planner.Init(w.F, pos, inv.ep, bug2.RightHand, 0.3, false)
+	rel.ep = inv.ep
+	rel.kind = inv.kind
+	rel.inviter = inv.inviter
+	rel.token = token
 	s.invites[id] = nil
 	s.relocStep(id)
 }

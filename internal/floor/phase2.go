@@ -159,10 +159,11 @@ func (s *Scheme) findNewParent(c, leaving int) (int, bool) {
 func (s *Scheme) isExclusiveCoverageLow(id int) bool {
 	w := s.w
 	pos := w.Pos(id)
-	var others []geom.Vec
+	others := s.othersScratch[:0]
 	w.ForNeighbors(id, 2*w.P.Rs, func(_ int, q geom.Vec) {
 		others = append(others, q)
 	})
+	s.othersScratch = others
 	excl := coverage.ExclusiveArea(w.F, pos, w.P.Rs, others, w.P.Rs/8)
 	return excl < s.cfg.ExclusiveFrac*math.Pi*w.P.Rs*w.P.Rs
 }

@@ -20,7 +20,7 @@ func (s *Scheme) HandleFailure(victim int, orphans []int) {
 	w := s.w
 	switch s.st[victim] {
 	case stateRelocating:
-		r := s.reloc[victim]
+		r := &s.reloc[victim]
 		s.reg.removeVirtual(r.token)
 		s.dropOwnedVirtual(r.inviter, r.token)
 	case stateFixed:
@@ -73,7 +73,7 @@ func (s *Scheme) sweepStranded() {
 			s.reg.removeFixed(m)
 		}
 		if s.st[m] == stateRelocating {
-			r := s.reloc[m]
+			r := &s.reloc[m]
 			s.reg.removeVirtual(r.token)
 			s.dropOwnedVirtual(r.inviter, r.token)
 		}

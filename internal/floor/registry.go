@@ -83,12 +83,14 @@ func (r *registry) removeVirtual(token int) {
 
 // queryFloors returns the floor indices whose nodes could cover point p
 // with sensing range rs: the floor containing p and its two neighbors.
-func (r *registry) queryFloors(p geom.Vec) []int {
+// Invalid slots are -1; callers skip them. Returning a fixed-size array
+// keeps the per-query hot path allocation-free.
+func (r *registry) queryFloors(p geom.Vec) [3]int {
 	k := r.floors.Index(p.Y)
-	out := make([]int, 0, 3)
-	for _, q := range []int{k - 1, k, k + 1} {
+	out := [3]int{-1, -1, -1}
+	for i, q := range [3]int{k - 1, k, k + 1} {
 		if q >= 0 && q < r.floors.Count() {
-			out = append(out, q)
+			out[i] = q
 		}
 	}
 	return out
@@ -117,13 +119,13 @@ func (r *registry) header(k int) int {
 // floorCovers reports whether any node registered in floor k (real or
 // virtual) covers p with sensing radius rs. Records rejected by skip are
 // ignored.
-func (r *registry) floorCovers(k int, p geom.Vec, rs float64, skip func(nodeRecord) bool) bool {
+func (r *registry) floorCovers(k int, p geom.Vec, rs float64, skip skipSpec) bool {
 	if k < 0 || k >= len(r.perF) {
 		return false
 	}
 	rs2 := rs * rs
 	for _, rec := range r.perF[k] {
-		if skip != nil && skip(rec) {
+		if skip.matches(rec) {
 			continue
 		}
 		if rec.pos.Dist2(p) <= rs2 && r.f.Visible(rec.pos, p) {
@@ -133,18 +135,25 @@ func (r *registry) floorCovers(k int, p geom.Vec, rs float64, skip func(nodeReco
 	return false
 }
 
-// skipIDOrPos builds a floorCovers skip predicate that ignores the record
-// of the given real sensor ID and any record sitting within a meter of
-// excludePos (used to ignore the anchor virtual node itself when probing a
-// chain tip's frontier). Pass a negative id and usePos=false to skip
+// skipSpec selects coverage records to ignore: the record of the given
+// real sensor ID, and (when usePos is set) any record sitting within a
+// meter of pos (used to ignore the anchor virtual node itself when probing
+// a chain tip's frontier). It is a plain value rather than a closure so
+// the per-period coverage queries stay allocation-free. noSkip skips
 // nothing.
-func skipIDOrPos(id int, excludePos geom.Vec, usePos bool) func(nodeRecord) bool {
-	return func(rec nodeRecord) bool {
-		if !rec.virtual && rec.id == id {
-			return true
-		}
-		return usePos && rec.pos.Dist2(excludePos) < 1
+type skipSpec struct {
+	id     int
+	pos    geom.Vec
+	usePos bool
+}
+
+var noSkip = skipSpec{id: -1}
+
+func (sp skipSpec) matches(rec nodeRecord) bool {
+	if !rec.virtual && rec.id == sp.id {
+		return true
 	}
+	return sp.usePos && rec.pos.Dist2(sp.pos) < 1
 }
 
 // coveredQuery implements the §5.4 point-coverage protocol for sensor
@@ -152,14 +161,14 @@ func skipIDOrPos(id int, excludePos geom.Vec, usePos bool) func(nodeRecord) bool
 // floors that might contain a covering node, charging tree-routed MsgQuery
 // traffic. It returns whether p is covered by any fixed or virtual node
 // not rejected by skip (the asker itself is never part of the local scan).
-func (r *registry) coveredQuery(w *core.World, asker int, p geom.Vec, rs float64, skip func(nodeRecord) bool) bool {
+func (r *registry) coveredQuery(w *core.World, asker int, p geom.Vec, rs float64, skip skipSpec) bool {
 	// Local check: any neighbor within communication range covering p.
 	covered := false
 	w.ForNeighbors(asker, w.P.Rc, func(j int, q geom.Vec) {
 		if covered || !w.Sensors[j].Connected {
 			return
 		}
-		if skip != nil && skip(nodeRecord{id: j, pos: q}) {
+		if skip.matches(nodeRecord{id: j, pos: q}) {
 			return
 		}
 		if q.Dist(p) <= rs && w.F.Visible(q, p) {
@@ -171,6 +180,9 @@ func (r *registry) coveredQuery(w *core.World, asker int, p geom.Vec, rs float64
 	}
 	// Remote check through floor headers.
 	for _, k := range r.queryFloors(p) {
+		if k < 0 {
+			continue
+		}
 		h := r.header(k)
 		if h < 0 {
 			continue

@@ -2,6 +2,13 @@
 // queries over moving sensors. The deployment simulator queries "all
 // sensors within rc of p" once per sensor per period; the grid makes that
 // O(neighbors) instead of O(n).
+//
+// When the point population lives inside known bounds (the usual case: a
+// deployment field), the index uses a dense cell array over a flat int32
+// arena instead of a map of slices, so Insert/Move/Neighbors touch no
+// per-cell heap objects. Points that stray outside the bounds fall back
+// to a small overflow map, so bounded construction is an optimization,
+// never a correctness constraint.
 package spatial
 
 import (
@@ -12,57 +19,126 @@ import (
 	"mobisense/internal/geom"
 )
 
-// Index is a uniform hash-grid over 2-D points identified by dense integer
-// IDs. The zero value is not usable; construct with New.
+// Index is a uniform grid over 2-D points identified by dense integer
+// IDs. The zero value is not usable; construct with New or NewBounded.
 type Index struct {
 	cellSize float64
-	cells    map[cellKey][]int32
-	pos      []geom.Vec
-	present  []bool
-	count    int
+
+	// Dense grid (bounded mode). Cell (cx, cy) in key space maps to
+	// dense[(cy-oy)*ncx + (cx-ox)] when ox <= cx < ox+ncx and likewise
+	// for y; its elements live in arena[off : off+n].
+	bounded  bool
+	ox, oy   int32
+	ncx, ncy int32
+	dense    []bucket
+	arena    []int32
+	freeByC  [arenaClasses][]int32 // free block offsets by capacity class
+
+	// overflow holds cells outside the dense range (and every cell in
+	// unbounded mode).
+	overflow map[cellKey][]int32
+
+	pos     []geom.Vec
+	present []bool
+	count   int
 }
+
+// bucket is one dense cell: a block of the shared arena. Capacity is
+// always 0 or 1<<class with class >= minClass.
+type bucket struct{ off, n, cap int32 }
 
 type cellKey struct{ x, y int32 }
 
-// indexPool recycles released indexes (their cell map, bucket slices and
-// dense arrays) across runs: the deployment simulator builds one index
-// per run, and sweeps run thousands.
+const (
+	minClass     = 2 // smallest arena block: 4 elements
+	arenaClasses = 28
+	// maxDenseCells caps the dense grid size; absurdly fine cell sizes
+	// over large bounds fall back to the overflow map rather than
+	// allocating a huge, mostly-empty array.
+	maxDenseCells = 1 << 20
+)
+
+// indexPool recycles released indexes (their grid, arena, overflow map
+// and dense arrays) across runs: the deployment simulator builds one
+// index per run, and sweeps run thousands.
 var indexPool sync.Pool
 
-// New creates an index with the given cell size. Choosing the typical query
-// radius as the cell size keeps each query to a 3×3 cell scan. A pooled
-// index is reused when available (see Release); reuse never changes query
-// results or iteration determinism, because every pooled bucket is
-// emptied first.
+// New creates an unbounded index with the given cell size. Choosing the
+// typical query radius as the cell size keeps each query to a 3×3 cell
+// scan. A pooled index is reused when available (see Release); reuse
+// never changes query results or iteration determinism, because every
+// pooled bucket is emptied first.
 func New(cellSize float64, capacityHint int) *Index {
+	return newIndex(cellSize, false, geom.Rect{}, capacityHint)
+}
+
+// NewBounded creates an index whose points are expected to stay within
+// bounds b (e.g. the deployment field). Cells inside the bounds use a
+// dense array with flat bucket storage; points outside are still indexed
+// correctly through an overflow map.
+func NewBounded(cellSize float64, b geom.Rect, capacityHint int) *Index {
+	return newIndex(cellSize, true, b, capacityHint)
+}
+
+func newIndex(cellSize float64, bounded bool, b geom.Rect, capacityHint int) *Index {
 	if cellSize <= 0 {
 		cellSize = 1
 	}
+	var ix *Index
 	if v := indexPool.Get(); v != nil {
-		ix := v.(*Index)
-		ix.reset(cellSize)
-		return ix
+		ix = v.(*Index)
+	} else {
+		ix = &Index{
+			overflow: make(map[cellKey][]int32, capacityHint),
+			pos:      make([]geom.Vec, 0, capacityHint),
+			present:  make([]bool, 0, capacityHint),
+		}
 	}
-	return &Index{
-		cellSize: cellSize,
-		cells:    make(map[cellKey][]int32, capacityHint),
-		pos:      make([]geom.Vec, 0, capacityHint),
-		present:  make([]bool, 0, capacityHint),
-	}
+	ix.reset(cellSize, bounded, b)
+	return ix
 }
 
 // Release returns the index to the shared pool for reuse by a future
-// New. The index must not be used after Release.
+// New/NewBounded. The index must not be used after Release.
 func (ix *Index) Release() {
 	indexPool.Put(ix)
 }
 
-// reset empties a pooled index for a new run, keeping the cell map (and
-// its bucket slices) and the dense arrays' capacity.
-func (ix *Index) reset(cellSize float64) {
+// reset reconfigures a (possibly pooled) index for a new run, keeping
+// the overflow map's bucket slices, the arena and the dense arrays'
+// capacity.
+func (ix *Index) reset(cellSize float64, bounded bool, b geom.Rect) {
 	ix.cellSize = cellSize
-	for k, bucket := range ix.cells {
-		ix.cells[k] = bucket[:0]
+	ix.bounded = false
+	if bounded {
+		// One cell of margin on each side absorbs points that brush the
+		// boundary; anything further out lands in the overflow map.
+		lo := ix.key(b.Min)
+		hi := ix.key(b.Max)
+		ncx := int64(hi.x-lo.x) + 3
+		ncy := int64(hi.y-lo.y) + 3
+		if ncx > 0 && ncy > 0 && ncx*ncy <= maxDenseCells {
+			ix.bounded = true
+			ix.ox, ix.oy = lo.x-1, lo.y-1
+			ix.ncx, ix.ncy = int32(ncx), int32(ncy)
+			n := int(ncx * ncy)
+			if cap(ix.dense) < n {
+				ix.dense = make([]bucket, n)
+			} else {
+				ix.dense = ix.dense[:n]
+				clear(ix.dense)
+			}
+		}
+	}
+	if !ix.bounded {
+		ix.dense = ix.dense[:0]
+	}
+	ix.arena = ix.arena[:0]
+	for c := range ix.freeByC {
+		ix.freeByC[c] = ix.freeByC[c][:0]
+	}
+	for k, bkt := range ix.overflow {
+		ix.overflow[k] = bkt[:0]
 	}
 	ix.pos = ix.pos[:0]
 	ix.present = ix.present[:0]
@@ -74,6 +150,62 @@ func (ix *Index) key(p geom.Vec) cellKey {
 		x: int32(math.Floor(p.X / ix.cellSize)),
 		y: int32(math.Floor(p.Y / ix.cellSize)),
 	}
+}
+
+// denseIdx returns the dense-array index for a cell key, or -1 if the
+// cell is outside the dense range (or the index is unbounded).
+func (ix *Index) denseIdx(k cellKey) int32 {
+	if !ix.bounded {
+		return -1
+	}
+	gx, gy := k.x-ix.ox, k.y-ix.oy
+	if gx < 0 || gx >= ix.ncx || gy < 0 || gy >= ix.ncy {
+		return -1
+	}
+	return gy*ix.ncx + gx
+}
+
+// allocBlock returns the arena offset of a free block with capacity
+// 1<<class, reusing a freed block when one is available.
+func (ix *Index) allocBlock(class int32) int32 {
+	if fl := ix.freeByC[class]; len(fl) > 0 {
+		off := fl[len(fl)-1]
+		ix.freeByC[class] = fl[:len(fl)-1]
+		return off
+	}
+	off := int32(len(ix.arena))
+	ix.arena = append(ix.arena, make([]int32, 1<<class)...)
+	return off
+}
+
+func classOf(capacity int32) int32 {
+	c := int32(minClass)
+	for int32(1)<<c < capacity {
+		c++
+	}
+	return c
+}
+
+// appendDense appends id to the dense cell di, growing its arena block
+// when full. Element order within a cell is append order (with
+// swap-remove), matching the map-of-slices implementation exactly.
+func (ix *Index) appendDense(di int32, id int32) {
+	b := &ix.dense[di]
+	if b.n == b.cap {
+		newCap := int32(1) << minClass
+		if b.cap > 0 {
+			newCap = b.cap * 2
+		}
+		class := classOf(newCap)
+		newOff := ix.allocBlock(class)
+		copy(ix.arena[newOff:newOff+b.n], ix.arena[b.off:b.off+b.n])
+		if b.cap > 0 {
+			ix.freeByC[classOf(b.cap)] = append(ix.freeByC[classOf(b.cap)], b.off)
+		}
+		b.off, b.cap = newOff, int32(1)<<class
+	}
+	ix.arena[b.off+b.n] = id
+	b.n++
 }
 
 // Insert adds or moves the point with the given ID to position p. IDs must
@@ -91,7 +223,11 @@ func (ix *Index) Insert(id int, p geom.Vec) {
 	ix.pos[id] = p
 	ix.present[id] = true
 	k := ix.key(p)
-	ix.cells[k] = append(ix.cells[k], int32(id))
+	if di := ix.denseIdx(k); di >= 0 {
+		ix.appendDense(di, int32(id))
+	} else {
+		ix.overflow[k] = append(ix.overflow[k], int32(id))
+	}
 }
 
 // Remove deletes the point with the given ID, if present.
@@ -105,11 +241,23 @@ func (ix *Index) Remove(id int) {
 }
 
 func (ix *Index) removeFromCell(id int, k cellKey) {
-	bucket := ix.cells[k]
-	for i, v := range bucket {
+	if di := ix.denseIdx(k); di >= 0 {
+		b := &ix.dense[di]
+		elems := ix.arena[b.off : b.off+b.n]
+		for i, v := range elems {
+			if v == int32(id) {
+				elems[i] = elems[len(elems)-1]
+				b.n--
+				return
+			}
+		}
+		return
+	}
+	bkt := ix.overflow[k]
+	for i, v := range bkt {
 		if v == int32(id) {
-			bucket[i] = bucket[len(bucket)-1]
-			ix.cells[k] = bucket[:len(bucket)-1]
+			bkt[i] = bkt[len(bkt)-1]
+			ix.overflow[k] = bkt[:len(bkt)-1]
 			return
 		}
 	}
@@ -123,16 +271,37 @@ func (ix *Index) Position(id int) (geom.Vec, bool) {
 	return ix.pos[id], true
 }
 
+// cellElems returns the elements of cell k, whether dense or overflow.
+func (ix *Index) cellElems(k cellKey) []int32 {
+	if di := ix.denseIdx(k); di >= 0 {
+		b := ix.dense[di]
+		return ix.arena[b.off : b.off+b.n]
+	}
+	return ix.overflow[k]
+}
+
 // ForNeighbors calls fn for every indexed point within radius r of p,
-// including a point exactly at p (callers exclude self by ID). Iteration
-// order is deterministic for a fixed insertion history.
+// including a point exactly at p. Iteration order is deterministic for a
+// fixed insertion history, and identical whether the index is bounded or
+// not.
 func (ix *Index) ForNeighbors(p geom.Vec, r float64, fn func(id int, q geom.Vec)) {
+	ix.ForNeighborsSkip(-1, p, r, fn)
+}
+
+// ForNeighborsSkip is ForNeighbors excluding the point with ID skip (a
+// querying sensor excludes itself without filtering in the callback).
+// Pass a negative skip to exclude nothing.
+func (ix *Index) ForNeighborsSkip(skip int, p geom.Vec, r float64, fn func(id int, q geom.Vec)) {
 	r2 := r * r
 	lo := ix.key(geom.V(p.X-r, p.Y-r))
 	hi := ix.key(geom.V(p.X+r, p.Y+r))
+	sk := int32(skip)
 	for cy := lo.y; cy <= hi.y; cy++ {
 		for cx := lo.x; cx <= hi.x; cx++ {
-			for _, id := range ix.cells[cellKey{cx, cy}] {
+			for _, id := range ix.cellElems(cellKey{cx, cy}) {
+				if id == sk {
+					continue
+				}
 				q := ix.pos[id]
 				if q.Dist2(p) <= r2 {
 					fn(int(id), q)

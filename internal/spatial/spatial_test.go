@@ -140,3 +140,136 @@ func TestZeroCellSizeDefaults(t *testing.T) {
 		t.Errorf("got %v", got)
 	}
 }
+
+// Property: a bounded index returns the same results AND the same
+// callback iteration order as the unbounded map-backed mode under random
+// insert / move / remove workloads, including points that stray outside
+// the declared bounds (overflow cells).
+func TestBoundedMatchesUnbounded(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 14))
+	bounds := geom.R(0, 0, 400, 300)
+	bi := NewBounded(25, bounds, 64)
+	ui := New(25, 64)
+	for step := 0; step < 3000; step++ {
+		id := rng.IntN(48)
+		switch rng.IntN(3) {
+		case 0, 1:
+			p := geom.V(rng.Float64()*600-100, rng.Float64()*500-100)
+			bi.Insert(id, p)
+			ui.Insert(id, p)
+		case 2:
+			bi.Remove(id)
+			ui.Remove(id)
+		}
+		q := geom.V(rng.Float64()*600-100, rng.Float64()*500-100)
+		r := rng.Float64() * 90
+		var gotB, gotU []int
+		bi.ForNeighbors(q, r, func(id int, _ geom.Vec) { gotB = append(gotB, id) })
+		ui.ForNeighbors(q, r, func(id int, _ geom.Vec) { gotU = append(gotU, id) })
+		if !reflect.DeepEqual(gotB, gotU) {
+			t.Fatalf("step %d: iteration order diverged: bounded %v unbounded %v", step, gotB, gotU)
+		}
+	}
+	if bi.Len() != ui.Len() {
+		t.Fatalf("Len diverged: %d vs %d", bi.Len(), ui.Len())
+	}
+}
+
+func TestForNeighborsSkip(t *testing.T) {
+	ix := NewBounded(10, geom.R(0, 0, 100, 100), 8)
+	ix.Insert(0, geom.V(5, 5))
+	ix.Insert(1, geom.V(6, 5))
+	ix.Insert(2, geom.V(7, 5))
+	var got []int
+	ix.ForNeighborsSkip(1, geom.V(6, 5), 5, func(id int, _ geom.Vec) { got = append(got, id) })
+	if !reflect.DeepEqual(got, []int{0, 2}) {
+		t.Errorf("ForNeighborsSkip = %v, want [0 2]", got)
+	}
+	got = nil
+	ix.ForNeighborsSkip(-1, geom.V(6, 5), 5, func(id int, _ geom.Vec) { got = append(got, id) })
+	if len(got) != 3 {
+		t.Errorf("negative skip should exclude nothing: %v", got)
+	}
+}
+
+// TestDenseBucketGrowth crams many points into one cell to force arena
+// block growth and freelist reuse, then migrates them to verify
+// swap-remove bookkeeping in the dense path.
+func TestDenseBucketGrowth(t *testing.T) {
+	ix := NewBounded(50, geom.R(0, 0, 200, 200), 4)
+	const n = 120
+	for i := 0; i < n; i++ {
+		ix.Insert(i, geom.V(10+float64(i)*0.01, 10))
+	}
+	if got := len(ix.Neighbors(geom.V(10, 10), 5)); got != n {
+		t.Fatalf("crowded cell query = %d, want %d", got, n)
+	}
+	// Migrate everyone to another cell; old blocks go to the freelist.
+	for i := 0; i < n; i++ {
+		ix.Insert(i, geom.V(150+float64(i)*0.01, 150))
+	}
+	if got := len(ix.Neighbors(geom.V(10, 10), 5)); got != 0 {
+		t.Fatalf("stale entries after migration: %d", got)
+	}
+	if got := len(ix.Neighbors(geom.V(150, 150), 5)); got != n {
+		t.Fatalf("migrated cell query = %d, want %d", got, n)
+	}
+}
+
+// TestPooledReshapeAcrossModes releases a bounded index and reuses the
+// pooled object as unbounded (and vice versa), checking no stale state
+// leaks through the pool.
+func TestPooledReshapeAcrossModes(t *testing.T) {
+	a := NewBounded(10, geom.R(0, 0, 100, 100), 8)
+	a.Insert(0, geom.V(5, 5))
+	a.Insert(1, geom.V(95, 95))
+	a.Release()
+
+	b := New(20, 8)
+	if got := b.Neighbors(geom.V(5, 5), 50); len(got) != 0 {
+		t.Fatalf("pooled reuse leaked entries: %v", got)
+	}
+	b.Insert(2, geom.V(5, 5))
+	if got := b.Neighbors(geom.V(5, 5), 1); !reflect.DeepEqual(got, []int{2}) {
+		t.Fatalf("unbounded reuse query = %v", got)
+	}
+	b.Release()
+
+	c := NewBounded(5, geom.R(-50, -50, 50, 50), 8)
+	if got := c.Neighbors(geom.V(5, 5), 100); len(got) != 0 {
+		t.Fatalf("pooled reuse leaked entries: %v", got)
+	}
+	c.Insert(3, geom.V(-40, -40))
+	if got := c.Neighbors(geom.V(-40, -40), 1); !reflect.DeepEqual(got, []int{3}) {
+		t.Fatalf("reshaped bounded query = %v", got)
+	}
+	c.Release()
+}
+
+// BenchmarkInsertMoveQuery measures the steady-state cost of the
+// simulator's per-period index traffic on a bounded index.
+func BenchmarkInsertMoveQuery(b *testing.B) {
+	bounds := geom.R(0, 0, 800, 600)
+	rng := rand.New(rand.NewPCG(7, 7))
+	pts := make([]geom.Vec, 200)
+	for i := range pts {
+		pts[i] = geom.V(rng.Float64()*800, rng.Float64()*600)
+	}
+	ix := NewBounded(50, bounds, len(pts))
+	for i, p := range pts {
+		ix.Insert(i, p)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := i % len(pts)
+		p := pts[id]
+		p.X += 1.5
+		if p.X > 800 {
+			p.X -= 800
+		}
+		pts[id] = p
+		ix.Insert(id, p)
+		ix.ForNeighborsSkip(id, p, 50, func(int, geom.Vec) {})
+	}
+}
