@@ -186,6 +186,7 @@ func RunBatch(ctx context.Context, cfgs []Config, opts BatchOptions) ([]BatchRes
 			ShardIndex:        opts.Shard.Index,
 			ShardCount:        opts.Shard.count(),
 			Layouts:           opts.Store.Layouts,
+			Trace:             opts.Store.Trace,
 		}
 	}
 	specs = opts.Shard.filter(specs)
@@ -659,6 +660,7 @@ func (s Sweep) Run(ctx context.Context, opts BatchOptions) (SweepResult, error) 
 	if opts.Store != nil {
 		m = s.manifest(opts.Shard, len(specs))
 		m.Layouts = opts.Store.Layouts
+		m.Trace = opts.Store.Trace
 	}
 	runs, err := runSpecs(ctx, specs, opts, m)
 	return SweepResult{Runs: runs, Aggregates: aggregateRuns(runs)}, err

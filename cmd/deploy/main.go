@@ -34,6 +34,14 @@
 // manifest embeds the spec, so the sweep reproduces anywhere:
 //
 //	deploy -scheme floor -field warehouse.json -runs 20 -store sweep/
+//
+// Per-tick run telemetry (-trace, stride in simulated seconds) samples
+// coverage, connectivity and movement as the deployment unfolds: single
+// runs print the series, sweeps persist it in store records for the
+// serve dashboard's trace chart:
+//
+//	deploy -scheme floor -trace 25
+//	deploy -scheme floor -runs 30 -store sweep/ -trace 25
 package main
 
 import (
@@ -78,6 +86,7 @@ func run() int {
 		csvPath   = flag.String("csv", "", "write final positions CSV to this path (single run only)")
 		storeDir  = flag.String("store", "", "stream finished runs to this store directory (-runs > 1)")
 		layouts   = flag.Bool("store-layouts", false, "persist each run's initial and final sensor layouts in its store record (requires -store)")
+		trace     = flag.Float64("trace", 0, "sample per-tick telemetry every this many simulated seconds (0 = off); single runs print the series, sweeps persist it in -store records")
 		resume    = flag.Bool("resume", false, "continue an interrupted sweep in the -store directory")
 		shardSpec = flag.String("shard", "", "run only shard i of n, as \"i/n\" (requires -store; merge with cmd/report)")
 		maxRuns   = flag.Int("max-runs", 0, "stop dispatching after this many completed runs (0 = all); finished runs stay in the store")
@@ -148,6 +157,14 @@ func run() int {
 		fmt.Fprintln(os.Stderr, "-store-layouts needs -store: layouts persist in store records")
 		return 2
 	}
+	if *trace < 0 {
+		fmt.Fprintln(os.Stderr, "-trace stride must be positive")
+		return 2
+	}
+	if *trace > 0 && (*runs > 1 || len(axes) > 0) && *storeDir == "" {
+		fmt.Fprintln(os.Stderr, "-trace in a sweep needs -store: the series persist in store records")
+		return 2
+	}
 
 	cfg := mobisense.DefaultConfig(mobisense.Scheme(*scheme))
 	cfg.N = *n
@@ -159,6 +176,9 @@ func run() int {
 	cfg.ClusterInit = !*uniform
 	cfg.CPVF = &mobisense.CPVFOptions{Oscillation: *osc, Delta: *delta}
 	cfg.Floor = &mobisense.FloorOptions{TTL: *ttl}
+	if *trace > 0 {
+		cfg.Trace = &mobisense.TraceOptions{Stride: *trace}
+	}
 
 	// Ctrl-C cancels the sweep; every finished run is kept (and persisted
 	// when a store is attached).
@@ -224,7 +244,7 @@ func run() int {
 		Shard:   shard,
 	}
 	if *storeDir != "" {
-		opts.Store = &mobisense.Store{Dir: *storeDir, Resume: *resume, Layouts: *layouts}
+		opts.Store = &mobisense.Store{Dir: *storeDir, Resume: *resume, Layouts: *layouts, Trace: *trace > 0}
 	}
 	// -max-runs cancels dispatch once enough runs completed — the
 	// deterministic stand-in for Ctrl-C in scripts and CI.
@@ -308,6 +328,15 @@ func printSingle(cfg mobisense.Config, res mobisense.Result, showMap bool, csvPa
 		fmt.Printf("incorrect cells  %d\n", res.IncorrectVoronoiCells)
 	}
 	fmt.Printf("wall time        %s\n", res.Elapsed.Round(1e6))
+
+	if len(res.Trace) > 0 {
+		fmt.Println()
+		fmt.Println("     t  coverage  connected  moving  total moved  max moved")
+		for _, s := range res.Trace {
+			fmt.Printf("%6.0f    %5.1f%%  %9d  %6d  %9.1f m  %7.1f m\n",
+				s.Time, 100*s.Coverage, s.Connected, s.Moving, s.TotalMoved, s.MaxMoved)
+		}
+	}
 
 	if showMap {
 		fmt.Println()

@@ -10,6 +10,12 @@
 //	report -csv aggregates.csv shard0/ shard1/
 //	report -runs sweep/             # per-run records instead of aggregates
 //	report -watch sweep/            # live-refresh while another process writes
+//	report -watch http://host:8080/v1/jobs/j000001/store   # remote server job
+//
+// A store argument may be an http(s) URL naming a deployment server's
+// /v1/jobs/{id}/store endpoint instead of a local directory; the server
+// serves the same manifest/records/timing files the directory would hold,
+// so watching, merging and CSV export all work against a live remote job.
 //
 // With -watch, the stores are re-read every -interval and the aggregate
 // table redrawn with a progress/ETA line (the ETA is extrapolated from
@@ -26,8 +32,10 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io/fs"
 	"os"
 	"strconv"
 	"strings"
@@ -49,7 +57,7 @@ func run() int {
 		interval   = flag.Duration("interval", 2*time.Second, "poll interval for -watch")
 	)
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: report [flags] store-dir [store-dir ...]\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: report [flags] store-dir-or-url [store-dir-or-url ...]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -106,13 +114,17 @@ func run() int {
 // watchStores polls store directories another process is writing and
 // live-refreshes the aggregate table with a progress/ETA line, using the
 // same progress-snapshot helper the deployment server's SSE stream uses.
-// It returns once every store is complete.
+// It returns once every store is complete. A store that was read
+// successfully and later disappears (directory deleted, server job
+// pruned) is a hard error — silently waiting for it to reappear would
+// hang scripts that use -watch as a wait-for-completion.
 func watchStores(dirs []string, interval time.Duration, showRuns bool) int {
 	if interval <= 0 {
 		interval = 2 * time.Second
 	}
 	prevDone := -1
 	prevTime := time.Now()
+	seen := make(map[string]bool, len(dirs)) // dirs that held a store at least once
 	for {
 		done, total := 0, 0
 		complete := true
@@ -122,6 +134,7 @@ func watchStores(dirs []string, interval time.Duration, showRuns bool) int {
 		data, loadErr := mobisense.LoadStores(dirs...)
 		if loadErr == nil {
 			for _, st := range data.Stores {
+				seen[st.Dir] = true
 				done += st.Records
 				total += st.TotalRuns
 				if !st.Complete && st.Records < st.TotalRuns {
@@ -137,9 +150,14 @@ func watchStores(dirs []string, interval time.Duration, showRuns bool) int {
 			for _, dir := range dirs {
 				ps, err := mobisense.ReadStoreProgress(dir)
 				if err != nil {
+					if seen[dir] && errors.Is(err, fs.ErrNotExist) {
+						fmt.Fprintf(os.Stderr, "report: store %s disappeared mid-watch: %v\n", dir, err)
+						return 1
+					}
 					statusLines = append(statusLines, fmt.Sprintf("%s: waiting for store...", dir))
 					continue
 				}
+				seen[dir] = true
 				done += ps.Done
 				total += ps.Total
 				statusLines = append(statusLines, fmt.Sprintf("%s: %d/%d runs, compute time %s",

@@ -9,31 +9,53 @@
 //
 //	serve -addr :8080 -data serve-data
 //	serve -field warehouse.json        # register a custom scenario from a field spec
+//	serve -log-format json -log-level debug
+//	serve -debug-addr localhost:6060   # pprof + expvar on a separate listener
+//
+// The root path serves an embedded dashboard: live job list with
+// progress/ETA, aggregate charts, per-run trace and layout views, and a
+// metrics snapshot — open http://localhost:8080/ in a browser.
 //
 // API (see the README's Serving section for curl examples):
 //
-//	POST   /v1/runs               submit one deployment
-//	POST   /v1/sweeps             submit a sweep
-//	GET    /v1/jobs               list jobs
-//	GET    /v1/jobs/{id}          status, progress, aggregates
-//	DELETE /v1/jobs/{id}          cancel (finished runs stay on disk)
-//	GET    /v1/jobs/{id}/events   SSE progress stream
-//	GET    /v1/jobs/{id}/records  stored records (JSONL, ?format=csv)
-//	GET    /v1/schemes            scheme registry
-//	GET    /v1/scenarios          scenario registry
+//	POST   /v1/runs                  submit one deployment
+//	POST   /v1/sweeps                submit a sweep
+//	GET    /v1/jobs                  list jobs
+//	GET    /v1/jobs/{id}             status, progress, aggregates
+//	DELETE /v1/jobs/{id}             cancel (finished runs stay on disk)
+//	GET    /v1/jobs/{id}/events      SSE progress stream
+//	GET    /v1/jobs/{id}/records     stored records (JSONL, ?format=csv)
+//	GET    /v1/jobs/{id}/store/{f}   raw store files (report -watch remotely)
+//	GET    /v1/schemes               scheme registry
+//	GET    /v1/scenarios             scenario registry
+//	GET    /v1/axes                  sweep axis registry
+//	GET    /metrics                  Prometheus text (?format=json for expvar-style JSON)
+//
+// With -debug-addr, a second listener (keep it on localhost or behind a
+// firewall) exposes net/http/pprof under /debug/pprof/ and expvar under
+// /debug/vars for profiling a live server:
+//
+//	go tool pprof http://localhost:6060/debug/pprof/profile?seconds=30
+//	go tool pprof http://localhost:6060/debug/pprof/heap
+//	curl localhost:6060/debug/vars
 package main
 
 import (
 	"context"
 	"errors"
+	"expvar"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"time"
 
 	"mobisense"
+	"mobisense/internal/metrics"
 )
 
 func main() {
@@ -48,6 +70,9 @@ func run() int {
 		jobs      = flag.Int("jobs", 1, "number of jobs executing concurrently")
 		jobsTTL   = flag.Duration("jobs-ttl", 0, "prune finished jobs (and their stores) older than this at startup and periodically (0 = keep forever)")
 		cacheSize = flag.Int("cache-size", 0, "max entries in the fingerprint result cache, evicted LRU (0 = server default of 1024)")
+		logFormat = flag.String("log-format", "text", "structured log format: text or json")
+		logLevel  = flag.String("log-level", "info", "minimum log level: debug, info, warn or error")
+		debugAddr = flag.String("debug-addr", "", "serve net/http/pprof and expvar on this extra listener (e.g. localhost:6060); off when empty")
 	)
 	var fieldErr error
 	flag.Func("field", "register a custom scenario from a field-spec JSON file (named by the spec's \"name\"); repeatable",
@@ -78,14 +103,37 @@ func run() int {
 		return 2
 	}
 
+	logger, err := buildLogger(*logFormat, *logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+
 	svc, err := mobisense.NewService(*dataDir, mobisense.ServiceOptions{
 		Workers:   *workers,
 		Jobs:      *jobs,
 		CacheSize: *cacheSize,
+		Logger:    logger,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 1
+	}
+
+	if *debugAddr != "" {
+		// The profiling listener is separate from the API on purpose: the
+		// imported net/http/pprof and expvar packages register only on
+		// http.DefaultServeMux, which the API handler never serves, so
+		// profiling endpoints are reachable exactly when -debug-addr is up.
+		expvar.Publish("mobisense_metrics", expvar.Func(func() any {
+			return metrics.Default.Snapshot()
+		}))
+		go func() {
+			logger.Info("debug listener up", "addr", *debugAddr)
+			if err := http.ListenAndServe(*debugAddr, http.DefaultServeMux); err != nil {
+				logger.Error("debug listener failed", "addr", *debugAddr, "err", err)
+			}
+		}()
 	}
 
 	if *jobsTTL > 0 {
@@ -131,5 +179,24 @@ func run() int {
 			return 1
 		}
 		return 0
+	}
+}
+
+// buildLogger assembles the service's slog logger from the -log-format
+// and -log-level flags; records go to stderr, keeping stdout clean for
+// scripting.
+func buildLogger(format, level string) (*slog.Logger, error) {
+	var lv slog.Level
+	if err := lv.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("bad -log-level %q (want debug, info, warn or error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	switch strings.ToLower(format) {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	default:
+		return nil, fmt.Errorf("bad -log-format %q (want text or json)", format)
 	}
 }

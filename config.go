@@ -74,6 +74,12 @@ type Config struct {
 	// FLOOR repair around them (the §7 failure-recovery extension).
 	Failures *FailureOptions
 
+	// Trace optionally samples per-tick telemetry (coverage, connectivity,
+	// movement) during event-driven runs into Result.Trace. Sampling never
+	// consumes engine randomness, so a traced run's metrics are
+	// bit-identical to the same run untraced.
+	Trace *TraceOptions
+
 	// estimators is an optional cache of coverage estimators shared across
 	// the runs of a batch (set by RunBatch/Sweep).
 	estimators *estimatorCache

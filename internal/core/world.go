@@ -64,6 +64,10 @@ type World struct {
 	floodPos     []geom.Vec
 	floodVisited []bool
 	floodQueue   []int
+
+	// Trace-sampling layout scratch (see SampleTrace), reused across
+	// samples and runs.
+	traceLayout []geom.Vec
 }
 
 // worldPool recycles worlds — their sensor arrays, step records and

@@ -1,0 +1,345 @@
+// Package metrics is a lightweight, dependency-free metrics registry for
+// the deployment service: counters, gauges and histograms with atomic
+// updates, exported in Prometheus text exposition format and as an
+// expvar-compatible JSON document.
+//
+// Design constraints, in order:
+//
+//   - Updating a registered metric must be allocation-free and lock-free
+//     (one atomic op), because counters sit on the batch runner's per-run
+//     path and the store writer's append path — paths the bench gate
+//     guards.
+//   - Registration (GetOrCreate) may take a lock; callers cache the
+//     returned handle when they update from a hot path.
+//   - No external dependencies: the Prometheus text format is simple
+//     enough to emit by hand, and scraping tooling only needs the text
+//     endpoint.
+//
+// Metric names may carry a label set baked into the name, Prometheus
+// style: `jobs_total{kind="sweep"}`. The exposition writer groups series
+// of one family (the name before '{') under a single # TYPE header.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing value.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds delta (negative deltas are ignored; counters only go up).
+func (c *Counter) Add(delta int64) {
+	if delta > 0 {
+		c.v.Add(delta)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a value that can go up and down.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adds delta (which may be negative).
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Inc adds one. Dec subtracts one.
+func (g *Gauge) Inc() { g.v.Add(1) }
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// DefDurationBuckets are the default histogram bucket upper bounds for
+// durations in seconds: sub-millisecond runs up to multi-minute sweeps.
+var DefDurationBuckets = []float64{
+	0.001, 0.005, 0.01, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60, 120, 300,
+}
+
+// Histogram is a fixed-bucket cumulative histogram. Observations are
+// lock-free: one atomic add on the bucket plus a CAS loop on the float
+// sum.
+type Histogram struct {
+	bounds []float64      // upper bounds, ascending; +Inf implied last
+	counts []atomic.Int64 // len(bounds)+1, last is the +Inf bucket
+	sum    atomic.Uint64  // float64 bits
+	count  atomic.Int64
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations; Sum their total.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// snapshot returns cumulative bucket counts aligned with bounds (the
+// implicit +Inf bucket equals Count).
+func (h *Histogram) snapshot() []int64 {
+	out := make([]int64, len(h.bounds))
+	var cum int64
+	for i := range h.bounds {
+		cum += h.counts[i].Load()
+		out[i] = cum
+	}
+	return out
+}
+
+// metric is one registered series with its family metadata.
+type metric struct {
+	name   string // full series name, labels included
+	family string // name before '{'
+	kind   string // "counter", "gauge" or "histogram"
+	help   string
+
+	counter   *Counter
+	gauge     *Gauge
+	gaugeFn   func() float64
+	histogram *Histogram
+}
+
+// Registry holds named metrics and renders them. The zero value is not
+// usable; call NewRegistry (or use Default).
+type Registry struct {
+	mu    sync.RWMutex
+	byKey map[string]*metric
+	order []*metric // registration order; exposition sorts by name
+	help  map[string]string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byKey: map[string]*metric{}, help: map[string]string{}}
+}
+
+// Default is the process-wide registry the deployment service exports.
+var Default = NewRegistry()
+
+// Help sets the # HELP text for a metric family (the name before any
+// label set). Optional; families without help render no HELP line.
+func (r *Registry) Help(family, text string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.help[family] = text
+}
+
+func familyOf(name string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i]
+	}
+	return name
+}
+
+// lookup returns the registered metric, checking its kind.
+func (r *Registry) lookup(name, kind string) (*metric, bool) {
+	r.mu.RLock()
+	m, ok := r.byKey[name]
+	r.mu.RUnlock()
+	if ok && m.kind != kind {
+		panic(fmt.Sprintf("metrics: %s registered as %s, requested as %s", name, m.kind, kind))
+	}
+	return m, ok
+}
+
+func (r *Registry) register(m *metric) *metric {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if prev, ok := r.byKey[m.name]; ok {
+		if prev.kind != m.kind {
+			panic(fmt.Sprintf("metrics: %s registered as %s and %s", m.name, prev.kind, m.kind))
+		}
+		return prev
+	}
+	r.byKey[m.name] = m
+	r.order = append(r.order, m)
+	return m
+}
+
+// Counter returns the counter registered under name, creating it on
+// first use. The returned handle is safe to cache and update without
+// locks.
+func (r *Registry) Counter(name string) *Counter {
+	if m, ok := r.lookup(name, "counter"); ok {
+		return m.counter
+	}
+	m := r.register(&metric{name: name, family: familyOf(name), kind: "counter", counter: &Counter{}})
+	return m.counter
+}
+
+// Gauge returns the gauge registered under name, creating it on first
+// use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if m, ok := r.lookup(name, "gauge"); ok {
+		return m.gauge
+	}
+	m := r.register(&metric{name: name, family: familyOf(name), kind: "gauge", gauge: &Gauge{}})
+	return m.gauge
+}
+
+// GaugeFunc registers a gauge whose value is computed at scrape time
+// (e.g. a queue depth read under the owner's lock). Re-registering the
+// same name replaces the function.
+func (r *Registry) GaugeFunc(name string, fn func() float64) {
+	if m, ok := r.lookup(name, "gauge"); ok {
+		r.mu.Lock()
+		m.gaugeFn = fn
+		r.mu.Unlock()
+		return
+	}
+	r.register(&metric{name: name, family: familyOf(name), kind: "gauge", gaugeFn: fn})
+}
+
+// Histogram returns the histogram registered under name, creating it
+// with the given bucket upper bounds on first use (nil buckets select
+// DefDurationBuckets).
+func (r *Registry) Histogram(name string, buckets []float64) *Histogram {
+	if m, ok := r.lookup(name, "histogram"); ok {
+		return m.histogram
+	}
+	if buckets == nil {
+		buckets = DefDurationBuckets
+	}
+	m := r.register(&metric{name: name, family: familyOf(name), kind: "histogram", histogram: newHistogram(buckets)})
+	return m.histogram
+}
+
+// sorted returns the metrics sorted by series name (stable exposition
+// output regardless of registration order).
+func (r *Registry) sorted() []*metric {
+	r.mu.RLock()
+	out := make([]*metric, len(r.order))
+	copy(out, r.order)
+	r.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// formatFloat renders a sample value the way Prometheus expects.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+// seriesWithLabel splices an extra label into a series name:
+// name{a="b"} + le="0.5" → name{a="b",le="0.5"}.
+func seriesWithLabel(name, label string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:len(name)-1] + "," + label + "}"
+	}
+	return name + "{" + label + "}"
+}
+
+// WritePrometheus renders every metric in the Prometheus text exposition
+// format (version 0.0.4), series sorted by name, one # TYPE line per
+// family.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	r.mu.RLock()
+	help := make(map[string]string, len(r.help))
+	for k, v := range r.help {
+		help[k] = v
+	}
+	r.mu.RUnlock()
+
+	lastFamily := ""
+	for _, m := range r.sorted() {
+		if m.family != lastFamily {
+			if h, ok := help[m.family]; ok {
+				fmt.Fprintf(w, "# HELP %s %s\n", m.family, h)
+			}
+			fmt.Fprintf(w, "# TYPE %s %s\n", m.family, m.kind)
+			lastFamily = m.family
+		}
+		switch m.kind {
+		case "counter":
+			fmt.Fprintf(w, "%s %d\n", m.name, m.counter.Value())
+		case "gauge":
+			if m.gaugeFn != nil {
+				fmt.Fprintf(w, "%s %s\n", m.name, formatFloat(m.gaugeFn()))
+			} else {
+				fmt.Fprintf(w, "%s %d\n", m.name, m.gauge.Value())
+			}
+		case "histogram":
+			h := m.histogram
+			cum := h.snapshot()
+			for i, bound := range h.bounds {
+				le := fmt.Sprintf("le=%q", formatFloat(bound))
+				fmt.Fprintf(w, "%s %d\n", seriesWithLabel(m.name, le), cum[i])
+			}
+			fmt.Fprintf(w, "%s %d\n", seriesWithLabel(m.name, `le="+Inf"`), h.Count())
+			fmt.Fprintf(w, "%s %s\n", m.family+"_sum"+m.name[len(m.family):], formatFloat(h.Sum()))
+			fmt.Fprintf(w, "%s %d\n", m.family+"_count"+m.name[len(m.family):], h.Count())
+		}
+	}
+}
+
+// Snapshot returns the registry as a JSON-encodable map: scalar series
+// map to numbers, histograms to {count, sum, buckets} objects. It is the
+// expvar-compatible view (publish with expvar.Func).
+func (r *Registry) Snapshot() map[string]any {
+	out := map[string]any{}
+	for _, m := range r.sorted() {
+		switch m.kind {
+		case "counter":
+			out[m.name] = m.counter.Value()
+		case "gauge":
+			if m.gaugeFn != nil {
+				out[m.name] = m.gaugeFn()
+			} else {
+				out[m.name] = m.gauge.Value()
+			}
+		case "histogram":
+			h := m.histogram
+			cum := h.snapshot()
+			buckets := make(map[string]int64, len(h.bounds)+1)
+			for i, bound := range h.bounds {
+				buckets[formatFloat(bound)] = cum[i]
+			}
+			buckets["+Inf"] = h.Count()
+			out[m.name] = map[string]any{
+				"count":   h.Count(),
+				"sum":     h.Sum(),
+				"buckets": buckets,
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,169 @@
+package metrics
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("runs_total")
+	c.Inc()
+	c.Add(4)
+	c.Add(-3) // ignored: counters only go up
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	g := r.Gauge("queue_depth")
+	g.Set(7)
+	g.Dec()
+	g.Add(-2)
+	if got := g.Value(); got != 4 {
+		t.Fatalf("gauge = %d, want 4", got)
+	}
+	// GetOrCreate semantics: same name returns the same handle.
+	if r.Counter("runs_total") != c {
+		t.Fatal("Counter did not return the registered handle")
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on kind mismatch")
+		}
+	}()
+	r.Gauge("x")
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("run_seconds", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.1, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	if got, want := h.Sum(), 55.65; got != want {
+		t.Fatalf("sum = %g, want %g", got, want)
+	}
+	// Cumulative buckets: le=0.1 holds 0.05 and 0.1 (bounds are inclusive),
+	// le=1 adds 0.5, le=10 adds 5, +Inf adds 50.
+	cum := h.snapshot()
+	want := []int64{2, 3, 4}
+	for i, w := range want {
+		if cum[i] != w {
+			t.Fatalf("bucket[%d] = %d, want %d", i, cum[i], w)
+		}
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Help("jobs_total", "Jobs submitted by kind.")
+	r.Counter(`jobs_total{kind="sweep"}`).Add(3)
+	r.Counter(`jobs_total{kind="run"}`).Inc()
+	r.Gauge("queue_depth").Set(2)
+	r.GaugeFunc("uptime_seconds", func() float64 { return 1.5 })
+	r.Histogram(`run_seconds{scheme="voronoi"}`, []float64{0.5, 1}).Observe(0.75)
+
+	var sb strings.Builder
+	r.WritePrometheus(&sb)
+	out := sb.String()
+
+	for _, want := range []string{
+		"# HELP jobs_total Jobs submitted by kind.\n",
+		"# TYPE jobs_total counter\n",
+		`jobs_total{kind="run"} 1` + "\n",
+		`jobs_total{kind="sweep"} 3` + "\n",
+		"# TYPE queue_depth gauge\n",
+		"queue_depth 2\n",
+		"uptime_seconds 1.5\n",
+		"# TYPE run_seconds histogram\n",
+		`run_seconds{scheme="voronoi",le="0.5"} 0` + "\n",
+		`run_seconds{scheme="voronoi",le="1"} 1` + "\n",
+		`run_seconds{scheme="voronoi",le="+Inf"} 1` + "\n",
+		`run_seconds_sum{scheme="voronoi"} 0.75` + "\n",
+		`run_seconds_count{scheme="voronoi"} 1` + "\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q\n--- got ---\n%s", want, out)
+		}
+	}
+	// One # TYPE line per family even with two label sets.
+	if got := strings.Count(out, "# TYPE jobs_total"); got != 1 {
+		t.Errorf("jobs_total # TYPE lines = %d, want 1", got)
+	}
+}
+
+func TestSnapshotJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a").Add(2)
+	r.Gauge("b").Set(-1)
+	r.Histogram("h", []float64{1}).Observe(0.5)
+
+	buf, err := json.Marshal(r.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got map[string]any
+	if err := json.Unmarshal(buf, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got["a"].(float64) != 2 || got["b"].(float64) != -1 {
+		t.Fatalf("scalars wrong: %v", got)
+	}
+	h := got["h"].(map[string]any)
+	if h["count"].(float64) != 1 || h["sum"].(float64) != 0.5 {
+		t.Fatalf("histogram wrong: %v", h)
+	}
+}
+
+func TestConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c")
+	h := r.Histogram("h", []float64{1, 2})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				h.Observe(1.5)
+				r.Gauge("g").Inc() // concurrent registration path
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Fatalf("counter = %d, want 8000", c.Value())
+	}
+	if h.Count() != 8000 || h.Sum() != 12000 {
+		t.Fatalf("histogram count=%d sum=%g", h.Count(), h.Sum())
+	}
+	if r.Gauge("g").Value() != 8000 {
+		t.Fatalf("gauge = %d, want 8000", r.Gauge("g").Value())
+	}
+}
+
+func BenchmarkCounterInc(b *testing.B) {
+	c := NewRegistry().Counter("c")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewRegistry().Histogram("h", nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i%100) / 10)
+	}
+}

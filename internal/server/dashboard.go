@@ -1,0 +1,35 @@
+package server
+
+import (
+	"embed"
+	"io/fs"
+	"net/http"
+)
+
+// The dashboard is a dependency-free static UI compiled into the server
+// binary: vanilla JS over the existing JSON API and SSE hub, canvas
+// charts, no build step. Serving it from the binary means a deployed
+// server needs no asset directory and the UI can never drift from the
+// API it was built against.
+
+//go:embed ui
+var uiFS embed.FS
+
+// mountDashboard serves the embedded UI at / (index) and /ui/ (assets).
+func mountDashboard(mux *http.ServeMux) {
+	sub, err := fs.Sub(uiFS, "ui")
+	if err != nil {
+		panic("server: embedded ui missing: " + err.Error())
+	}
+	files := http.FileServerFS(sub)
+	mux.Handle("GET /ui/", http.StripPrefix("/ui/", files))
+	mux.HandleFunc("GET /{$}", func(w http.ResponseWriter, r *http.Request) {
+		data, err := fs.ReadFile(sub, "index.html")
+		if err != nil {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		w.Write(data)
+	})
+}

@@ -6,12 +6,16 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"os"
 	"path/filepath"
 	"strconv"
 	"strings"
+	"sync/atomic"
+	"time"
 
+	"mobisense/internal/metrics"
 	"mobisense/internal/store"
 )
 
@@ -27,9 +31,15 @@ const maxRequestBytes = 1 << 20
 //	DELETE /v1/jobs/{id}        cancel (finished runs stay on disk)
 //	GET    /v1/jobs/{id}/events SSE progress stream
 //	GET    /v1/jobs/{id}/records  stored per-run records (JSONL, ?format=csv)
+//	GET    /v1/jobs/{id}/store/{file}  raw store files for remote watchers
 //	GET    /v1/schemes          scheme registry introspection
 //	GET    /v1/scenarios        scenario registry introspection
 //	GET    /v1/axes             built-in sweep axis names
+//	GET    /metrics             Prometheus text exposition (?format=json for expvar-style JSON)
+//	GET    /                    embedded live dashboard
+//
+// Every request gets a short id, attached to its access-log record and
+// echoed in the X-Request-Id response header.
 func NewHandler(m *Manager) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/runs", func(w http.ResponseWriter, r *http.Request) {
@@ -69,10 +79,132 @@ func NewHandler(m *Manager) http.Handler {
 	mux.HandleFunc("GET /v1/scenarios", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]any{"scenarios": m.Engine().Scenarios()})
 	})
+	mux.HandleFunc("GET /v1/jobs/{id}/store/{file}", func(w http.ResponseWriter, r *http.Request) {
+		serveStoreFile(m, w, r)
+	})
 	mux.HandleFunc("GET /v1/axes", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]any{"axes": m.Engine().Axes()})
 	})
-	return mux
+	mux.HandleFunc("GET /metrics", serveMetrics)
+	mountDashboard(mux)
+	return logRequests(m.Logger(), mux)
+}
+
+// serveMetrics renders the process-wide registry: Prometheus text by
+// default, the expvar-style JSON document with ?format=json.
+func serveMetrics(w http.ResponseWriter, r *http.Request) {
+	switch format := r.URL.Query().Get("format"); format {
+	case "", "prometheus":
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		w.WriteHeader(http.StatusOK)
+		metrics.Default.WritePrometheus(w)
+	case "json":
+		writeJSON(w, http.StatusOK, metrics.Default.Snapshot())
+	default:
+		writeError(w, http.StatusBadRequest, "unknown format %q (want prometheus or json)", format)
+	}
+}
+
+// serveStoreFile streams one raw file of a job's sweep store. The
+// endpoints mirror the on-disk layout (manifest.json, records.jsonl,
+// timing.jsonl), so a remote watcher can treat
+// <server>/v1/jobs/<id>/store as a store directory: cmd/report's -watch
+// polls exactly these URLs. A running job's records are trimmed to the
+// last complete line, like the /records endpoint.
+func serveStoreFile(m *Manager, w http.ResponseWriter, r *http.Request) {
+	id, file := r.PathValue("id"), r.PathValue("file")
+	v, ok := m.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", id)
+		return
+	}
+	if v.CacheHit {
+		writeError(w, http.StatusNotFound, "job %s was answered from the result cache and has no store of its own", id)
+		return
+	}
+	var contentType string
+	switch file {
+	case "manifest.json":
+		contentType = "application/json"
+	case "records.jsonl", "timing.jsonl":
+		contentType = "application/jsonl"
+	default:
+		writeError(w, http.StatusNotFound, "no store file %q (want manifest.json, records.jsonl or timing.jsonl)", file)
+		return
+	}
+	data, err := os.ReadFile(filepath.Join(m.StoreDir(id), file))
+	if err != nil {
+		if file == "records.jsonl" || file == "timing.jsonl" {
+			// A store exists once the manifest does; records may simply not
+			// have been appended yet. Serving empty keeps remote watchers
+			// polling instead of erroring out.
+			if _, merr := os.Stat(filepath.Join(m.StoreDir(id), "manifest.json")); merr == nil {
+				w.Header().Set("Content-Type", contentType)
+				w.WriteHeader(http.StatusOK)
+				return
+			}
+		}
+		writeError(w, http.StatusNotFound, "job %s has no store yet", id)
+		return
+	}
+	if file == "records.jsonl" {
+		// Trim a possible torn tail mid-append.
+		if i := bytes.LastIndexByte(data, '\n'); i < 0 {
+			data = nil
+		} else {
+			data = data[:i+1]
+		}
+	}
+	w.Header().Set("Content-Type", contentType)
+	w.WriteHeader(http.StatusOK)
+	w.Write(data)
+}
+
+// requestSeq numbers requests for the access log.
+var requestSeq atomic.Uint64
+
+// statusWriter records the response status for the access log while
+// passing the Flusher through (SSE needs it).
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	sw.status = code
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+func (sw *statusWriter) Flush() {
+	if fl, ok := sw.ResponseWriter.(http.Flusher); ok {
+		fl.Flush()
+	}
+}
+
+var (
+	mHTTPGet   = metrics.Default.Counter(`http_requests_total{method="GET"}`)
+	mHTTPOther = metrics.Default.Counter(`http_requests_total{method="other"}`)
+)
+
+// logRequests is the access-log middleware: every request gets a short
+// id (echoed as X-Request-Id) and one structured record with method,
+// path, status and duration.
+func logRequests(log *slog.Logger, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rid := fmt.Sprintf("r%06d", requestSeq.Add(1))
+		w.Header().Set("X-Request-Id", rid)
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		next.ServeHTTP(sw, r)
+		if r.Method == http.MethodGet {
+			mHTTPGet.Inc()
+		} else {
+			mHTTPOther.Inc()
+		}
+		log.Info("http request", "request", rid, "method", r.Method,
+			"path", r.URL.Path, "status", sw.status,
+			"elapsed", time.Since(start).Round(time.Microsecond))
+	})
 }
 
 // submit handles POST /v1/runs and /v1/sweeps. A cache hit answers 200

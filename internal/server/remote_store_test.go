@@ -1,0 +1,183 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"io/fs"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"mobisense/internal/store"
+)
+
+// storeEngine writes a small real sweep store into job.StoreDir, like the
+// mobisense service engine does, so the store endpoints serve genuine
+// files. With holdRecords set it writes only the manifest (a sweep that
+// has not finished a run yet).
+type storeEngine struct {
+	holdRecords bool
+}
+
+func (e *storeEngine) Prepare(kind string, req json.RawMessage) (Prepared, error) {
+	return Prepared{Fingerprint: "store-" + string(req), TotalRuns: 2}, nil
+}
+
+func (e *storeEngine) Execute(ctx context.Context, job ExecJob) (json.RawMessage, error) {
+	w, err := store.Create(job.StoreDir, store.Manifest{Kind: "sweep", TotalRuns: 2})
+	if err != nil {
+		return nil, err
+	}
+	if !e.holdRecords {
+		for i := 0; i < 2; i++ {
+			rec := store.Record{Index: i, Scheme: "floor", N: 10, Repeat: i, Seed: uint64(i), Coverage: 0.5}
+			if err := w.Append(i, rec, time.Duration(i+1)*time.Millisecond); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := w.Close(); err != nil && e.holdRecords {
+		// Close flags the zero-record store incomplete; that's the point.
+		_ = err
+	}
+	return json.RawMessage(`{"ok":true}`), nil
+}
+
+func (e *storeEngine) Schemes() any   { return nil }
+func (e *storeEngine) Scenarios() any { return nil }
+func (e *storeEngine) Axes() any      { return nil }
+
+// TestRemoteStoreRoundTrip: the /v1/jobs/{id}/store endpoints serve a
+// job's store such that store.ReadDir / store.ReadTimings accept the URL
+// as a store directory — the client half of report -watch against a
+// remote server.
+func TestRemoteStoreRoundTrip(t *testing.T) {
+	m, err := NewManager(t.TempDir(), &storeEngine{}, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	ts := httptest.NewServer(NewHandler(m))
+	defer ts.Close()
+
+	v := submitAndWait(t, m, `{"sweep":"remote"}`)
+	if v.State != StateDone {
+		t.Fatalf("job state = %s", v.State)
+	}
+	url := ts.URL + "/v1/jobs/" + v.ID + "/store"
+
+	if !store.IsRemote(url) {
+		t.Fatalf("IsRemote(%q) = false", url)
+	}
+	man, recs, err := store.ReadDir(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	localMan, localRecs, err := store.ReadDir(m.StoreDir(v.ID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(man, localMan) {
+		t.Errorf("remote manifest %+v != local %+v", man, localMan)
+	}
+	if len(recs) != len(localRecs) || len(recs) != 2 {
+		t.Fatalf("remote records = %d, local = %d, want 2", len(recs), len(localRecs))
+	}
+	for i := range recs {
+		if recs[i].Key() != localRecs[i].Key() {
+			t.Errorf("record %d keys differ: %q vs %q", i, recs[i].Key(), localRecs[i].Key())
+		}
+	}
+
+	times, err := store.ReadTimings(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(times) != 2 {
+		t.Errorf("remote timings = %d, want 2", len(times))
+	}
+}
+
+// TestRemoteStoreTornTail: a torn final record line (server read racing
+// the writer's append) is dropped by the remote reader exactly as the
+// local one drops it.
+func TestRemoteStoreTornTail(t *testing.T) {
+	m, err := NewManager(t.TempDir(), &storeEngine{}, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	ts := httptest.NewServer(NewHandler(m))
+	defer ts.Close()
+
+	v := submitAndWait(t, m, `{"sweep":"torn"}`)
+	path := filepath.Join(m.StoreDir(v.ID), "records.jsonl")
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"index":2,"scheme":"flo`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	_, recs, err := store.ReadDir(ts.URL + "/v1/jobs/" + v.ID + "/store")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Errorf("torn tail not dropped: got %d records, want 2", len(recs))
+	}
+}
+
+// TestRemoteStoreEmpty: a job whose store holds only a manifest serves
+// empty records/timing files (HTTP 200), so a watcher keeps polling
+// instead of erroring out before the first run lands.
+func TestRemoteStoreEmpty(t *testing.T) {
+	m, err := NewManager(t.TempDir(), &storeEngine{holdRecords: true}, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	ts := httptest.NewServer(NewHandler(m))
+	defer ts.Close()
+
+	v := submitAndWait(t, m, `{"sweep":"empty"}`)
+	url := ts.URL + "/v1/jobs/" + v.ID + "/store"
+	man, recs, err := store.ReadDir(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if man.TotalRuns != 2 || len(recs) != 0 {
+		t.Errorf("got total=%d records=%d, want total=2 records=0", man.TotalRuns, len(recs))
+	}
+	times, err := store.ReadTimings(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(times) != 0 {
+		t.Errorf("timings = %d, want 0", len(times))
+	}
+}
+
+// TestRemoteStoreMissing: an unknown job's store URL reads as
+// fs.ErrNotExist, the signal report -watch uses to distinguish "store
+// gone" from transport errors.
+func TestRemoteStoreMissing(t *testing.T) {
+	m, err := NewManager(t.TempDir(), &storeEngine{}, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	ts := httptest.NewServer(NewHandler(m))
+	defer ts.Close()
+
+	_, _, err = store.ReadDir(ts.URL + "/v1/jobs/j999999/store")
+	if !errors.Is(err, fs.ErrNotExist) {
+		t.Errorf("missing remote store error = %v, want fs.ErrNotExist", err)
+	}
+}

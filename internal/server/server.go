@@ -20,12 +20,59 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"io"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
+
+	"mobisense/internal/metrics"
 )
+
+// Service telemetry, exported at GET /metrics. Counter/gauge handles are
+// resolved once at init; per-event updates are single atomic ops.
+var (
+	mCacheHits      = metrics.Default.Counter(`jobs_total{outcome="cache_hit"}`)
+	mJobsDone       = metrics.Default.Counter(`jobs_total{outcome="done"}`)
+	mJobsFailed     = metrics.Default.Counter(`jobs_total{outcome="failed"}`)
+	mJobsCancelled  = metrics.Default.Counter(`jobs_total{outcome="cancelled"}`)
+	mJobsRunning    = metrics.Default.Gauge("jobs_running")
+	mSubscribers    = metrics.Default.Gauge("sse_subscribers")
+	mEventsSent     = metrics.Default.Counter("sse_events_sent_total")
+	mEventsDropped  = metrics.Default.Counter("sse_events_dropped_total")
+	mJobsGCPruned   = metrics.Default.Counter("jobs_gc_pruned_total")
+	mSubmittedRun   = metrics.Default.Counter(`jobs_submitted_total{kind="run"}`)
+	mSubmittedSweep = metrics.Default.Counter(`jobs_submitted_total{kind="sweep"}`)
+)
+
+func init() {
+	metrics.Default.Help("jobs_total", "Jobs reaching a terminal state, by outcome.")
+	metrics.Default.Help("jobs_submitted_total", "Jobs accepted for execution, by kind.")
+	metrics.Default.Help("jobs_running", "Jobs currently executing.")
+	metrics.Default.Help("job_queue_depth", "Jobs waiting for a worker.")
+	metrics.Default.Help("sse_subscribers", "Open event-stream subscriptions.")
+	metrics.Default.Help("sse_events_sent_total", "Events delivered to subscribers.")
+	metrics.Default.Help("sse_events_dropped_total", "Events dropped or evicted on slow subscribers.")
+	metrics.Default.Help("store_bytes_written_total", "Bytes appended to sweep stores.")
+	metrics.Default.Help("runs_started_total", "Deployment runs started.")
+	metrics.Default.Help("runs_finished_total", "Deployment runs finished successfully.")
+	metrics.Default.Help("runs_failed_total", "Deployment runs that returned an error.")
+	metrics.Default.Help("run_duration_seconds", "Wall-clock run duration, by scheme.")
+	metrics.Default.Help("http_requests_total", "HTTP requests served, by method.")
+}
+
+func submittedCounter(kind string) *metrics.Counter {
+	switch kind {
+	case "run":
+		return mSubmittedRun
+	case "sweep":
+		return mSubmittedSweep
+	}
+	return metrics.Default.Counter(fmt.Sprintf("jobs_submitted_total{kind=%q}", kind))
+}
 
 // JobState is a job's lifecycle state. Queued and running jobs are
 // re-queued (and resumed from their store) when the server restarts; the
@@ -239,6 +286,7 @@ func (c *resultCache) remove(key string) {
 type Manager struct {
 	dir    string
 	engine Engine
+	log    atomic.Pointer[slog.Logger] // set via SetLogger, read by workers
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -251,6 +299,22 @@ type Manager struct {
 	queue  []string // pending job IDs, FIFO
 	cache  *resultCache
 	closed bool
+}
+
+// SetLogger attaches a structured logger for job lifecycle records; nil
+// (the default) discards them. Safe to call while workers are running.
+func (m *Manager) SetLogger(l *slog.Logger) {
+	if l == nil {
+		l = discardLogger()
+	}
+	m.log.Store(l)
+}
+
+// Logger returns the manager's logger (never nil).
+func (m *Manager) Logger() *slog.Logger { return m.log.Load() }
+
+func discardLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
 }
 
 // NewManager opens (or creates) the server data directory, reloads every
@@ -279,11 +343,19 @@ func NewManager(dir string, engine Engine, workers, cacheSize int) (*Manager, er
 		jobs:   map[string]*job{},
 		cache:  newResultCache(cacheSize),
 	}
+	m.log.Store(discardLogger())
 	m.wake = sync.NewCond(&m.mu)
 	if err := m.scan(); err != nil {
 		cancel()
 		return nil, err
 	}
+	// Queue depth is sampled at scrape time under the manager lock; a
+	// later manager in the same process (tests) takes over the series.
+	metrics.Default.GaugeFunc("job_queue_depth", func() float64 {
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		return float64(len(m.queue))
+	})
 	for i := 0; i < workers; i++ {
 		m.wg.Add(1)
 		go m.worker()
@@ -414,6 +486,13 @@ func (m *Manager) Submit(kind string, req json.RawMessage) (JobView, error) {
 	}
 	m.jobs[id] = j
 	m.order = append(m.order, id)
+	submittedCounter(kind).Inc()
+	if j.meta.CacheHit {
+		mCacheHits.Inc()
+	}
+	m.Logger().Info("job submitted", "job", id, "kind", kind,
+		"fingerprint", prep.Fingerprint, "total_runs", prep.TotalRuns,
+		"cache_hit", j.meta.CacheHit)
 	if !j.meta.State.Terminal() {
 		m.queue = append(m.queue, id)
 		m.wake.Signal()
@@ -457,6 +536,8 @@ func (m *Manager) Cancel(id string) (JobView, bool) {
 		j.cancelRequested = true
 		j.meta.State = StateCancelled
 		j.meta.Finished = time.Now().UTC()
+		mJobsCancelled.Inc()
+		m.Logger().Info("job cancelled", "job", id, "state", "queued")
 		m.persistLocked(j) // best effort; state change survives either way
 		m.broadcastLocked(j, Event{Type: "state", Payload: j.view()})
 		m.closeSubsLocked(j)
@@ -491,12 +572,14 @@ func (m *Manager) Subscribe(id string) (<-chan Event, func(), bool) {
 		return ch, func() {}, true
 	}
 	j.subs = append(j.subs, ch)
+	mSubscribers.Inc()
 	unsub := func() {
 		m.mu.Lock()
 		defer m.mu.Unlock()
 		for i, s := range j.subs {
 			if s == ch {
 				j.subs = append(j.subs[:i], j.subs[i+1:]...)
+				mSubscribers.Dec()
 				return
 			}
 		}
@@ -527,6 +610,9 @@ func (m *Manager) worker() {
 		ctx, cancel := context.WithCancel(m.ctx)
 		j.cancelRun = cancel
 		j.meta.State = StateRunning
+		mJobsRunning.Inc()
+		started := time.Now()
+		m.Logger().Info("job started", "job", id, "kind", j.meta.Kind, "total_runs", j.meta.TotalRuns)
 		m.persistLocked(j)
 		m.broadcastLocked(j, Event{Type: "state", Payload: j.view()})
 		storeDir := m.StoreDir(id)
@@ -553,14 +639,17 @@ func (m *Manager) worker() {
 
 		m.mu.Lock()
 		j.cancelRun = nil
+		mJobsRunning.Dec()
 		switch {
 		case err == nil:
 			j.meta.State = StateDone
 			j.meta.Result = result
 			m.cache.add(j.meta.Fingerprint, result)
+			mJobsDone.Inc()
 		case j.cancelRequested:
 			j.meta.State = StateCancelled
 			j.meta.Error = "cancelled"
+			mJobsCancelled.Inc()
 		case ctx.Err() != nil && m.ctx.Err() != nil:
 			// Server shutdown, not a job failure: back to queued so the
 			// next start resumes it from the store.
@@ -568,9 +657,17 @@ func (m *Manager) worker() {
 		default:
 			j.meta.State = StateFailed
 			j.meta.Error = err.Error()
+			mJobsFailed.Inc()
 		}
 		if j.meta.State.Terminal() {
 			j.meta.Finished = time.Now().UTC()
+		}
+		if err == nil {
+			m.Logger().Info("job finished", "job", id, "state", j.meta.State,
+				"elapsed", time.Since(started).Round(time.Millisecond))
+		} else {
+			m.Logger().Warn("job ended", "job", id, "state", j.meta.State, "err", err,
+				"elapsed", time.Since(started).Round(time.Millisecond))
 		}
 		m.persistLocked(j)
 		m.broadcastLocked(j, Event{Type: "state", Payload: j.view()})
@@ -640,6 +737,10 @@ func (m *Manager) GC(ttl time.Duration) int {
 	for _, j := range pruned {
 		os.RemoveAll(filepath.Join(m.dir, "jobs", j.meta.ID))
 	}
+	if len(pruned) > 0 {
+		mJobsGCPruned.Add(int64(len(pruned)))
+		m.Logger().Info("gc pruned jobs", "count", len(pruned), "ttl", ttl)
+	}
 	return len(pruned)
 }
 
@@ -681,14 +782,17 @@ func deliver(ch chan Event, ev Event) {
 	for {
 		select {
 		case ch <- ev:
+			mEventsSent.Inc()
 			return
 		default:
 		}
 		if ev.Type == "progress" {
+			mEventsDropped.Inc()
 			return // drop; a newer snapshot will follow
 		}
 		select { // evict oldest to make room for the state event
 		case <-ch:
+			mEventsDropped.Inc()
 		default:
 		}
 	}
@@ -699,5 +803,6 @@ func (m *Manager) closeSubsLocked(j *job) {
 	for _, ch := range j.subs {
 		close(ch)
 	}
+	mSubscribers.Add(-int64(len(j.subs)))
 	j.subs = nil
 }

@@ -75,6 +75,26 @@ func (e *Engine) ScheduleAt(t float64, fn func()) {
 	e.events.push(event{time: t, seq: e.seq, fn: fn})
 }
 
+// ScheduleEvery enqueues fn at absolute time start and then every stride
+// seconds for as long as fn returns true. The periodic event is an
+// ordinary queue entry: it interleaves deterministically with other events
+// via the (time, seq) order, and — as long as fn does not touch the
+// engine's random source — its presence cannot change what any other event
+// computes, only when the clock happens to pause. Telemetry samplers rely
+// on exactly that property.
+func (e *Engine) ScheduleEvery(start, stride float64, fn func() bool) {
+	if stride <= 0 {
+		panic("sim: ScheduleEvery with non-positive stride")
+	}
+	var tick func()
+	tick = func() {
+		if fn() {
+			e.Schedule(stride, tick)
+		}
+	}
+	e.ScheduleAt(start, tick)
+}
+
 // Step executes the earliest pending event. It returns false when the queue
 // is empty.
 func (e *Engine) Step() bool {

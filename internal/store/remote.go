@@ -1,0 +1,105 @@
+package store
+
+import (
+	"fmt"
+	"io"
+	"io/fs"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Remote stores: anywhere the tooling accepts a store directory it also
+// accepts an http(s) URL naming a deployment server's store endpoint
+// (GET <url>/manifest.json, <url>/records.jsonl, <url>/timing.jsonl —
+// the same three files a local store holds, served by the /v1/jobs/{id}/store
+// routes). ReadDir and ReadTimings dispatch on the prefix, so report,
+// LoadStores and the progress watcher work against a live server without
+// a shared filesystem. Writers stay local-only: a store has exactly one
+// writing process, and it owns the directory.
+
+// IsRemote reports whether dir names a remote store endpoint rather than
+// a local directory.
+func IsRemote(dir string) bool {
+	return strings.HasPrefix(dir, "http://") || strings.HasPrefix(dir, "https://")
+}
+
+// remoteClient bounds each store fetch; tails of running sweeps are small
+// relative to this, and a watcher polls rather than streams.
+var remoteClient = &http.Client{Timeout: 60 * time.Second}
+
+// fetchRemote GETs one store file. A 404 reports os.ErrNotExist-like
+// absence via the ok flag so callers can mirror the local missing-file
+// behavior (missing records/timing files mean an empty store, not an
+// error).
+func fetchRemote(dir, file string) (body io.ReadCloser, ok bool, err error) {
+	url := strings.TrimRight(dir, "/") + "/" + file
+	resp, err := remoteClient.Get(url)
+	if err != nil {
+		return nil, false, fmt.Errorf("store: fetch %s: %w", url, err)
+	}
+	switch resp.StatusCode {
+	case http.StatusOK:
+		return resp.Body, true, nil
+	case http.StatusNotFound:
+		resp.Body.Close()
+		return nil, false, nil
+	default:
+		resp.Body.Close()
+		return nil, false, fmt.Errorf("store: fetch %s: %s", url, resp.Status)
+	}
+}
+
+func readManifestRemote(dir string) (Manifest, error) {
+	var m Manifest
+	body, ok, err := fetchRemote(dir, manifestFile)
+	if err != nil {
+		return m, err
+	}
+	if !ok {
+		// Wrap fs.ErrNotExist so callers distinguish "no store here (yet or
+		// anymore)" from transport and corruption errors, exactly as the
+		// local path does.
+		return m, fmt.Errorf("store: %s is not a store: %w", dir, fs.ErrNotExist)
+	}
+	defer body.Close()
+	if err := decodeManifest(body, &m); err != nil {
+		return m, fmt.Errorf("store: %s manifest: %w", dir, err)
+	}
+	if m.Version != Version {
+		return m, fmt.Errorf("store: %s has layout version %d, want %d", dir, m.Version, Version)
+	}
+	return m, nil
+}
+
+func readDirRemote(dir string) (Manifest, []Record, error) {
+	m, err := readManifestRemote(dir)
+	if err != nil {
+		return m, nil, err
+	}
+	body, ok, err := fetchRemote(dir, recordsFile)
+	if err != nil {
+		return m, nil, err
+	}
+	if !ok {
+		return m, nil, nil
+	}
+	defer body.Close()
+	recs, _, err := ParseRecords(body)
+	if err != nil {
+		return m, nil, fmt.Errorf("store: %s/%s: %w", dir, recordsFile, err)
+	}
+	return m, recs, nil
+}
+
+func readTimingsRemote(dir string) (map[string]time.Duration, error) {
+	body, ok, err := fetchRemote(dir, timingFile)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, nil
+	}
+	defer body.Close()
+	return ParseTimings(body)
+}

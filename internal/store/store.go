@@ -35,7 +35,14 @@ import (
 	"time"
 
 	"mobisense/internal/field"
+	"mobisense/internal/metrics"
 )
+
+// bytesWritten counts every record and timing byte any store writer in
+// the process appends — the store_bytes_written_total series of the
+// deployment service's /metrics endpoint. The handle is resolved once;
+// updating it is a single atomic add on the append path.
+var bytesWritten = metrics.Default.Counter("store_bytes_written_total")
 
 // Version is the store layout version written to manifests.
 const Version = 1
@@ -114,6 +121,11 @@ type Manifest struct {
 	// store would leave records with inconsistent replay fidelity, so
 	// resuming across the flag is refused.
 	Layouts bool `json:"layouts,omitempty"`
+	// Trace is set when the store's records carry per-tick telemetry
+	// series. Like Layouts it gates resume: a store must be uniformly
+	// traced or untraced. Untraced stores omit the flag, keeping pre-trace
+	// manifests byte-identical.
+	Trace bool `json:"trace,omitempty"`
 	// Complete is set once all TotalRuns records are on disk.
 	Complete bool `json:"complete"`
 }
@@ -165,6 +177,11 @@ type Record struct {
 	// byte-identically across worker counts.
 	Positions        []Point `json:"positions,omitempty"`
 	InitialPositions []Point `json:"initial_positions,omitempty"`
+	// Trace is the run's per-tick telemetry series, persisted only when
+	// the store was created with Manifest.Trace. The samples are pure
+	// functions of the run's config and seed, so traced stores still diff
+	// byte-identically across worker counts.
+	Trace []TraceSample `json:"trace,omitempty"`
 	// Err is the run's error message ("" on success); failed runs are
 	// recorded too so a resume does not retry deterministic failures.
 	Err string `json:"err,omitempty"`
@@ -174,6 +191,17 @@ type Record struct {
 type Point struct {
 	X float64 `json:"x"`
 	Y float64 `json:"y"`
+}
+
+// TraceSample is one stored per-tick telemetry observation.
+type TraceSample struct {
+	Time       float64 `json:"t"`
+	Coverage   float64 `json:"coverage"`
+	Connected  int     `json:"connected"`
+	Alive      int     `json:"alive"`
+	Moving     int     `json:"moving"`
+	TotalMoved float64 `json:"total_moved"`
+	MaxMoved   float64 `json:"max_moved"`
 }
 
 // Key identifies a run within a sweep: every axis value plus the derived
@@ -312,6 +340,7 @@ func (w *Writer) Append(seq int, rec Record, elapsed time.Duration) error {
 		if _, err := w.timing.Write(w.times[w.next]); err != nil {
 			return fmt.Errorf("store: write timing: %w", err)
 		}
+		bytesWritten.Add(int64(len(line) + len(w.times[w.next])))
 		delete(w.pending, w.next)
 		delete(w.times, w.next)
 		w.next++
@@ -375,10 +404,14 @@ func writeManifest(dir string, m Manifest) error {
 	return nil
 }
 
-// ReadDir loads a store directory: its manifest and every intact record.
-// A truncated trailing record line (process killed mid-write) is dropped;
-// corruption anywhere else is an error.
+// ReadDir loads a store: its manifest and every intact record. A
+// truncated trailing record line (process killed mid-write, or an append
+// racing the read) is dropped; corruption anywhere else is an error. dir
+// may be a local directory or a remote store URL (see IsRemote).
 func ReadDir(dir string) (Manifest, []Record, error) {
+	if IsRemote(dir) {
+		return readDirRemote(dir)
+	}
 	m, err := readManifest(dir)
 	if err != nil {
 		return m, nil, err
@@ -396,13 +429,17 @@ func readManifest(dir string) (Manifest, error) {
 	if err != nil {
 		return m, fmt.Errorf("store: %s is not a store: %w", dir, err)
 	}
-	if err := json.Unmarshal(data, &m); err != nil {
+	if err := decodeManifest(bytes.NewReader(data), &m); err != nil {
 		return m, fmt.Errorf("store: %s manifest: %w", dir, err)
 	}
 	if m.Version != Version {
 		return m, fmt.Errorf("store: %s has layout version %d, want %d", dir, m.Version, Version)
 	}
 	return m, nil
+}
+
+func decodeManifest(src io.Reader, m *Manifest) error {
+	return json.NewDecoder(src).Decode(m)
 }
 
 // readRecords parses a records file, returning the intact records and the
@@ -417,9 +454,22 @@ func readRecords(path string) ([]Record, int64, error) {
 		return nil, 0, fmt.Errorf("store: %w", err)
 	}
 	defer f.Close()
+	recs, intact, err := ParseRecords(f)
+	if err != nil {
+		return nil, 0, fmt.Errorf("store: %s: %w", path, err)
+	}
+	return recs, intact, nil
+}
 
+// ParseRecords parses a records.jsonl stream, returning the intact
+// records and the byte offset just past the last one. The stream need
+// not be a local file — the deployment server's store endpoints let
+// remote watchers parse a records tail over HTTP — and a torn or
+// still-being-appended final line is silently dropped, exactly as when
+// resuming a local store.
+func ParseRecords(src io.Reader) ([]Record, int64, error) {
 	var recs []Record
-	r := bufio.NewReaderSize(f, 64*1024)
+	r := bufio.NewReaderSize(src, 64*1024)
 	var offset, intact int64
 	lineNo := 0
 	for {
@@ -428,7 +478,7 @@ func readRecords(path string) ([]Record, int64, error) {
 		lineNo++
 		complete := err == nil
 		if err != nil && err != io.EOF {
-			return nil, 0, fmt.Errorf("store: %s: %w", path, err)
+			return nil, 0, err
 		}
 		trimmed := bytes.TrimSpace(line)
 		if len(trimmed) > 0 {
@@ -439,7 +489,7 @@ func readRecords(path string) ([]Record, int64, error) {
 					// garbage mid-file means real corruption, not a torn
 					// final append.
 					if _, peekErr := r.Peek(1); peekErr != io.EOF {
-						return nil, 0, fmt.Errorf("store: %s line %d: corrupt record followed by more data", path, lineNo)
+						return nil, 0, fmt.Errorf("line %d: corrupt record followed by more data", lineNo)
 					}
 				}
 				// Torn tail (no newline, or undecodable final line): drop it.
@@ -462,8 +512,11 @@ func readRecords(path string) ([]Record, int64, error) {
 }
 
 // ReadTimings loads the non-deterministic timing sidecar (missing file →
-// no timings).
+// no timings). Like ReadDir, dir may be a remote store URL.
 func ReadTimings(dir string) (map[string]time.Duration, error) {
+	if IsRemote(dir) {
+		return readTimingsRemote(dir)
+	}
 	f, err := os.Open(filepath.Join(dir, timingFile))
 	if err != nil {
 		if os.IsNotExist(err) {
@@ -472,9 +525,14 @@ func ReadTimings(dir string) (map[string]time.Duration, error) {
 		return nil, fmt.Errorf("store: %w", err)
 	}
 	defer f.Close()
+	return ParseTimings(f)
+}
 
+// ParseTimings parses a timing.jsonl stream (see ReadTimings); torn lines
+// are skipped, as the sidecar is advisory.
+func ParseTimings(src io.Reader) (map[string]time.Duration, error) {
 	out := map[string]time.Duration{}
-	sc := bufio.NewScanner(f)
+	sc := bufio.NewScanner(src)
 	sc.Buffer(make([]byte, 0, 64*1024), 8*1024*1024)
 	for sc.Scan() {
 		line := bytes.TrimSpace(sc.Bytes())

@@ -22,13 +22,37 @@ package mobisense
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"mobisense/internal/core"
 	ifield "mobisense/internal/field"
 	"mobisense/internal/geom"
+	"mobisense/internal/metrics"
 	"mobisense/internal/render"
 )
+
+// Process-wide run telemetry, exported by the deployment service's
+// /metrics endpoint. Handles are resolved once; per-run updates are
+// single atomic ops, so instrumentation stays invisible to the bench
+// gate's allocation counts.
+var (
+	runsStarted  = metrics.Default.Counter("runs_started_total")
+	runsFinished = metrics.Default.Counter("runs_finished_total")
+	runsFailed   = metrics.Default.Counter("runs_failed_total")
+	// schemeDurations caches the per-scheme run-duration histogram handles
+	// so the hot path never re-composes a series name.
+	schemeDurations sync.Map // Scheme -> *metrics.Histogram
+)
+
+func runDuration(s Scheme) *metrics.Histogram {
+	if h, ok := schemeDurations.Load(s); ok {
+		return h.(*metrics.Histogram)
+	}
+	h := metrics.Default.Histogram(fmt.Sprintf("run_duration_seconds{scheme=%q}", s), nil)
+	schemeDurations.Store(s, h)
+	return h
+}
 
 // Run executes one deployment according to cfg and returns its metrics.
 // The scheme is resolved through the scheme registry; see
@@ -42,11 +66,15 @@ func Run(cfg Config) (Result, error) {
 	if !ok {
 		return Result{}, fmt.Errorf("mobisense: unknown scheme %q", cfg.Scheme)
 	}
+	runsStarted.Inc()
 	res, err := runner(cfg, cfg.Field.internal())
 	if err != nil {
+		runsFailed.Inc()
 		return Result{}, err
 	}
 	res.Elapsed = time.Since(start)
+	runsFinished.Inc()
+	runDuration(cfg.Scheme).Observe(res.Elapsed.Seconds())
 	return res, nil
 }
 

@@ -42,9 +42,10 @@ func SnapshotProgress(done, total, rateRuns int, elapsed time.Duration) Progress
 	return ps
 }
 
-// ReadStoreProgress summarizes a store directory that another process may
-// still be writing: how many of its expected records are on disk, and the
-// total compute time recorded so far. The ETA is left zero — a watcher
+// ReadStoreProgress summarizes a store that another process may still be
+// writing: how many of its expected records are on disk, and the total
+// compute time recorded so far. dir may be a local directory or a remote
+// store URL (see LoadStores). The ETA is left zero — a watcher
 // derives it from the record-count delta between two polls (see
 // SnapshotProgress).
 func ReadStoreProgress(dir string) (ProgressSnapshot, error) {

@@ -110,6 +110,11 @@ func runEventScheme(cfg Config, f *ifield.Field, scheme core.Scheme, onKill func
 		}
 		inj.Attach(w)
 	}
+	var tr *tracer
+	if cfg.Trace != nil {
+		tr = &tracer{cfg: cfg, f: f}
+		tr.attach(w, params.Duration)
+	}
 	w.E.RunUntil(minHorizon)
 	for stabCap > 0 && w.Now() < stabCap && w.LastMoveTime() > w.Now()-stabChunk {
 		w.E.RunUntil(w.Now() + stabChunk)
@@ -117,6 +122,9 @@ func runEventScheme(cfg Config, f *ifield.Field, scheme core.Scheme, onKill func
 
 	res := resultFromWorld(cfg, w)
 	res.InitialPositions = toPoints(starts)
+	if tr != nil {
+		res.Trace = tr.samples
+	}
 	if fs, ok := scheme.(*floor.Scheme); ok {
 		res.Placements = fs.PlacementsByKind()
 	}

@@ -49,6 +49,9 @@ type Result struct {
 	IncorrectVoronoiCells int
 	// Elapsed is the wall-clock time of the run.
 	Elapsed time.Duration
+	// Trace is the run's per-tick telemetry series, present only when
+	// Config.Trace was set (and only for event-driven schemes).
+	Trace []TraceSample
 
 	fieldRef *field.Field
 }

@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"hash/fnv"
+	"log/slog"
 	"net/http"
 	"time"
 
@@ -60,6 +61,11 @@ type RunRequest struct {
 	// StoreLayouts persists full sensor layouts in the job's store
 	// records (GET /v1/jobs/{id}/records).
 	StoreLayouts bool `json:"store_layouts,omitempty"`
+
+	// Trace enables per-tick telemetry sampling at this stride in
+	// simulated seconds (0 = off). The series is persisted in the job's
+	// store records and powers the dashboard's run-trace chart.
+	Trace float64 `json:"trace,omitempty"`
 }
 
 // config expands the request into a validated run configuration.
@@ -115,6 +121,12 @@ func (r RunRequest) config() (Config, error) {
 	cfg.CPVF = r.CPVF
 	cfg.Floor = r.Floor
 	cfg.VD = r.VD
+	if r.Trace < 0 {
+		return Config{}, fmt.Errorf("mobisense: trace stride must be positive, got %g", r.Trace)
+	}
+	if r.Trace > 0 {
+		cfg.Trace = &TraceOptions{Stride: r.Trace}
+	}
 	if err := cfg.validate(); err != nil {
 		return Config{}, err
 	}
@@ -209,6 +221,9 @@ type ServiceOptions struct {
 	// the least recently used completed entries are evicted beyond it
 	// (<= 0 selects the server default of 1024).
 	CacheSize int
+	// Logger receives the service's structured log records (job
+	// lifecycle, HTTP requests); nil discards them.
+	Logger *slog.Logger
 }
 
 // Service is a deployment server: an HTTP API over an async job queue
@@ -227,6 +242,7 @@ func NewService(dataDir string, opts ServiceOptions) (*Service, error) {
 	if err != nil {
 		return nil, err
 	}
+	m.SetLogger(opts.Logger)
 	return &Service{m: m}, nil
 }
 
@@ -286,7 +302,7 @@ func (e *serviceEngine) Prepare(kind string, raw json.RawMessage) (server.Prepar
 			return server.Prepared{}, err
 		}
 		return server.Prepared{
-			Fingerprint: sweepFingerprint(sweep, len(specs), req.StoreLayouts),
+			Fingerprint: sweepFingerprint(sweep, len(specs), req.StoreLayouts, req.Trace > 0),
 			TotalRuns:   len(specs),
 		}, nil
 	default:
@@ -312,9 +328,10 @@ func runFingerprint(req RunRequest, cfg Config) string {
 // sweepFingerprint is a sweep's cache/restart identity: the hash of its
 // store manifest (axes, base-config fingerprint, run count), which is a
 // pure function of the sweep definition.
-func sweepFingerprint(s Sweep, totalRuns int, layouts bool) string {
+func sweepFingerprint(s Sweep, totalRuns int, layouts, trace bool) string {
 	m := s.manifest(Shard{}, totalRuns)
 	m.Layouts = layouts
+	m.Trace = trace
 	data, err := json.Marshal(m)
 	if err != nil {
 		panic(fmt.Sprintf("mobisense: encode manifest: %v", err))
@@ -346,7 +363,7 @@ func (e *serviceEngine) Execute(ctx context.Context, job server.ExecJob) (json.R
 		if err != nil {
 			return nil, err
 		}
-		opts.Store = &Store{Dir: job.StoreDir, Resume: job.Resume, Layouts: req.StoreLayouts}
+		opts.Store = &Store{Dir: job.StoreDir, Resume: job.Resume, Layouts: req.StoreLayouts, Trace: req.Trace > 0}
 		opts.OnProgress = progressAdapter(job.OnProgress)
 		// Drive the shared executor directly (rather than RunBatch) so the
 		// spec — and therefore the stored record — carries the scenario
@@ -365,6 +382,7 @@ func (e *serviceEngine) Execute(ctx context.Context, job server.ExecJob) (json.R
 			ShardCount:        1,
 			TotalRuns:         1,
 			Layouts:           req.StoreLayouts,
+			Trace:             req.Trace > 0,
 		}
 		out, err := runSpecs(ctx, specs, opts, m)
 		if err != nil {
@@ -387,7 +405,7 @@ func (e *serviceEngine) Execute(ctx context.Context, job server.ExecJob) (json.R
 		if err != nil {
 			return nil, err
 		}
-		opts.Store = &Store{Dir: job.StoreDir, Resume: job.Resume, Layouts: req.StoreLayouts}
+		opts.Store = &Store{Dir: job.StoreDir, Resume: job.Resume, Layouts: req.StoreLayouts, Trace: req.Trace > 0}
 		opts.OnProgress = progressAdapter(job.OnProgress)
 		sr, err := sweep.Run(ctx, opts)
 		if err != nil {

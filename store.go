@@ -34,6 +34,11 @@ type Store struct {
 	// (fig11-style Hungarian lower bounds) at the cost of record size.
 	// Resuming a store across a Layouts change is refused.
 	Layouts bool
+	// Trace persists each run's per-tick telemetry series (Result.Trace)
+	// in its record. It only has an effect when the batch's configs set
+	// Config.Trace; like Layouts, resuming a store across a Trace change
+	// is refused.
+	Trace bool
 }
 
 // storeSession is one batch's open store: the streaming writer plus the
@@ -41,6 +46,7 @@ type Store struct {
 type storeSession struct {
 	w        *istore.Writer
 	layouts  bool
+	trace    bool
 	existing map[string]istore.Record
 
 	mu  sync.Mutex
@@ -73,7 +79,7 @@ func (st *Store) begin(m istore.Manifest) (*storeSession, error) {
 	if err != nil {
 		return nil, err
 	}
-	sess := &storeSession{w: w, layouts: st.Layouts, existing: make(map[string]istore.Record, len(recs))}
+	sess := &storeSession{w: w, layouts: st.Layouts, trace: st.Trace, existing: make(map[string]istore.Record, len(recs))}
 	for _, r := range recs {
 		sess.existing[r.Key()] = r
 	}
@@ -97,6 +103,9 @@ func (s *storeSession) lookup(sp RunSpec) (istore.Record, bool) {
 // surfaced once at close; the batch itself keeps running.
 func (s *storeSession) append(seq int, sp RunSpec, res Result, runErr error, elapsed time.Duration) {
 	rec := recordFrom(sp, res, runErr, s.layouts)
+	if s.trace {
+		rec.Trace = toStoreTrace(res.Trace)
+	}
 	if err := s.w.Append(seq, rec, elapsed); err != nil {
 		s.mu.Lock()
 		if s.err == nil {
@@ -201,6 +210,28 @@ func fromStorePoints(ps []istore.Point) []Point {
 	return out
 }
 
+func toStoreTrace(ts []TraceSample) []istore.TraceSample {
+	if ts == nil {
+		return nil
+	}
+	out := make([]istore.TraceSample, len(ts))
+	for i, s := range ts {
+		out[i] = istore.TraceSample(s)
+	}
+	return out
+}
+
+func fromStoreTrace(ts []istore.TraceSample) []TraceSample {
+	if ts == nil {
+		return nil
+	}
+	out := make([]TraceSample, len(ts))
+	for i, s := range ts {
+		out[i] = TraceSample(s)
+	}
+	return out
+}
+
 // replayedResult reconstructs a BatchResult from a stored record. The
 // aggregate metrics always survive the round trip; layouts do only when
 // the store was written with Store.Layouts, and message breakdowns never
@@ -228,6 +259,7 @@ func resultFromRecord(rec istore.Record) Result {
 		IncorrectVoronoiCells: rec.IncorrectCells,
 		Positions:             fromStorePoints(rec.Positions),
 		InitialPositions:      fromStorePoints(rec.InitialPositions),
+		Trace:                 fromStoreTrace(rec.Trace),
 	}
 }
 
@@ -244,6 +276,9 @@ func configFingerprint(c Config) string {
 	}
 	if fo := c.Failures; fo != nil {
 		fmt.Fprintf(h, " fail=%g/%d", fo.Interval, fo.MaxKills)
+	}
+	if tr := c.Trace; tr != nil {
+		fmt.Fprintf(h, " trace=%g", tr.stride(c.Period))
 	}
 	if o := c.CPVF; o != nil {
 		fmt.Fprintf(h, " cpvf=%s/%g/%t/%g/%t",
@@ -322,11 +357,13 @@ type StoreData struct {
 	Aggregates []Aggregate
 }
 
-// LoadStores reads one or more store directories and merges their records
-// into a single result set with recomputed aggregates. All stores must
-// hold the same sweep (matching kind, axes and base-config fingerprint);
-// duplicate records are deduplicated, and records that disagree for the
-// same key are an error.
+// LoadStores reads one or more stores and merges their records into a
+// single result set with recomputed aggregates. Each argument is a local
+// store directory or an http(s) URL of a deployment server's
+// /v1/jobs/{id}/store endpoint. All stores must hold the same sweep
+// (matching kind, axes and base-config fingerprint); duplicate records
+// are deduplicated, and records that disagree for the same key are an
+// error.
 func LoadStores(dirs ...string) (StoreData, error) {
 	if len(dirs) == 0 {
 		return StoreData{}, fmt.Errorf("mobisense: LoadStores with no directories")

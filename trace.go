@@ -1,0 +1,80 @@
+package mobisense
+
+import (
+	"mobisense/internal/core"
+	ifield "mobisense/internal/field"
+)
+
+// TraceOptions turns on run-level telemetry for event-driven schemes
+// (CPVF, FLOOR): the sim loop samples a TraceSample every Stride seconds
+// and the series lands in Result.Trace. Sampling is an observer — it
+// never touches the engine's random source — so a traced run produces
+// bit-identical metrics to the same run untraced. The Voronoi and OPT
+// baselines compute their layouts outside the event loop and yield no
+// trace.
+type TraceOptions struct {
+	// Stride is the sampling interval in seconds (default: the decision
+	// period).
+	Stride float64
+}
+
+func (t *TraceOptions) stride(period float64) float64 {
+	if t.Stride > 0 {
+		return t.Stride
+	}
+	return period
+}
+
+// TraceSample is one per-tick telemetry observation of a running
+// deployment: how the paper's evaluation quantities evolve on the way to
+// the final layout, not just where they end up.
+type TraceSample struct {
+	// Time is the simulation clock of the sample in seconds.
+	Time float64 `json:"t"`
+	// Coverage is the instantaneous 1-coverage fraction.
+	Coverage float64 `json:"coverage"`
+	// Connected is the number of alive sensors unit-disk reachable from
+	// the base station at the sample time.
+	Connected int `json:"connected"`
+	// Alive is the number of non-failed sensors; Moving how many of them
+	// are mid-step.
+	Alive  int `json:"alive"`
+	Moving int `json:"moving"`
+	// TotalMoved is the summed cumulative moving distance in meters over
+	// all sensors; MaxMoved the largest single sensor's.
+	TotalMoved float64 `json:"total_moved"`
+	MaxMoved   float64 `json:"max_moved"`
+}
+
+// tracer samples a world's telemetry on the engine clock. attach
+// schedules it; the collected series is read from samples afterwards.
+type tracer struct {
+	cfg     Config
+	f       *ifield.Field
+	samples []TraceSample
+}
+
+// attach schedules periodic sampling on the world's engine, from t=0 to
+// the horizon. The sampler reads world state and computes coverage but
+// never consumes engine randomness, keeping traced runs bit-identical to
+// untraced ones.
+func (tr *tracer) attach(w *core.World, horizon float64) {
+	stride := tr.cfg.Trace.stride(w.P.Period)
+	est := tr.cfg.estimatorFor(tr.f)
+	var cs core.TraceSample
+	w.E.ScheduleEvery(0, stride, func() bool {
+		layout := w.SampleTrace(&cs)
+		tr.samples = append(tr.samples, TraceSample{
+			Time:       cs.Time,
+			Coverage:   est.Fraction(layout, tr.cfg.Rs),
+			Connected:  cs.Connected,
+			Alive:      cs.Alive,
+			Moving:     cs.Moving,
+			TotalMoved: cs.TotalMoved,
+			MaxMoved:   cs.MaxMoved,
+		})
+		// Keep rescheduling while more simulated time remains; the engine
+		// drops whatever is still queued past the final RunUntil.
+		return cs.Time < horizon
+	})
+}

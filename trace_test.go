@@ -1,0 +1,148 @@
+package mobisense
+
+import (
+	"context"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func TestTraceSamplesCollected(t *testing.T) {
+	cfg := quickConfig(SchemeCPVF)
+	cfg.Trace = &TraceOptions{Stride: 10}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Samples at t = 0, 10, ..., Duration inclusive.
+	want := int(cfg.Duration/10) + 1
+	if len(res.Trace) != want {
+		t.Fatalf("trace has %d samples, want %d", len(res.Trace), want)
+	}
+	for i, s := range res.Trace {
+		if s.Time != float64(i)*10 {
+			t.Fatalf("sample %d at t=%g, want %g", i, s.Time, float64(i)*10)
+		}
+		if s.Coverage <= 0 || s.Coverage > 1 {
+			t.Fatalf("sample %d coverage = %g", i, s.Coverage)
+		}
+		if s.Alive != cfg.N {
+			t.Fatalf("sample %d alive = %d, want %d", i, s.Alive, cfg.N)
+		}
+		if s.Connected < 0 || s.Connected > s.Alive {
+			t.Fatalf("sample %d connected = %d", i, s.Connected)
+		}
+		if s.MaxMoved > s.TotalMoved {
+			t.Fatalf("sample %d max %g > total %g", i, s.MaxMoved, s.TotalMoved)
+		}
+	}
+	// Cumulative distance is monotone over the run.
+	for i := 1; i < len(res.Trace); i++ {
+		if res.Trace[i].TotalMoved < res.Trace[i-1].TotalMoved {
+			t.Fatalf("total moved decreased at sample %d", i)
+		}
+	}
+	last := res.Trace[len(res.Trace)-1]
+	if got := last.TotalMoved / float64(cfg.N); !almostEq(got, res.AvgMoveDistance) {
+		t.Errorf("final trace distance %g != result %g", got, res.AvgMoveDistance)
+	}
+}
+
+func almostEq(a, b float64) bool {
+	d := a - b
+	return d < 1e-9 && d > -1e-9
+}
+
+// TestTraceDoesNotPerturbRun is the trace subsystem's core contract: the
+// sampler is a pure observer, so a traced run must produce bit-identical
+// metrics and layouts to the same run untraced.
+func TestTraceDoesNotPerturbRun(t *testing.T) {
+	for _, s := range []Scheme{SchemeCPVF, SchemeFLOOR} {
+		plain, err := Run(quickConfig(s))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := quickConfig(s)
+		cfg.Trace = &TraceOptions{Stride: 1}
+		traced, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if plain.Coverage != traced.Coverage || plain.AvgMoveDistance != traced.AvgMoveDistance ||
+			plain.Messages != traced.Messages || plain.ConvergenceTime != traced.ConvergenceTime {
+			t.Errorf("%s: tracing changed run metrics", s)
+		}
+		if !reflect.DeepEqual(plain.Positions, traced.Positions) {
+			t.Errorf("%s: tracing changed the final layout", s)
+		}
+	}
+}
+
+func TestTraceDefaultStrideIsPeriod(t *testing.T) {
+	cfg := quickConfig(SchemeCPVF)
+	cfg.Duration = 20
+	cfg.Trace = &TraceOptions{}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := int(cfg.Duration/cfg.Period) + 1; len(res.Trace) != want {
+		t.Fatalf("trace has %d samples, want %d (period default)", len(res.Trace), want)
+	}
+}
+
+func TestStoreTraceRoundTrip(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "store")
+	cfg := quickConfig(SchemeCPVF)
+	cfg.Duration = 30
+	cfg.Trace = &TraceOptions{Stride: 10}
+	sw := Sweep{Base: cfg, Repeats: 2}
+
+	res, err := sw.Run(context.Background(), BatchOptions{
+		Workers: 2,
+		Store:   &Store{Dir: dir, Trace: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	data, err := LoadStores(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data.Runs) != 2 {
+		t.Fatalf("loaded %d runs, want 2", len(data.Runs))
+	}
+	for i, br := range data.Runs {
+		if len(br.Result.Trace) == 0 {
+			t.Fatalf("run %d replayed without its trace", i)
+		}
+		if !reflect.DeepEqual(br.Result.Trace, res.Runs[i].Result.Trace) {
+			t.Fatalf("run %d trace did not survive the round trip", i)
+		}
+	}
+
+	// Resuming the store without the trace flag must be refused: a store
+	// is uniformly traced or untraced.
+	_, err = sw.Run(context.Background(), BatchOptions{
+		Store: &Store{Dir: dir, Resume: true},
+	})
+	if err == nil {
+		t.Fatal("resume across a trace-flag change was accepted")
+	}
+}
+
+func TestUntracedStoreOmitsTraceFlag(t *testing.T) {
+	// Untraced stores must keep writing byte-identical manifests and
+	// records: the trace fields are omitempty and the config fingerprint
+	// only changes when tracing is on.
+	cfg := quickConfig(SchemeVOR)
+	a, b := configFingerprint(cfg), configFingerprint(cfg)
+	if a != b {
+		t.Fatal("fingerprint not deterministic")
+	}
+	cfg.Trace = &TraceOptions{Stride: 5}
+	if configFingerprint(cfg) == a {
+		t.Fatal("trace stride not covered by the config fingerprint")
+	}
+}
