@@ -187,11 +187,24 @@ func RunBatch(ctx context.Context, cfgs []Config, opts BatchOptions) ([]BatchRes
 			ShardCount:        opts.Shard.count(),
 			Layouts:           opts.Store.Layouts,
 			Trace:             opts.Store.Trace,
+			TraceLayouts:      opts.Store.Trace && traceLayouts(cfgs),
 		}
 	}
 	specs = opts.Shard.filter(specs)
 	m.TotalRuns = len(specs)
 	return runSpecs(ctx, specs, opts, m)
+}
+
+// traceLayouts reports whether any config samples layout snapshots into
+// its trace; the manifest records it so readers know whether the store's
+// trace records can drive a replay.
+func traceLayouts(cfgs []Config) bool {
+	for _, cfg := range cfgs {
+		if cfg.Trace != nil && cfg.Trace.Layouts {
+			return true
+		}
+	}
+	return false
 }
 
 // runSpecs is the shared worker-pool executor behind RunBatch and
@@ -661,6 +674,7 @@ func (s Sweep) Run(ctx context.Context, opts BatchOptions) (SweepResult, error) 
 		m = s.manifest(opts.Shard, len(specs))
 		m.Layouts = opts.Store.Layouts
 		m.Trace = opts.Store.Trace
+		m.TraceLayouts = opts.Store.Trace && s.Base.Trace != nil && s.Base.Trace.Layouts
 	}
 	runs, err := runSpecs(ctx, specs, opts, m)
 	return SweepResult{Runs: runs, Aggregates: aggregateRuns(runs)}, err
@@ -716,6 +730,9 @@ type Aggregate struct {
 	// ConnectedFraction is the fraction of successful runs whose final
 	// layout was fully connected.
 	ConnectedFraction float64 `json:"connected_fraction"`
+	// Convergence summarizes the trace-derived convergence metrics of the
+	// group's traced runs; nil when no run carried a trace.
+	Convergence *ConvergenceAggregate `json:"convergence,omitempty"`
 }
 
 // aggregateRuns groups runs by (scheme, scenario, N, axis tuple) in
@@ -774,6 +791,7 @@ func aggregateRuns(runs []BatchResult) []Aggregate {
 		if agg.Runs > 0 {
 			agg.ConnectedFraction = float64(connected) / float64(agg.Runs)
 		}
+		agg.Convergence = aggregateConvergence(groups[k])
 		out = append(out, agg)
 	}
 	return out

@@ -41,7 +41,15 @@
 // serve dashboard's trace chart:
 //
 //	deploy -scheme floor -trace 25
+//	deploy -scheme floor -trace 25 -trace-csv series.csv
+//	deploy -scheme floor -trace 25 -trace-layouts -runs 10 -store sweep/
 //	deploy -scheme floor -runs 30 -store sweep/ -trace 25
+//
+// Traced runs also report convergence metrics (time to 90%/99% of final
+// coverage, time to stable connectivity, settling time and the movement
+// cost at convergence); -trace-layouts additionally snapshots the sensor
+// layout at every sample, which powers the serve dashboard's replay
+// animation.
 package main
 
 import (
@@ -49,8 +57,10 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 
 	"mobisense"
@@ -87,6 +97,8 @@ func run() int {
 		storeDir  = flag.String("store", "", "stream finished runs to this store directory (-runs > 1)")
 		layouts   = flag.Bool("store-layouts", false, "persist each run's initial and final sensor layouts in its store record (requires -store)")
 		trace     = flag.Float64("trace", 0, "sample per-tick telemetry every this many simulated seconds (0 = off); single runs print the series, sweeps persist it in -store records")
+		traceLay  = flag.Bool("trace-layouts", false, "capture the full sensor layout in every trace sample for replay animation (requires -trace)")
+		traceCSV  = flag.String("trace-csv", "", "write the run's trace series as CSV to this path (single run only, requires -trace)")
 		resume    = flag.Bool("resume", false, "continue an interrupted sweep in the -store directory")
 		shardSpec = flag.String("shard", "", "run only shard i of n, as \"i/n\" (requires -store; merge with cmd/report)")
 		maxRuns   = flag.Int("max-runs", 0, "stop dispatching after this many completed runs (0 = all); finished runs stay in the store")
@@ -157,12 +169,24 @@ func run() int {
 		fmt.Fprintln(os.Stderr, "-store-layouts needs -store: layouts persist in store records")
 		return 2
 	}
-	if *trace < 0 {
-		fmt.Fprintln(os.Stderr, "-trace stride must be positive")
+	if math.IsNaN(*trace) || math.IsInf(*trace, 0) || *trace < 0 {
+		fmt.Fprintf(os.Stderr, "-trace stride must be a finite value >= 0, got %g\n", *trace)
 		return 2
 	}
 	if *trace > 0 && (*runs > 1 || len(axes) > 0) && *storeDir == "" {
 		fmt.Fprintln(os.Stderr, "-trace in a sweep needs -store: the series persist in store records")
+		return 2
+	}
+	if *traceLay && *trace == 0 {
+		fmt.Fprintln(os.Stderr, "-trace-layouts needs -trace: there is no series to capture layouts into")
+		return 2
+	}
+	if *traceCSV != "" && *trace == 0 {
+		fmt.Fprintln(os.Stderr, "-trace-csv needs -trace: there is no series to write")
+		return 2
+	}
+	if *traceCSV != "" && (*runs > 1 || len(axes) > 0) {
+		fmt.Fprintln(os.Stderr, "-trace-csv is single-run only; sweeps export aggregated curves via report -traces")
 		return 2
 	}
 
@@ -177,7 +201,7 @@ func run() int {
 	cfg.CPVF = &mobisense.CPVFOptions{Oscillation: *osc, Delta: *delta}
 	cfg.Floor = &mobisense.FloorOptions{TTL: *ttl}
 	if *trace > 0 {
-		cfg.Trace = &mobisense.TraceOptions{Stride: *trace}
+		cfg.Trace = &mobisense.TraceOptions{Stride: *trace, Layouts: *traceLay}
 	}
 
 	// Ctrl-C cancels the sweep; every finished run is kept (and persisted
@@ -213,7 +237,7 @@ func run() int {
 			fmt.Fprintf(os.Stderr, "run: %v\n", err)
 			return 1
 		}
-		return printSingle(cfg, out[0].Result, *showMap, *csvPath)
+		return printSingle(cfg, out[0].Result, *showMap, *csvPath, *traceCSV)
 	}
 
 	// Sweeps derive both run seeds and seeded-scenario fields from -seed
@@ -308,7 +332,7 @@ func run() int {
 	return 0
 }
 
-func printSingle(cfg mobisense.Config, res mobisense.Result, showMap bool, csvPath string) int {
+func printSingle(cfg mobisense.Config, res mobisense.Result, showMap bool, csvPath, traceCSV string) int {
 	fmt.Printf("scheme           %s\n", res.Scheme)
 	fmt.Printf("coverage         %.1f%%\n", 100*res.Coverage)
 	fmt.Printf("avg distance     %.1f m\n", res.AvgMoveDistance)
@@ -329,6 +353,11 @@ func printSingle(cfg mobisense.Config, res mobisense.Result, showMap bool, csvPa
 	}
 	fmt.Printf("wall time        %s\n", res.Elapsed.Round(1e6))
 
+	if cfg.Trace != nil && len(res.Trace) == 0 {
+		// The Voronoi/OPT baselines compute layouts outside the event loop;
+		// say so instead of printing an empty table.
+		fmt.Printf("\nscheme %s yields no trace (its layout is computed outside the event loop)\n", res.Scheme)
+	}
 	if len(res.Trace) > 0 {
 		fmt.Println()
 		fmt.Println("     t  coverage  connected  moving  total moved  max moved")
@@ -336,6 +365,18 @@ func printSingle(cfg mobisense.Config, res mobisense.Result, showMap bool, csvPa
 			fmt.Printf("%6.0f    %5.1f%%  %9d  %6d  %9.1f m  %7.1f m\n",
 				s.Time, 100*s.Coverage, s.Connected, s.Moving, s.TotalMoved, s.MaxMoved)
 		}
+	}
+	if c := res.Convergence; c != nil {
+		fmt.Println()
+		fmt.Printf("t90 coverage     %.0f s\n", c.TimeTo90Coverage)
+		fmt.Printf("t99 coverage     %.0f s\n", c.TimeTo99Coverage)
+		if c.TimeToConnectivity >= 0 {
+			fmt.Printf("connectivity     %.0f s\n", c.TimeToConnectivity)
+		} else {
+			fmt.Println("connectivity     never (final layout not fully connected)")
+		}
+		fmt.Printf("settled          %.0f s (total %.1f m, max %.1f m)\n",
+			c.SettlingTime, c.TotalMovedAtSettle, c.MaxMovedAtSettle)
 	}
 
 	if showMap {
@@ -349,7 +390,29 @@ func printSingle(cfg mobisense.Config, res mobisense.Result, showMap bool, csvPa
 		}
 		fmt.Printf("wrote %s\n", csvPath)
 	}
+	if traceCSV != "" {
+		if err := os.WriteFile(traceCSV, []byte(traceSeriesCSV(res.Trace)), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "write trace csv: %v\n", err)
+			return 1
+		}
+		fmt.Printf("wrote %s\n", traceCSV)
+	}
 	return 0
+}
+
+// traceSeriesCSV renders a single run's telemetry series as CSV.
+func traceSeriesCSV(trace []mobisense.TraceSample) string {
+	var sb strings.Builder
+	sb.WriteString("t,coverage,connected,alive,moving,total_moved,max_moved\n")
+	for _, s := range trace {
+		fmt.Fprintf(&sb, "%s,%s,%d,%d,%d,%s,%s\n",
+			strconv.FormatFloat(s.Time, 'g', -1, 64),
+			strconv.FormatFloat(s.Coverage, 'f', 6, 64),
+			s.Connected, s.Alive, s.Moving,
+			strconv.FormatFloat(s.TotalMoved, 'f', 6, 64),
+			strconv.FormatFloat(s.MaxMoved, 'f', 6, 64))
+	}
+	return sb.String()
 }
 
 func printAggregates(sr mobisense.SweepResult) {

@@ -8,6 +8,7 @@
 //	report sweep/
 //	report shard0/ shard1/ shard2/ shard3/
 //	report -csv aggregates.csv shard0/ shard1/
+//	report -traces curves.csv sweep/   # aggregated trace curves (deploy -trace stores)
 //	report -runs sweep/             # per-run records instead of aggregates
 //	report -watch sweep/            # live-refresh while another process writes
 //	report -watch http://host:8080/v1/jobs/j000001/store   # remote server job
@@ -51,6 +52,7 @@ func main() {
 func run() int {
 	var (
 		csvPath    = flag.String("csv", "", "write the aggregate table as CSV to this path")
+		tracesPath = flag.String("traces", "", "write the aggregated per-group trace curves (mean + CI per sample time) as CSV to this path; needs stores written with deploy -trace")
 		showRuns   = flag.Bool("runs", false, "print one line per stored run instead of aggregates only")
 		showFields = flag.Bool("fields", false, "dump the field specs embedded in the store manifests as JSON (rebuild any store's environments without the originating binary)")
 		watch      = flag.Bool("watch", false, "poll the store directories and live-refresh the table until they complete")
@@ -108,7 +110,45 @@ func run() int {
 		}
 		fmt.Printf("\nwrote %s\n", *csvPath)
 	}
+	if *tracesPath != "" {
+		traces := mobisense.AggregateTraces(data.Runs)
+		if len(traces) == 0 {
+			fmt.Fprintln(os.Stderr, "no trace series in the stores (write them with deploy -trace ... -store)")
+			return 1
+		}
+		if err := os.WriteFile(*tracesPath, []byte(tracesCSV(traces)), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "write traces csv: %v\n", err)
+			return 1
+		}
+		fmt.Printf("\nwrote %s\n", *tracesPath)
+	}
 	return 0
+}
+
+// tracesCSV renders aggregated trace curves as CSV: one row per group and
+// sample time, with mean and CI for every traced metric. The row order is
+// the deterministic aggregation order, so sharded and unsharded exports
+// of one sweep are byte-identical.
+func tracesCSV(traces []mobisense.TraceAggregate) string {
+	var sb strings.Builder
+	sb.WriteString("scheme,scenario,n,axes,t,runs," +
+		"coverage_mean,coverage_ci95,connected_mean,moving_mean," +
+		"total_moved_mean,total_moved_ci95,max_moved_mean,max_moved_ci95\n")
+	for _, tr := range traces {
+		axes := make([]string, len(tr.Axes))
+		for i, ax := range tr.Axes {
+			axes[i] = ax.Name + "=" + strconv.FormatFloat(ax.Value, 'g', -1, 64)
+		}
+		prefix := fmt.Sprintf("%s,%s,%d,%s", tr.Scheme,
+			strings.ReplaceAll(tr.Scenario, ",", ";"), tr.N, strings.Join(axes, ";"))
+		for _, p := range tr.Points {
+			fmt.Fprintf(&sb, "%s,%s,%d,%.6f,%.6f,%.6f,%.6f,%.6f,%.6f,%.6f,%.6f\n",
+				prefix, strconv.FormatFloat(p.Time, 'g', -1, 64), p.Runs,
+				p.Coverage.Mean, p.Coverage.CI95, p.Connected.Mean, p.Moving.Mean,
+				p.TotalMoved.Mean, p.TotalMoved.CI95, p.MaxMoved.Mean, p.MaxMoved.CI95)
+		}
+	}
+	return sb.String()
 }
 
 // watchStores polls store directories another process is writing and
@@ -285,13 +325,30 @@ func printRuns(runs []mobisense.BatchResult) {
 	fmt.Println()
 }
 
+// anyConvergence reports whether any aggregate carries trace-derived
+// convergence metrics. They gate the extra table/CSV columns, so
+// untraced stores keep their exact pre-trace output.
+func anyConvergence(aggs []mobisense.Aggregate) bool {
+	for _, a := range aggs {
+		if a.Convergence != nil {
+			return true
+		}
+	}
+	return false
+}
+
 // printAggregateTable renders the aggregates as an aligned text table,
-// with one extra column per generalized axis the stores swept.
+// with one extra column per generalized axis the stores swept and —
+// for traced stores — the trace-derived convergence summaries.
 func printAggregateTable(aggs []mobisense.Aggregate) {
 	axes := axisNames(aggs)
+	conv := anyConvergence(aggs)
 	header := append([]string{"scheme", "scenario", "N"}, axes...)
 	header = append(header, "runs", "errs",
 		"coverage", "±95%", "distance", "±95%", "messages", "conv_time", "connected")
+	if conv {
+		header = append(header, "t90", "±95%", "settle", "±95%")
+	}
 	lines := [][]string{header}
 	for _, a := range aggs {
 		line := []string{
@@ -313,6 +370,18 @@ func printAggregateTable(aggs []mobisense.Aggregate) {
 			fmt.Sprintf("%.0f", a.ConvergenceTime.Mean),
 			fmt.Sprintf("%.0f%%", 100*a.ConnectedFraction),
 		)
+		if conv {
+			if c := a.Convergence; c != nil {
+				line = append(line,
+					fmt.Sprintf("%.0f", c.TimeTo90Coverage.Mean),
+					fmt.Sprintf("%.0f", c.TimeTo90Coverage.CI95),
+					fmt.Sprintf("%.0f", c.SettlingTime.Mean),
+					fmt.Sprintf("%.0f", c.SettlingTime.CI95),
+				)
+			} else {
+				line = append(line, "", "", "", "")
+			}
+		}
 		lines = append(lines, line)
 	}
 	widths := make([]int, len(header))
@@ -342,9 +411,12 @@ func printAggregateTable(aggs []mobisense.Aggregate) {
 
 // aggregatesCSV renders the aggregates as a CSV document, inserting one
 // "axis_<name>" column per swept axis after the n column. Axis-free
-// stores produce the exact pre-axis header and rows.
+// stores produce the exact pre-axis header and rows, and untraced stores
+// the exact pre-convergence ones — the extra convergence columns appear
+// only when some aggregate carries trace-derived metrics.
 func aggregatesCSV(aggs []mobisense.Aggregate) string {
 	axes := axisNames(aggs)
+	conv := anyConvergence(aggs)
 	var sb strings.Builder
 	sb.WriteString("scheme,scenario,n")
 	for _, name := range axes {
@@ -353,17 +425,38 @@ func aggregatesCSV(aggs []mobisense.Aggregate) string {
 	sb.WriteString(",runs,errors,skipped," +
 		"coverage_mean,coverage_ci95,coverage_min,coverage_max," +
 		"coverage2_mean,distance_mean,distance_ci95," +
-		"messages_mean,convergence_mean,connected_fraction\n")
+		"messages_mean,convergence_mean,connected_fraction")
+	if conv {
+		sb.WriteString(",conv_runs,t90_mean,t90_ci95,t99_mean,t99_ci95," +
+			"settle_mean,settle_ci95,settle_total_moved_mean,settle_max_moved_mean," +
+			"connected_runs,tconn_mean,tconn_ci95")
+	}
+	sb.WriteString("\n")
 	for _, a := range aggs {
 		fmt.Fprintf(&sb, "%s,%s,%d", a.Scheme, strings.ReplaceAll(a.Scenario, ",", ";"), a.N)
 		for _, name := range axes {
 			sb.WriteString("," + axisCell(a, name))
 		}
-		fmt.Fprintf(&sb, ",%d,%d,%d,%.6f,%.6f,%.6f,%.6f,%.6f,%.6f,%.6f,%.6f,%.6f,%.6f\n",
+		fmt.Fprintf(&sb, ",%d,%d,%d,%.6f,%.6f,%.6f,%.6f,%.6f,%.6f,%.6f,%.6f,%.6f,%.6f",
 			a.Runs, a.Errors, a.Skipped,
 			a.Coverage.Mean, a.Coverage.CI95, a.Coverage.Min, a.Coverage.Max,
 			a.Coverage2.Mean, a.AvgMoveDistance.Mean, a.AvgMoveDistance.CI95,
 			a.Messages.Mean, a.ConvergenceTime.Mean, a.ConnectedFraction)
+		if conv {
+			if c := a.Convergence; c != nil {
+				fmt.Fprintf(&sb, ",%d,%.6f,%.6f,%.6f,%.6f,%.6f,%.6f,%.6f,%.6f,%d,%.6f,%.6f",
+					c.Runs,
+					c.TimeTo90Coverage.Mean, c.TimeTo90Coverage.CI95,
+					c.TimeTo99Coverage.Mean, c.TimeTo99Coverage.CI95,
+					c.SettlingTime.Mean, c.SettlingTime.CI95,
+					c.TotalMovedAtSettle.Mean, c.MaxMovedAtSettle.Mean,
+					c.ConnectedRuns,
+					c.TimeToConnectivity.Mean, c.TimeToConnectivity.CI95)
+			} else {
+				sb.WriteString(strings.Repeat(",", 12))
+			}
+		}
+		sb.WriteString("\n")
 	}
 	return sb.String()
 }

@@ -190,6 +190,9 @@ func (c Config) validate() error {
 	if c.Field.f == nil {
 		return fmt.Errorf("mobisense: config has no field; use DefaultConfig or set Field")
 	}
+	if err := c.Trace.validate(); err != nil {
+		return err
+	}
 	return c.params().Validate()
 }
 

@@ -31,6 +31,7 @@ const maxRequestBytes = 1 << 20
 //	DELETE /v1/jobs/{id}        cancel (finished runs stay on disk)
 //	GET    /v1/jobs/{id}/events SSE progress stream
 //	GET    /v1/jobs/{id}/records  stored per-run records (JSONL, ?format=csv)
+//	GET    /v1/jobs/{id}/traces   aggregated per-group trace curves (JSON)
 //	GET    /v1/jobs/{id}/store/{file}  raw store files for remote watchers
 //	GET    /v1/schemes          scheme registry introspection
 //	GET    /v1/scenarios        scenario registry introspection
@@ -72,6 +73,9 @@ func NewHandler(m *Manager) http.Handler {
 	})
 	mux.HandleFunc("GET /v1/jobs/{id}/records", func(w http.ResponseWriter, r *http.Request) {
 		serveRecords(m, w, r)
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}/traces", func(w http.ResponseWriter, r *http.Request) {
+		serveTraces(m, w, r)
 	})
 	mux.HandleFunc("GET /v1/schemes", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]any{"schemes": m.Engine().Schemes()})
@@ -312,6 +316,29 @@ func serveRecords(m *Manager, w http.ResponseWriter, r *http.Request) {
 	default:
 		writeError(w, http.StatusBadRequest, "unknown format %q (want jsonl or csv)", format)
 	}
+}
+
+// serveTraces returns the job's aggregated trace analytics: per
+// (scheme, scenario, N, axis tuple) group mean curves with CI bands,
+// computed by the engine from the job's store. Untraced jobs answer an
+// empty list; cache-hit jobs have no store to aggregate.
+func serveTraces(m *Manager, w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	v, ok := m.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", id)
+		return
+	}
+	if v.CacheHit {
+		writeError(w, http.StatusNotFound, "job %s was answered from the result cache and has no store of its own", id)
+		return
+	}
+	out, err := m.Engine().Traces(m.StoreDir(id))
+	if err != nil {
+		writeError(w, http.StatusNotFound, "job %s has no store yet", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"traces": out})
 }
 
 // recordsCSV renders store records as per-run CSV rows (layouts

@@ -34,9 +34,10 @@ func (e *churnEngine) Execute(ctx context.Context, job ExecJob) (json.RawMessage
 	}
 }
 
-func (e *churnEngine) Schemes() any   { return nil }
-func (e *churnEngine) Scenarios() any { return nil }
-func (e *churnEngine) Axes() any      { return nil }
+func (e *churnEngine) Schemes() any               { return nil }
+func (e *churnEngine) Scenarios() any             { return nil }
+func (e *churnEngine) Axes() any                  { return nil }
+func (e *churnEngine) Traces(string) (any, error) { return nil, nil }
 
 // submitRunning submits a job and waits until it leaves the queue.
 func submitRunning(t *testing.T, m *Manager) JobView {

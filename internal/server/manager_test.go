@@ -31,9 +31,10 @@ func (e *stubEngine) Execute(ctx context.Context, job ExecJob) (json.RawMessage,
 	return json.RawMessage(`{"ok":true}`), nil
 }
 
-func (e *stubEngine) Schemes() any   { return nil }
-func (e *stubEngine) Scenarios() any { return nil }
-func (e *stubEngine) Axes() any      { return nil }
+func (e *stubEngine) Schemes() any               { return nil }
+func (e *stubEngine) Scenarios() any             { return nil }
+func (e *stubEngine) Axes() any                  { return nil }
+func (e *stubEngine) Traces(string) (any, error) { return nil, nil }
 
 // submitAndWait submits a job and waits for it to reach a terminal state.
 func submitAndWait(t *testing.T, m *Manager, body string) JobView {

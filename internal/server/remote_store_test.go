@@ -47,9 +47,10 @@ func (e *storeEngine) Execute(ctx context.Context, job ExecJob) (json.RawMessage
 	return json.RawMessage(`{"ok":true}`), nil
 }
 
-func (e *storeEngine) Schemes() any   { return nil }
-func (e *storeEngine) Scenarios() any { return nil }
-func (e *storeEngine) Axes() any      { return nil }
+func (e *storeEngine) Schemes() any               { return nil }
+func (e *storeEngine) Scenarios() any             { return nil }
+func (e *storeEngine) Axes() any                  { return nil }
+func (e *storeEngine) Traces(string) (any, error) { return nil, nil }
 
 // TestRemoteStoreRoundTrip: the /v1/jobs/{id}/store endpoints serve a
 // job's store such that store.ReadDir / store.ReadTimings accept the URL

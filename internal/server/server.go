@@ -61,6 +61,9 @@ func init() {
 	metrics.Default.Help("runs_finished_total", "Deployment runs finished successfully.")
 	metrics.Default.Help("runs_failed_total", "Deployment runs that returned an error.")
 	metrics.Default.Help("run_duration_seconds", "Wall-clock run duration, by scheme.")
+	metrics.Default.Help("run_settling_time_seconds", "Trace-derived settling time of traced runs (simulation seconds).")
+	metrics.Default.Help("run_time_to_90_coverage_seconds", "Trace-derived time to 90% of final coverage (simulation seconds).")
+	metrics.Default.Help("run_time_to_connectivity_seconds", "Trace-derived time to stable full connectivity (simulation seconds).")
 	metrics.Default.Help("http_requests_total", "HTTP requests served, by method.")
 }
 
@@ -138,6 +141,10 @@ type Engine interface {
 	Schemes() any
 	Scenarios() any
 	Axes() any
+	// Traces aggregates the trace series of the store at storeDir into
+	// per-group mean curves for GET /v1/jobs/{id}/traces. The returned
+	// value must be JSON-encodable.
+	Traces(storeDir string) (any, error)
 }
 
 // Event is one server-sent update about a job.

@@ -11,7 +11,9 @@ const state = {
   selected: null,   // job id
   records: [],      // parsed records.jsonl of the selected job
   result: null,     // aggregates of the selected job
+  traces: [],       // aggregated trace curves of the selected job
   es: null,         // EventSource for the selected job
+  replay: null,     // interval handle of a running replay animation
 };
 
 // ---- job list ----------------------------------------------------------
@@ -109,7 +111,17 @@ async function loadDetail(id) {
     }
   } catch (e) { /* job may have no store */ }
 
+  state.traces = [];
+  try {
+    const res = await fetch('/v1/jobs/' + id + '/traces');
+    if (res.ok) {
+      const body = await res.json();
+      state.traces = body.traces || [];
+    }
+  } catch (e) { /* job may have no store */ }
+
   drawAggregates();
+  drawTraceAgg();
   setupRunPickers();
 }
 
@@ -190,6 +202,157 @@ function drawEmpty(ctx, canvas, msg) {
   ctx.textAlign = 'left';
 }
 
+// ---- aggregated trace curves ------------------------------------------
+
+const groupColors = ['#4fb6a2', '#d0a24f', '#7aa2e8', '#d06a6a', '#a27ad0', '#6ac08a'];
+
+function traceAggLabel(tr) {
+  let l = tr.scheme;
+  if (tr.scenario) l += '/' + tr.scenario;
+  l += ' n=' + tr.n;
+  for (const ax of tr.axes || []) l += ' ' + ax.name + '=' + ax.value;
+  return l;
+}
+
+// drawTraceAgg renders every group's mean curve for the selected metric,
+// with a translucent ±95% CI band behind each line.
+function drawTraceAgg() {
+  const canvas = $('#traceagg-chart');
+  const ctx = canvas.getContext('2d');
+  ctx.clearRect(0, 0, canvas.width, canvas.height);
+  const traces = state.traces || [];
+  $('#traceagg-fig').hidden = traces.length === 0;
+  if (!traces.length) return;
+  const key = $('#traceagg-metric').value;
+  let tMax = 1e-9, vMax = 1e-9;
+  for (const tr of traces) {
+    for (const p of tr.points || []) {
+      tMax = Math.max(tMax, p.t);
+      vMax = Math.max(vMax, (p[key] || {}).mean + ((p[key] || {}).ci95 || 0));
+    }
+  }
+  const pad = 34, w = canvas.width - pad - 8, h = canvas.height - 8 - 18;
+  const px = (t) => pad + (w * t) / tMax;
+  const py = (v) => 8 + h - (h * Math.max(0, Math.min(vMax, v))) / vMax;
+  ctx.font = '10px ui-monospace, monospace';
+  ctx.strokeStyle = '#232c37';
+  ctx.fillStyle = '#7a8694';
+  for (let g = 0; g <= 4; g++) {
+    const y = 8 + h - (h * g) / 4;
+    ctx.beginPath(); ctx.moveTo(pad, y); ctx.lineTo(pad + w, y); ctx.stroke();
+    ctx.fillText(short(vMax * g / 4), 2, y + 3);
+  }
+  ctx.fillText('t=' + short(tMax) + 's', pad + w - 48, canvas.height - 4);
+  traces.forEach((tr, gi) => {
+    const pts = tr.points || [];
+    if (!pts.length) return;
+    const color = groupColors[gi % groupColors.length];
+    // CI band: mean+ci forward, mean-ci back.
+    ctx.fillStyle = color + '33';
+    ctx.beginPath();
+    pts.forEach((p, i) => {
+      const m = (p[key] || {}).mean || 0, ci = (p[key] || {}).ci95 || 0;
+      if (i === 0) ctx.moveTo(px(p.t), py(m + ci)); else ctx.lineTo(px(p.t), py(m + ci));
+    });
+    for (let i = pts.length - 1; i >= 0; i--) {
+      const p = pts[i];
+      const m = (p[key] || {}).mean || 0, ci = (p[key] || {}).ci95 || 0;
+      ctx.lineTo(px(p.t), py(m - ci));
+    }
+    ctx.closePath();
+    ctx.fill();
+    // mean line
+    ctx.strokeStyle = color;
+    ctx.lineWidth = 1.5;
+    ctx.beginPath();
+    pts.forEach((p, i) => {
+      const m = (p[key] || {}).mean || 0;
+      if (i === 0) ctx.moveTo(px(p.t), py(m)); else ctx.lineTo(px(p.t), py(m));
+    });
+    ctx.stroke();
+    ctx.lineWidth = 1;
+    // legend entry
+    ctx.fillStyle = color;
+    ctx.fillRect(pad + 4, 12 + gi * 12, 8, 8);
+    ctx.fillStyle = '#7a8694';
+    ctx.fillText(traceAggLabel(tr).slice(0, 40), pad + 16, 19 + gi * 12);
+  });
+}
+
+// ---- deployment replay -------------------------------------------------
+
+function replayRun() {
+  const idx = Number($('#replay-run').value);
+  return state.records.find((r) => r.index === idx && r.trace &&
+    r.trace.some((s) => s.layout && s.layout.length));
+}
+
+function stopReplay() {
+  if (state.replay) { clearInterval(state.replay); state.replay = null; }
+  $('#replay-play').textContent = 'play';
+}
+
+function toggleReplay() {
+  if (state.replay) { stopReplay(); return; }
+  const run = replayRun();
+  if (!run) return;
+  const slider = $('#replay-slider');
+  $('#replay-play').textContent = 'pause';
+  state.replay = setInterval(() => {
+    let i = Number(slider.value) + 1;
+    if (i > Number(slider.max)) i = 0; // loop
+    slider.value = i;
+    drawReplayFrame();
+  }, 150);
+}
+
+function setupReplay() {
+  stopReplay();
+  const runs = state.records.filter((r) => r.trace &&
+    r.trace.some((s) => s.layout && s.layout.length));
+  fillPicker($('#replay-run'), runs);
+  $('#replay-fig').hidden = runs.length === 0;
+  if (!runs.length) return;
+  const run = replayRun();
+  const slider = $('#replay-slider');
+  slider.max = run ? run.trace.length - 1 : 0;
+  slider.value = 0;
+  drawReplayFrame();
+}
+
+function drawReplayFrame() {
+  const canvas = $('#replay-chart');
+  const ctx = canvas.getContext('2d');
+  ctx.clearRect(0, 0, canvas.width, canvas.height);
+  const run = replayRun();
+  if (!run) { drawEmpty(ctx, canvas, 'no replayable runs'); return; }
+  const i = Math.min(Number($('#replay-slider').value), run.trace.length - 1);
+  const s = run.trace[i];
+  $('#replay-time').textContent =
+    't=' + s.t + 's cov=' + (100 * s.coverage).toFixed(1) + '%';
+  const pts = s.layout || [];
+  if (!pts.length) { drawEmpty(ctx, canvas, 'no layout in sample'); return; }
+  // Fixed scale over the whole series so the animation doesn't rescale
+  // frame to frame.
+  let minX = Infinity, maxX = -Infinity, minY = Infinity, maxY = -Infinity;
+  for (const sm of run.trace) {
+    for (const p of sm.layout || []) {
+      minX = Math.min(minX, p.x); maxX = Math.max(maxX, p.x);
+      minY = Math.min(minY, p.y); maxY = Math.max(maxY, p.y);
+    }
+  }
+  const span = Math.max(maxX - minX, maxY - minY, 1e-9);
+  const pad = 12, sc = (canvas.width - 2 * pad) / span;
+  ctx.fillStyle = '#4fb6a2';
+  for (const p of pts) {
+    const x = pad + (p.x - minX) * sc;
+    const y = canvas.height - pad - (p.y - minY) * sc;
+    ctx.beginPath();
+    ctx.arc(x, y, 2.2, 0, 2 * Math.PI);
+    ctx.fill();
+  }
+}
+
 // ---- trace + layout charts --------------------------------------------
 
 function runName(r) {
@@ -208,6 +371,7 @@ function setupRunPickers() {
   $('#layout-fig').hidden = withLayout.length === 0;
   drawTrace();
   drawLayout();
+  setupReplay();
 }
 
 function fillPicker(sel, runs) {
@@ -293,10 +457,14 @@ async function refreshMetrics() {
 // ---- wiring ------------------------------------------------------------
 
 $('#agg-metric').onchange = drawAggregates;
+$('#traceagg-metric').onchange = drawTraceAgg;
 $('#trace-run').onchange = drawTrace;
 $('#trace-metric').onchange = drawTrace;
 $('#layout-run').onchange = drawLayout;
 $('#layout-initial').onchange = drawLayout;
+$('#replay-run').onchange = () => { stopReplay(); setupReplay(); };
+$('#replay-slider').oninput = () => { stopReplay(); drawReplayFrame(); };
+$('#replay-play').onclick = toggleReplay;
 
 refreshJobs();
 refreshMetrics();

@@ -126,6 +126,11 @@ type Manifest struct {
 	// traced or untraced. Untraced stores omit the flag, keeping pre-trace
 	// manifests byte-identical.
 	Trace bool `json:"trace,omitempty"`
+	// TraceLayouts is set when the trace samples additionally carry
+	// per-sample layout snapshots (replay animation). It gates resume the
+	// same way Trace does, and stores without snapshots omit it so their
+	// manifests stay byte-identical.
+	TraceLayouts bool `json:"trace_layouts,omitempty"`
 	// Complete is set once all TotalRuns records are on disk.
 	Complete bool `json:"complete"`
 }
@@ -182,6 +187,9 @@ type Record struct {
 	// functions of the run's config and seed, so traced stores still diff
 	// byte-identically across worker counts.
 	Trace []TraceSample `json:"trace,omitempty"`
+	// Convergence holds the trace-derived convergence metrics, present
+	// exactly when Trace is.
+	Convergence *Convergence `json:"convergence,omitempty"`
 	// Err is the run's error message ("" on success); failed runs are
 	// recorded too so a resume does not retry deterministic failures.
 	Err string `json:"err,omitempty"`
@@ -193,7 +201,9 @@ type Point struct {
 	Y float64 `json:"y"`
 }
 
-// TraceSample is one stored per-tick telemetry observation.
+// TraceSample is one stored per-tick telemetry observation. Layout is the
+// optional per-sample layout snapshot, present only in stores created
+// with Manifest.TraceLayouts.
 type TraceSample struct {
 	Time       float64 `json:"t"`
 	Coverage   float64 `json:"coverage"`
@@ -202,6 +212,18 @@ type TraceSample struct {
 	Moving     int     `json:"moving"`
 	TotalMoved float64 `json:"total_moved"`
 	MaxMoved   float64 `json:"max_moved"`
+	Layout     []Point `json:"layout,omitempty"`
+}
+
+// Convergence is the stored form of a run's trace-derived convergence
+// metrics.
+type Convergence struct {
+	TimeTo90Coverage   float64 `json:"t90"`
+	TimeTo99Coverage   float64 `json:"t99"`
+	TimeToConnectivity float64 `json:"tconn"`
+	SettlingTime       float64 `json:"settle"`
+	TotalMovedAtSettle float64 `json:"settle_total_moved"`
+	MaxMovedAtSettle   float64 `json:"settle_max_moved"`
 }
 
 // Key identifies a run within a sweep: every axis value plus the derived

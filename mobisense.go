@@ -43,6 +43,15 @@ var (
 	// schemeDurations caches the per-scheme run-duration histogram handles
 	// so the hot path never re-composes a series name.
 	schemeDurations sync.Map // Scheme -> *metrics.Histogram
+
+	// Convergence histograms, observed only for traced runs (untraced runs
+	// derive no convergence metrics, so the hot path stays untouched). The
+	// buckets are simulation seconds spanning quick small-field runs up to
+	// the paper's 750 s horizon and stabilized extensions beyond it.
+	convergenceBuckets = []float64{10, 25, 50, 100, 150, 200, 300, 400, 500, 750, 1000, 1500, 2000}
+	settlingTimes      = metrics.Default.Histogram("run_settling_time_seconds", convergenceBuckets)
+	t90Times           = metrics.Default.Histogram("run_time_to_90_coverage_seconds", convergenceBuckets)
+	connectivityTimes  = metrics.Default.Histogram("run_time_to_connectivity_seconds", convergenceBuckets)
 )
 
 func runDuration(s Scheme) *metrics.Histogram {
@@ -75,6 +84,13 @@ func Run(cfg Config) (Result, error) {
 	res.Elapsed = time.Since(start)
 	runsFinished.Inc()
 	runDuration(cfg.Scheme).Observe(res.Elapsed.Seconds())
+	if res.Convergence = ConvergenceFrom(res.Trace); res.Convergence != nil {
+		settlingTimes.Observe(res.Convergence.SettlingTime)
+		t90Times.Observe(res.Convergence.TimeTo90Coverage)
+		if res.Convergence.TimeToConnectivity >= 0 {
+			connectivityTimes.Observe(res.Convergence.TimeToConnectivity)
+		}
+	}
 	return res, nil
 }
 

@@ -52,6 +52,10 @@ type Result struct {
 	// Trace is the run's per-tick telemetry series, present only when
 	// Config.Trace was set (and only for event-driven schemes).
 	Trace []TraceSample
+	// Convergence derives transient metrics (time to 90%/99% coverage,
+	// time to stable connectivity, settling time and the movement cost at
+	// convergence) from Trace; nil exactly when Trace is empty.
+	Convergence *Convergence
 
 	fieldRef *field.Field
 }

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"log/slog"
+	"math"
 	"net/http"
 	"time"
 
@@ -66,6 +67,10 @@ type RunRequest struct {
 	// simulated seconds (0 = off). The series is persisted in the job's
 	// store records and powers the dashboard's run-trace chart.
 	Trace float64 `json:"trace,omitempty"`
+	// TraceLayouts additionally captures the full sensor layout in every
+	// trace sample, powering the dashboard's replay animation. Requires
+	// Trace.
+	TraceLayouts bool `json:"trace_layouts,omitempty"`
 }
 
 // config expands the request into a validated run configuration.
@@ -121,11 +126,13 @@ func (r RunRequest) config() (Config, error) {
 	cfg.CPVF = r.CPVF
 	cfg.Floor = r.Floor
 	cfg.VD = r.VD
-	if r.Trace < 0 {
-		return Config{}, fmt.Errorf("mobisense: trace stride must be positive, got %g", r.Trace)
+	if math.IsNaN(r.Trace) || math.IsInf(r.Trace, 0) || r.Trace < 0 {
+		return Config{}, fmt.Errorf("mobisense: trace stride must be a finite value >= 0, got %g", r.Trace)
 	}
 	if r.Trace > 0 {
-		cfg.Trace = &TraceOptions{Stride: r.Trace}
+		cfg.Trace = &TraceOptions{Stride: r.Trace, Layouts: r.TraceLayouts}
+	} else if r.TraceLayouts {
+		return Config{}, fmt.Errorf("mobisense: trace_layouts requires a trace stride; set trace > 0")
 	}
 	if err := cfg.validate(); err != nil {
 		return Config{}, err
@@ -383,6 +390,7 @@ func (e *serviceEngine) Execute(ctx context.Context, job server.ExecJob) (json.R
 			TotalRuns:         1,
 			Layouts:           req.StoreLayouts,
 			Trace:             req.Trace > 0,
+			TraceLayouts:      req.Trace > 0 && req.TraceLayouts,
 		}
 		out, err := runSpecs(ctx, specs, opts, m)
 		if err != nil {
@@ -529,4 +537,16 @@ func (e *serviceEngine) Axes() any {
 		out = append(out, AxisInfo{Name: name, Integer: AxisIsInteger(name), Description: AxisDescription(name)})
 	}
 	return out
+}
+
+// Traces loads a job's store and aggregates its trace series into
+// per-group mean curves (GET /v1/jobs/{id}/traces). The aggregation is
+// the same AggregateTraces that cmd/report uses, so the endpoint and the
+// CSV export agree byte-for-byte on the numbers.
+func (e *serviceEngine) Traces(storeDir string) (any, error) {
+	data, err := LoadStores(storeDir)
+	if err != nil {
+		return nil, err
+	}
+	return AggregateTraces(data.Runs), nil
 }

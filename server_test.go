@@ -9,6 +9,7 @@ import (
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
 	"time"
@@ -530,5 +531,71 @@ func TestServerInlineField(t *testing.T) {
 	axes, _ := readAll(t, mustGet(t, ts.URL+"/v1/axes"))
 	if !bytes.Contains(axes, []byte(`"field.ref"`)) || !bytes.Contains(axes, []byte(`"integer": true`)) {
 		t.Errorf("axes catalog = %s", axes)
+	}
+}
+
+// TestServerTraceAnalytics: trace series round-trip through the remote
+// store URL, the /traces endpoint serves the same aggregation that local
+// LoadStores + AggregateTraces computes, and bad trace parameters answer
+// 400 with a clear message.
+func TestServerTraceAnalytics(t *testing.T) {
+	dir := t.TempDir()
+	svc, ts := startService(t, dir, 0)
+	defer ts.Close()
+	defer svc.Close()
+
+	body := `{"scheme":"cpvf","scenario":"free","n":24,"duration":60,"repeats":2,"seed":5,"trace":20,"trace_layouts":true}`
+	v, status := postJSON(t, ts.URL+"/v1/sweeps", body)
+	if status != http.StatusAccepted {
+		t.Fatalf("traced sweep submit status = %d", status)
+	}
+	waitState(t, ts.URL, v.ID, server.StateDone)
+
+	// Remote store round trip: the server's store URL loads like a local
+	// directory and aggregates identically.
+	remote, err := LoadStores(ts.URL + "/v1/jobs/" + v.ID + "/store")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(remote.Runs) != 2 {
+		t.Fatalf("remote store has %d runs, want 2", len(remote.Runs))
+	}
+	for i, br := range remote.Runs {
+		if len(br.Result.Trace) == 0 {
+			t.Fatalf("remote run %d lost its trace", i)
+		}
+		for j, s := range br.Result.Trace {
+			if len(s.Layout) == 0 {
+				t.Fatalf("remote run %d sample %d lost its layout snapshot", i, j)
+			}
+		}
+		if br.Result.Convergence == nil {
+			t.Fatalf("remote run %d lost its convergence metrics", i)
+		}
+	}
+	want := AggregateTraces(remote.Runs)
+
+	// The /traces endpoint serves exactly that aggregation.
+	resp := mustGet(t, ts.URL+"/v1/jobs/"+v.ID+"/traces")
+	var got struct {
+		Traces []TraceAggregate `json:"traces"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if !reflect.DeepEqual(got.Traces, want) {
+		t.Fatal("/traces disagrees with local aggregation of the remote store")
+	}
+	if len(got.Traces) != 1 || got.Traces[0].Runs != 2 || len(got.Traces[0].Points) == 0 {
+		t.Fatalf("traces = %+v", got.Traces)
+	}
+
+	// Invalid trace parameters are rejected with 400s.
+	if _, status := postJSON(t, ts.URL+"/v1/runs", `{"scheme":"cpvf","trace":-5}`); status != http.StatusBadRequest {
+		t.Errorf("negative stride status = %d, want 400", status)
+	}
+	if _, status := postJSON(t, ts.URL+"/v1/runs", `{"scheme":"cpvf","trace_layouts":true}`); status != http.StatusBadRequest {
+		t.Errorf("trace_layouts without trace status = %d, want 400", status)
 	}
 }

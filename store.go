@@ -105,6 +105,7 @@ func (s *storeSession) append(seq int, sp RunSpec, res Result, runErr error, ela
 	rec := recordFrom(sp, res, runErr, s.layouts)
 	if s.trace {
 		rec.Trace = toStoreTrace(res.Trace)
+		rec.Convergence = toStoreConvergence(res.Convergence)
 	}
 	if err := s.w.Append(seq, rec, elapsed); err != nil {
 		s.mu.Lock()
@@ -216,7 +217,16 @@ func toStoreTrace(ts []TraceSample) []istore.TraceSample {
 	}
 	out := make([]istore.TraceSample, len(ts))
 	for i, s := range ts {
-		out[i] = istore.TraceSample(s)
+		out[i] = istore.TraceSample{
+			Time:       s.Time,
+			Coverage:   s.Coverage,
+			Connected:  s.Connected,
+			Alive:      s.Alive,
+			Moving:     s.Moving,
+			TotalMoved: s.TotalMoved,
+			MaxMoved:   s.MaxMoved,
+			Layout:     toStorePoints(s.Layout),
+		}
 	}
 	return out
 }
@@ -227,9 +237,46 @@ func fromStoreTrace(ts []istore.TraceSample) []TraceSample {
 	}
 	out := make([]TraceSample, len(ts))
 	for i, s := range ts {
-		out[i] = TraceSample(s)
+		out[i] = TraceSample{
+			Time:       s.Time,
+			Coverage:   s.Coverage,
+			Connected:  s.Connected,
+			Alive:      s.Alive,
+			Moving:     s.Moving,
+			TotalMoved: s.TotalMoved,
+			MaxMoved:   s.MaxMoved,
+			Layout:     fromStorePoints(s.Layout),
+		}
 	}
 	return out
+}
+
+func toStoreConvergence(c *Convergence) *istore.Convergence {
+	if c == nil {
+		return nil
+	}
+	return &istore.Convergence{
+		TimeTo90Coverage:   c.TimeTo90Coverage,
+		TimeTo99Coverage:   c.TimeTo99Coverage,
+		TimeToConnectivity: c.TimeToConnectivity,
+		SettlingTime:       c.SettlingTime,
+		TotalMovedAtSettle: c.TotalMovedAtSettle,
+		MaxMovedAtSettle:   c.MaxMovedAtSettle,
+	}
+}
+
+func fromStoreConvergence(c *istore.Convergence) *Convergence {
+	if c == nil {
+		return nil
+	}
+	return &Convergence{
+		TimeTo90Coverage:   c.TimeTo90Coverage,
+		TimeTo99Coverage:   c.TimeTo99Coverage,
+		TimeToConnectivity: c.TimeToConnectivity,
+		SettlingTime:       c.SettlingTime,
+		TotalMovedAtSettle: c.TotalMovedAtSettle,
+		MaxMovedAtSettle:   c.MaxMovedAtSettle,
+	}
 }
 
 // replayedResult reconstructs a BatchResult from a stored record. The
@@ -260,6 +307,7 @@ func resultFromRecord(rec istore.Record) Result {
 		Positions:             fromStorePoints(rec.Positions),
 		InitialPositions:      fromStorePoints(rec.InitialPositions),
 		Trace:                 fromStoreTrace(rec.Trace),
+		Convergence:           fromStoreConvergence(rec.Convergence),
 	}
 }
 
@@ -279,6 +327,11 @@ func configFingerprint(c Config) string {
 	}
 	if tr := c.Trace; tr != nil {
 		fmt.Fprintf(h, " trace=%g", tr.stride(c.Period))
+		// The layouts marker is appended only when set, so traced configs
+		// from before the snapshot option keep their fingerprint.
+		if tr.Layouts {
+			io.WriteString(h, " layouts")
+		}
 	}
 	if o := c.CPVF; o != nil {
 		fmt.Fprintf(h, " cpvf=%s/%g/%t/%g/%t",

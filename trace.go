@@ -1,6 +1,9 @@
 package mobisense
 
 import (
+	"fmt"
+	"math"
+
 	"mobisense/internal/core"
 	ifield "mobisense/internal/field"
 )
@@ -16,6 +19,25 @@ type TraceOptions struct {
 	// Stride is the sampling interval in seconds (default: the decision
 	// period).
 	Stride float64
+	// Layouts captures the full alive-sensor layout in every sample,
+	// making a traced run replayable as a deployment animation (the
+	// dashboard's replay view) at the cost of sample size. The capture is
+	// a plain copy of state the sampler already reads, so it is exactly as
+	// RNG-silent as the scalar telemetry.
+	Layouts bool
+}
+
+// validate rejects strides that would silently break sampling: negative,
+// NaN and infinite values all have no sensible sampling schedule. A nil
+// receiver (tracing off) and zero (default to the period) are valid.
+func (t *TraceOptions) validate() error {
+	if t == nil {
+		return nil
+	}
+	if math.IsNaN(t.Stride) || math.IsInf(t.Stride, 0) || t.Stride < 0 {
+		return fmt.Errorf("mobisense: trace stride must be a finite value >= 0, got %g", t.Stride)
+	}
+	return nil
 }
 
 func (t *TraceOptions) stride(period float64) float64 {
@@ -44,6 +66,84 @@ type TraceSample struct {
 	// all sensors; MaxMoved the largest single sensor's.
 	TotalMoved float64 `json:"total_moved"`
 	MaxMoved   float64 `json:"max_moved"`
+	// Layout is the alive-sensor layout at the sample time, captured only
+	// when TraceOptions.Layouts is set.
+	Layout []Point `json:"layout,omitempty"`
+}
+
+// Convergence summarizes how one traced run approached its final state —
+// the paper's §6 evaluation is about these transients, not just the end
+// point. All times are simulation seconds read off the trace grid, so
+// their resolution is the trace stride.
+type Convergence struct {
+	// TimeTo90Coverage / TimeTo99Coverage are the first sample times at
+	// which coverage reached 90% / 99% of the run's final coverage.
+	TimeTo90Coverage float64 `json:"t90"`
+	TimeTo99Coverage float64 `json:"t99"`
+	// TimeToConnectivity is the earliest sample time from which every
+	// alive sensor stayed base-station reachable through the end of the
+	// trace; -1 when the final sample is not fully connected.
+	TimeToConnectivity float64 `json:"tconn"`
+	// SettlingTime is the earliest sample time from which no sensor moved
+	// (and no distance accrued) through the end of the trace; the final
+	// sample time when the run never settled.
+	SettlingTime float64 `json:"settle"`
+	// TotalMovedAtSettle / MaxMovedAtSettle are the cumulative movement
+	// totals at the settling sample — the movement cost of convergence.
+	TotalMovedAtSettle float64 `json:"settle_total_moved"`
+	MaxMovedAtSettle   float64 `json:"settle_max_moved"`
+}
+
+// ConvergenceFrom derives the convergence metrics of one trace series.
+// It returns nil for an empty trace (untraced runs, baselines with no
+// event loop), so Result.Convergence stays absent exactly when
+// Result.Trace is.
+func ConvergenceFrom(trace []TraceSample) *Convergence {
+	if len(trace) == 0 {
+		return nil
+	}
+	final := trace[len(trace)-1]
+	c := &Convergence{
+		TimeTo90Coverage:   final.Time,
+		TimeTo99Coverage:   final.Time,
+		TimeToConnectivity: -1,
+		SettlingTime:       final.Time,
+		TotalMovedAtSettle: final.TotalMoved,
+		MaxMovedAtSettle:   final.MaxMoved,
+	}
+	// Coverage thresholds scan forward: the final sample trivially
+	// satisfies both, so the loops always terminate with a valid time.
+	for _, s := range trace {
+		if s.Coverage >= 0.9*final.Coverage {
+			c.TimeTo90Coverage = s.Time
+			break
+		}
+	}
+	for _, s := range trace {
+		if s.Coverage >= 0.99*final.Coverage {
+			c.TimeTo99Coverage = s.Time
+			break
+		}
+	}
+	// Connectivity and settling scan backward for the earliest suffix in
+	// which the condition holds through the end — a transiently connected
+	// (or transiently still) prefix must not count as converged.
+	if final.Connected == final.Alive {
+		for i := len(trace) - 1; i >= 0; i-- {
+			if trace[i].Connected != trace[i].Alive {
+				break
+			}
+			c.TimeToConnectivity = trace[i].Time
+		}
+	}
+	for i := len(trace) - 1; i >= 0; i-- {
+		s := trace[i]
+		if s.Moving != 0 || s.TotalMoved != final.TotalMoved {
+			break
+		}
+		c.SettlingTime = s.Time
+	}
+	return c
 }
 
 // tracer samples a world's telemetry on the engine clock. attach
@@ -60,11 +160,12 @@ type tracer struct {
 // untraced ones.
 func (tr *tracer) attach(w *core.World, horizon float64) {
 	stride := tr.cfg.Trace.stride(w.P.Period)
+	layouts := tr.cfg.Trace.Layouts
 	est := tr.cfg.estimatorFor(tr.f)
 	var cs core.TraceSample
 	w.E.ScheduleEvery(0, stride, func() bool {
 		layout := w.SampleTrace(&cs)
-		tr.samples = append(tr.samples, TraceSample{
+		sample := TraceSample{
 			Time:       cs.Time,
 			Coverage:   est.Fraction(layout, tr.cfg.Rs),
 			Connected:  cs.Connected,
@@ -72,7 +173,13 @@ func (tr *tracer) attach(w *core.World, horizon float64) {
 			Moving:     cs.Moving,
 			TotalMoved: cs.TotalMoved,
 			MaxMoved:   cs.MaxMoved,
-		})
+		}
+		if layouts {
+			// The world's scratch layout is only valid until the next
+			// sample; the persisted copy is the sampler's own.
+			sample.Layout = toPoints(layout)
+		}
+		tr.samples = append(tr.samples, sample)
 		// Keep rescheduling while more simulated time remains; the engine
 		// drops whatever is still queued past the final RunUntil.
 		return cs.Time < horizon

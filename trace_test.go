@@ -62,18 +62,22 @@ func TestTraceDoesNotPerturbRun(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		cfg := quickConfig(s)
-		cfg.Trace = &TraceOptions{Stride: 1}
-		traced, err := Run(cfg)
-		if err != nil {
-			t.Fatal(err)
-		}
-		if plain.Coverage != traced.Coverage || plain.AvgMoveDistance != traced.AvgMoveDistance ||
-			plain.Messages != traced.Messages || plain.ConvergenceTime != traced.ConvergenceTime {
-			t.Errorf("%s: tracing changed run metrics", s)
-		}
-		if !reflect.DeepEqual(plain.Positions, traced.Positions) {
-			t.Errorf("%s: tracing changed the final layout", s)
+		// Layout snapshots copy state the sampler already reads, so they
+		// must be exactly as RNG-silent as the scalar telemetry.
+		for _, layouts := range []bool{false, true} {
+			cfg := quickConfig(s)
+			cfg.Trace = &TraceOptions{Stride: 1, Layouts: layouts}
+			traced, err := Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if plain.Coverage != traced.Coverage || plain.AvgMoveDistance != traced.AvgMoveDistance ||
+				plain.Messages != traced.Messages || plain.ConvergenceTime != traced.ConvergenceTime {
+				t.Errorf("%s (layouts=%t): tracing changed run metrics", s, layouts)
+			}
+			if !reflect.DeepEqual(plain.Positions, traced.Positions) {
+				t.Errorf("%s (layouts=%t): tracing changed the final layout", s, layouts)
+			}
 		}
 	}
 }
@@ -142,7 +146,14 @@ func TestUntracedStoreOmitsTraceFlag(t *testing.T) {
 		t.Fatal("fingerprint not deterministic")
 	}
 	cfg.Trace = &TraceOptions{Stride: 5}
-	if configFingerprint(cfg) == a {
+	traced := configFingerprint(cfg)
+	if traced == a {
 		t.Fatal("trace stride not covered by the config fingerprint")
+	}
+	// The layouts marker appends only when set, so traced fingerprints
+	// from before the snapshot option stay stable.
+	cfg.Trace.Layouts = true
+	if configFingerprint(cfg) == traced {
+		t.Fatal("layout snapshots not covered by the config fingerprint")
 	}
 }

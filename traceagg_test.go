@@ -1,0 +1,247 @@
+package mobisense
+
+import (
+	"context"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// synthTrace builds a simple coverage ramp: coverage climbs linearly to
+// 1.0 at t=60, everything connected from t=40, movement stops at t=50.
+func synthTrace() []TraceSample {
+	var out []TraceSample
+	for t := 0.0; t <= 100; t += 10 {
+		s := TraceSample{Time: t, Alive: 10, Coverage: t / 60}
+		if s.Coverage > 1 {
+			s.Coverage = 1
+		}
+		if t >= 40 {
+			s.Connected = 10
+		} else {
+			s.Connected = 5
+		}
+		if t < 50 {
+			s.Moving = 3
+			s.TotalMoved = 10 * t
+			s.MaxMoved = t
+		} else {
+			s.TotalMoved = 500
+			s.MaxMoved = 50
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+func TestConvergenceFrom(t *testing.T) {
+	c := ConvergenceFrom(synthTrace())
+	if c == nil {
+		t.Fatal("no convergence from a non-empty trace")
+	}
+	// Final coverage 1.0: 90% first reached at t=60 (0.9 exactly at t=54,
+	// grid sample 60 has 1.0; t=50 has 0.833).
+	if c.TimeTo90Coverage != 60 {
+		t.Errorf("t90 = %g, want 60", c.TimeTo90Coverage)
+	}
+	if c.TimeTo99Coverage != 60 {
+		t.Errorf("t99 = %g, want 60", c.TimeTo99Coverage)
+	}
+	if c.TimeToConnectivity != 40 {
+		t.Errorf("tconn = %g, want 40", c.TimeToConnectivity)
+	}
+	if c.SettlingTime != 50 {
+		t.Errorf("settle = %g, want 50", c.SettlingTime)
+	}
+	if c.TotalMovedAtSettle != 500 || c.MaxMovedAtSettle != 50 {
+		t.Errorf("settle movement = %g/%g, want 500/50", c.TotalMovedAtSettle, c.MaxMovedAtSettle)
+	}
+}
+
+func TestConvergenceEdgeCases(t *testing.T) {
+	if ConvergenceFrom(nil) != nil {
+		t.Error("empty trace produced convergence metrics")
+	}
+	// A run whose final layout is disconnected never "reaches"
+	// connectivity, whatever transient connectivity it saw mid-run.
+	tr := synthTrace()
+	tr[len(tr)-1].Connected = 9
+	if c := ConvergenceFrom(tr); c.TimeToConnectivity != -1 {
+		t.Errorf("disconnected final sample: tconn = %g, want -1", c.TimeToConnectivity)
+	}
+	// A transiently-still prefix must not count as settled: movement at
+	// the very last sample pins the settling time there.
+	tr = synthTrace()
+	last := &tr[len(tr)-1]
+	last.Moving = 1
+	if c := ConvergenceFrom(tr); c.SettlingTime != last.Time {
+		t.Errorf("still-moving run settled at %g, want %g", c.SettlingTime, last.Time)
+	}
+}
+
+func TestTraceStrideValidation(t *testing.T) {
+	for _, bad := range []float64{-1, nan(), inf()} {
+		cfg := quickConfig(SchemeCPVF)
+		cfg.Trace = &TraceOptions{Stride: bad}
+		if _, err := Run(cfg); err == nil {
+			t.Errorf("stride %g was accepted", bad)
+		}
+	}
+}
+
+func nan() float64 { z := 0.0; return z / z }
+func inf() float64 { z := 0.0; return 1 / z }
+
+// TestAggregateTracesDeterministic is the tentpole contract: aggregated
+// trace curves are bit-identical whatever the worker count and however
+// the sweep was sharded.
+func TestAggregateTracesDeterministic(t *testing.T) {
+	base := quickConfig(SchemeCPVF)
+	base.Duration = 30
+	base.Trace = &TraceOptions{Stride: 10}
+	sw := Sweep{Base: base, Schemes: []Scheme{SchemeCPVF, SchemeFLOOR}, Repeats: 2}
+
+	run := func(workers int) SweepResult {
+		t.Helper()
+		sr, err := sw.Run(context.Background(), BatchOptions{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sr
+	}
+	one, many := run(1), run(4)
+	aggOne, aggMany := AggregateTraces(one.Runs), AggregateTraces(many.Runs)
+	if !reflect.DeepEqual(aggOne, aggMany) {
+		t.Fatal("aggregated traces differ across worker counts")
+	}
+	if len(aggOne) != 2 {
+		t.Fatalf("got %d trace groups, want 2 (one per scheme)", len(aggOne))
+	}
+	for _, tr := range aggOne {
+		if tr.Runs != 2 {
+			t.Errorf("%s group has %d runs, want 2", tr.Scheme, tr.Runs)
+		}
+		if len(tr.Points) == 0 {
+			t.Errorf("%s group has no points", tr.Scheme)
+		}
+		for i, p := range tr.Points {
+			if p.Runs != 2 {
+				t.Errorf("%s point %d summarizes %d runs, want 2", tr.Scheme, i, p.Runs)
+			}
+			if i > 0 && p.Time <= tr.Points[i-1].Time {
+				t.Errorf("%s points not in ascending time order", tr.Scheme)
+			}
+		}
+	}
+
+	// Sharded stores, merged, reproduce the unsharded aggregation exactly.
+	dirs := []string{filepath.Join(t.TempDir(), "s0"), filepath.Join(t.TempDir(), "s1")}
+	for i, dir := range dirs {
+		_, err := sw.Run(context.Background(), BatchOptions{
+			Shard: Shard{Index: i, Count: 2},
+			Store: &Store{Dir: dir, Trace: true},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	data, err := LoadStores(dirs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := AggregateTraces(data.Runs); !reflect.DeepEqual(got, aggOne) {
+		t.Fatal("shard-merged trace aggregation differs from the unsharded one")
+	}
+	// The run-level aggregates carry the same determinism for the
+	// convergence summaries.
+	if !reflect.DeepEqual(one.Aggregates, many.Aggregates) ||
+		!reflect.DeepEqual(data.Aggregates, one.Aggregates) {
+		t.Fatal("aggregates (with convergence) differ across worker counts or sharding")
+	}
+	for _, a := range one.Aggregates {
+		if a.Convergence == nil {
+			t.Fatalf("%s aggregate has no convergence summary", a.Scheme)
+		}
+		if a.Convergence.Runs != 2 {
+			t.Errorf("%s convergence summarizes %d runs, want 2", a.Scheme, a.Convergence.Runs)
+		}
+	}
+}
+
+func TestAggregateTracesSkipsUntraced(t *testing.T) {
+	// Baselines yield no trace; a mixed sweep aggregates only the traced
+	// groups, and a fully untraced result set aggregates to nil.
+	base := quickConfig(SchemeCPVF)
+	base.Duration = 30
+	base.Trace = &TraceOptions{Stride: 10}
+	base.Rc = 240 // VOR needs a large rc on the quick field
+	sw := Sweep{Base: base, Schemes: []Scheme{SchemeCPVF, SchemeVOR}, Repeats: 1}
+	sr, err := sw.Run(context.Background(), BatchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	traces := AggregateTraces(sr.Runs)
+	if len(traces) != 1 || traces[0].Scheme != SchemeCPVF {
+		t.Fatalf("mixed sweep aggregated %d trace groups, want 1 (cpvf only)", len(traces))
+	}
+	for _, a := range sr.Aggregates {
+		if a.Scheme == SchemeVOR && a.Convergence != nil {
+			t.Error("untraced VOR group grew a convergence summary")
+		}
+	}
+	if AggregateTraces(nil) != nil {
+		t.Error("empty run set aggregated to non-nil")
+	}
+}
+
+func TestTraceLayoutsRoundTrip(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "store")
+	cfg := quickConfig(SchemeCPVF)
+	cfg.Duration = 30
+	cfg.Trace = &TraceOptions{Stride: 10, Layouts: true}
+	sw := Sweep{Base: cfg, Repeats: 2}
+	sr, err := sw.Run(context.Background(), BatchOptions{
+		Store: &Store{Dir: dir, Trace: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, br := range sr.Runs {
+		for j, s := range br.Result.Trace {
+			if len(s.Layout) != s.Alive {
+				t.Fatalf("run %d sample %d has %d layout points, want %d", i, j, len(s.Layout), s.Alive)
+			}
+		}
+		if br.Result.Convergence == nil {
+			t.Fatalf("run %d has no convergence metrics", i)
+		}
+	}
+	// Final sample's layout matches the run's final positions.
+	last := sr.Runs[0].Result.Trace[len(sr.Runs[0].Result.Trace)-1]
+	if !reflect.DeepEqual(last.Layout, sr.Runs[0].Result.Positions) {
+		t.Error("final trace layout differs from the result's final positions")
+	}
+
+	data, err := LoadStores(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, br := range data.Runs {
+		if !reflect.DeepEqual(br.Result.Trace, sr.Runs[i].Result.Trace) {
+			t.Fatalf("run %d trace (with layouts) did not survive the round trip", i)
+		}
+		if !reflect.DeepEqual(br.Result.Convergence, sr.Runs[i].Result.Convergence) {
+			t.Fatalf("run %d convergence did not survive the round trip", i)
+		}
+	}
+
+	// The manifest records the snapshot mode, and resuming without it is
+	// refused like any other store-shape change.
+	plain := sw
+	plain.Base.Trace = &TraceOptions{Stride: 10}
+	if _, err := plain.Run(context.Background(), BatchOptions{
+		Store: &Store{Dir: dir, Resume: true, Trace: true},
+	}); err == nil {
+		t.Fatal("resume across a trace-layouts change was accepted")
+	}
+}
