@@ -1,0 +1,61 @@
+package mobisense
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+
+	ifield "mobisense/internal/field"
+)
+
+// TestAccelSweepRecordsByteIdentical is the acceptance check for the
+// geometry acceleration layer: an obstacle-heavy sweep stored with the
+// acceleration structure enabled must produce byte-identical manifest and
+// records files to the same sweep on the retained brute-force paths. The
+// accelerated kernels are exact pruning transformations, so any byte of
+// difference is a bug, not noise.
+func TestAccelSweepRecordsByteIdentical(t *testing.T) {
+	cfg := sweepConfig()
+	cfg.Duration = 60
+	sweep := Sweep{
+		Base:      cfg,
+		Schemes:   []Scheme{SchemeCPVF, SchemeFLOOR},
+		Scenarios: []string{"narrow-door", "random-obstacles"},
+		Ns:        []int{25},
+		Repeats:   2,
+		Seed:      7,
+	}
+	dirs := map[bool]string{
+		true:  filepath.Join(t.TempDir(), "accel"),
+		false: filepath.Join(t.TempDir(), "brute"),
+	}
+	for _, accel := range []bool{true, false} {
+		prev := ifield.SetAccelEnabled(accel)
+		_, err := sweep.Run(context.Background(), BatchOptions{
+			Workers: 4,
+			Store:   &Store{Dir: dirs[accel]},
+		})
+		ifield.SetAccelEnabled(prev)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, file := range []string{"manifest.json", "records.jsonl"} {
+		a, err := os.ReadFile(filepath.Join(dirs[true], file))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := os.ReadFile(filepath.Join(dirs[false], file))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a, b) {
+			t.Errorf("%s differs between accelerated and brute-force sweeps", file)
+		}
+	}
+	if len(bytesOrEmpty(t, dirs[true], "records.jsonl")) == 0 {
+		t.Fatal("records.jsonl is empty")
+	}
+}

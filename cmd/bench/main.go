@@ -4,17 +4,25 @@
 //
 // Snapshot a baseline (done once per perf-sensitive PR):
 //
-//	go run ./cmd/bench -count 3 -out BENCH_PR6.json
+//	go run ./cmd/bench -count 5 -out BENCH_PR9.json
 //
 // Gate the current tree against it (CI's bench-gate job):
 //
-//	go run ./cmd/bench -count 3 -compare BENCH_PR6.json
+//	go run ./cmd/bench -count 5 -compare BENCH_PR9.json -ns-gate -ns-tol 0.75
 //
 // The gate fails when any benchmark's allocs/op regresses by more than
 // -allocs-tol (default 10%). Wall-clock (ns/op) is machine-dependent, so
 // ns/op regressions beyond -ns-tol (default 15%) only warn unless -ns-gate
-// is set. With -count > 1 the best (minimum) of the repetitions is used,
-// which suppresses GC-timing noise in pooled allocation counts.
+// is set; CI gates with a generous tolerance that still catches the
+// multi-x cost of losing a kernel fast path. With -count > 1 the best
+// (minimum) of the repetitions is used, which suppresses GC-timing noise
+// in pooled allocation counts and scheduler jitter in wall-clock numbers.
+//
+// To profile a kernel, narrow -pkgs to one package and pass the profile
+// through:
+//
+//	go run ./cmd/bench -pkgs ./internal/coverage -bench BenchmarkFractionLOS -cpuprofile cpu.out
+//	go tool pprof -top cpu.out
 package main
 
 import (
@@ -29,10 +37,13 @@ import (
 )
 
 // defaultBenchRegexp selects the perf-tracking benchmarks: the end-to-end
-// batch sweep (the headline allocs/op number), the store writer, and the
-// pooled hot-path micro benches in internal/coverage and internal/spatial.
+// batch sweep (the headline allocs/op number), the store writer, the
+// pooled hot-path micro benches in internal/coverage and internal/spatial,
+// and the geometry/connectivity kernel benches guarded by the ns/op gate
+// (FirstHit, LOS coverage, exclusive area, unit-disk flood).
 const defaultBenchRegexp = "^(BenchmarkBatchSweepSequential|BenchmarkBatchSweepParallel|" +
-	"BenchmarkStoreWrite|BenchmarkFractionReuse|BenchmarkInsertMoveQuery)$"
+	"BenchmarkStoreWrite|BenchmarkFractionReuse|BenchmarkInsertMoveQuery|" +
+	"BenchmarkFirstHit|BenchmarkFractionLOS|BenchmarkExclusiveArea|BenchmarkUnitDiskReachable)$"
 
 // Result is one benchmark's measured costs.
 type Result struct {
@@ -65,10 +76,12 @@ func main() {
 		allocsTol = flag.Float64("allocs-tol", 0.10, "max allowed fractional allocs/op regression")
 		nsTol     = flag.Float64("ns-tol", 0.15, "ns/op regression fraction that triggers a warning")
 		nsGate    = flag.Bool("ns-gate", false, "fail (not just warn) on ns/op regressions beyond -ns-tol")
+		cpuProf   = flag.String("cpuprofile", "", "pass -cpuprofile to go test (requires -pkgs to name a single package)")
+		memProf   = flag.String("memprofile", "", "pass -memprofile to go test (requires -pkgs to name a single package)")
 	)
 	flag.Parse()
 
-	cur, err := run(*benchRe, *benchTime, *count, *pkgs)
+	cur, err := run(*benchRe, *benchTime, *count, *pkgs, *cpuProf, *memProf)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bench:", err)
 		os.Exit(1)
@@ -121,9 +134,18 @@ func main() {
 
 // run executes the benchmark suite `count` times and keeps the minimum of
 // every metric per benchmark.
-func run(benchRe, benchTime string, count int, pkgs string) (map[string]Result, error) {
+func run(benchRe, benchTime string, count int, pkgs, cpuProf, memProf string) (map[string]Result, error) {
 	args := []string{"test", "-run", "^$", "-bench", benchRe, "-benchmem",
 		"-benchtime", benchTime, "-count", strconv.Itoa(count)}
+	// Profile passthrough: go test rejects profile flags across multiple
+	// packages, so callers narrow with -pkgs (see the README profiling
+	// workflow).
+	if cpuProf != "" {
+		args = append(args, "-cpuprofile", cpuProf)
+	}
+	if memProf != "" {
+		args = append(args, "-memprofile", memProf)
+	}
 	args = append(args, strings.Fields(pkgs)...)
 	cmd := exec.Command("go", args...)
 	cmd.Stderr = os.Stderr

@@ -98,6 +98,7 @@ func run() int {
 		layouts   = flag.Bool("store-layouts", false, "persist each run's initial and final sensor layouts in its store record (requires -store)")
 		trace     = flag.Float64("trace", 0, "sample per-tick telemetry every this many simulated seconds (0 = off); single runs print the series, sweeps persist it in -store records")
 		traceLay  = flag.Bool("trace-layouts", false, "capture the full sensor layout in every trace sample for replay animation (requires -trace)")
+		traceLayN = flag.Int("trace-layout-stride", 0, "capture layouts only every Nth trace sample (0 or 1 = every; requires -trace-layouts)")
 		traceCSV  = flag.String("trace-csv", "", "write the run's trace series as CSV to this path (single run only, requires -trace)")
 		resume    = flag.Bool("resume", false, "continue an interrupted sweep in the -store directory")
 		shardSpec = flag.String("shard", "", "run only shard i of n, as \"i/n\" (requires -store; merge with cmd/report)")
@@ -181,6 +182,14 @@ func run() int {
 		fmt.Fprintln(os.Stderr, "-trace-layouts needs -trace: there is no series to capture layouts into")
 		return 2
 	}
+	if *traceLayN < 0 {
+		fmt.Fprintf(os.Stderr, "-trace-layout-stride must be >= 0, got %d\n", *traceLayN)
+		return 2
+	}
+	if *traceLayN > 1 && !*traceLay {
+		fmt.Fprintln(os.Stderr, "-trace-layout-stride needs -trace-layouts: there are no layout samples to thin")
+		return 2
+	}
 	if *traceCSV != "" && *trace == 0 {
 		fmt.Fprintln(os.Stderr, "-trace-csv needs -trace: there is no series to write")
 		return 2
@@ -201,7 +210,7 @@ func run() int {
 	cfg.CPVF = &mobisense.CPVFOptions{Oscillation: *osc, Delta: *delta}
 	cfg.Floor = &mobisense.FloorOptions{TTL: *ttl}
 	if *trace > 0 {
-		cfg.Trace = &mobisense.TraceOptions{Stride: *trace, Layouts: *traceLay}
+		cfg.Trace = &mobisense.TraceOptions{Stride: *trace, Layouts: *traceLay, LayoutStride: *traceLayN}
 	}
 
 	// Ctrl-C cancels the sweep; every finished run is kept (and persisted

@@ -160,7 +160,7 @@ func (p *Planner) Init(f *field.Field, start, target geom.Vec, hand Hand, arrive
 		mode:      modeStraight,
 		maxFollow: followBudget(f),
 	}
-	if p.pos.Dist(p.target) <= p.arriveTol {
+	if p.pos.WithinDist(p.target, p.arriveTol) {
 		p.status = StatusArrived
 	}
 }
@@ -233,7 +233,7 @@ func (p *Planner) stepStraight(budget float64) float64 {
 	hit, ok := p.f.FirstHit(geom.Seg(p.pos, dest))
 	if !ok {
 		p.pos = dest
-		if p.pos.Dist(p.target) <= p.arriveTol {
+		if p.pos.WithinDist(p.target, p.arriveTol) {
 			p.status = StatusArrived
 		}
 		return stepLen
@@ -242,7 +242,7 @@ func (p *Planner) stepStraight(budget float64) float64 {
 	// A hit within arrival tolerance of the target (e.g. a target on a
 	// wall or at a field corner) counts as arrival.
 	hitMoved := hit.T * stepLen
-	if hit.Point.Dist(p.target) <= p.arriveTol+clearance {
+	if hit.Point.WithinDist(p.target, p.arriveTol+clearance) {
 		p.pos = p.standOff(hit.Solid, hit.Edge, hit.Point)
 		p.status = StatusArrived
 		return hitMoved
@@ -339,7 +339,7 @@ func (p *Planner) stepFollow(budget float64) float64 {
 			p.pos = leavePt
 			p.followTravel += movedToLeave
 			p.mode = modeStraight
-			if p.pos.Dist(p.target) <= p.arriveTol {
+			if p.pos.WithinDist(p.target, p.arriveTol) {
 				p.status = StatusArrived
 			}
 			return movedToLeave
@@ -358,7 +358,7 @@ func (p *Planner) stepFollow(budget float64) float64 {
 	swept := geom.Seg(p.pos, next)
 	p.pos = next
 	p.followTravel += stepLen
-	if p.pos.Dist(p.target) <= p.arriveTol {
+	if p.pos.WithinDist(p.target, p.arriveTol) {
 		p.status = StatusArrived
 	}
 	// Unreachable-target detection: once the walk has moved well away from

@@ -26,7 +26,7 @@ func UnitDiskReachable(positions []geom.Vec, base geom.Vec, radius float64) []bo
 	}
 	queue := make([]int, 0, n)
 	for i, p := range positions {
-		if p.Dist(base) <= radius {
+		if p.WithinDist(base, radius) {
 			reached[i] = true
 			queue = append(queue, i)
 		}
@@ -102,7 +102,7 @@ func (w *World) FloodFromBase(radius float64) {
 	queue := w.floodQueue[:0]
 	w.Msg.Count(MsgFlood, 1) // base station's initial broadcast
 	for i, p := range positions {
-		if p.Dist(w.F.Reference()) <= radius {
+		if p.WithinDist(w.F.Reference(), radius) {
 			visited[i] = true
 			w.Sensors[i].Connected = true
 			w.Tree.SetParent(i, BaseParent)

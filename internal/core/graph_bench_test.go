@@ -1,0 +1,25 @@
+package core
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"mobisense/internal/geom"
+)
+
+// BenchmarkUnitDiskReachable measures the connectivity flood over a
+// 2000-node uniform layout — the ground-truth check every period of every
+// run pays.
+func BenchmarkUnitDiskReachable(b *testing.B) {
+	rng := rand.New(rand.NewPCG(4, 2))
+	positions := make([]geom.Vec, 2000)
+	for i := range positions {
+		positions[i] = geom.V(rng.Float64()*1000, rng.Float64()*1000)
+	}
+	base := geom.V(0, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		UnitDiskReachable(positions, base, 60)
+	}
+}

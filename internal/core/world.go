@@ -230,7 +230,7 @@ func (w *World) ForNeighbors(id int, r float64, fn func(j int, pos geom.Vec)) {
 			return
 		}
 		p := w.PosAt(j, now)
-		if p.Dist(center) <= r {
+		if p.WithinDist(center, r) {
 			fn(j, p)
 		}
 	})
@@ -253,7 +253,7 @@ func (w *World) Neighbors(id int, r float64) []int {
 // NearBase reports whether sensor id is within radius r of the base
 // station.
 func (w *World) NearBase(id int, r float64) bool {
-	return w.Pos(id).Dist(w.F.Reference()) <= r
+	return w.Pos(id).WithinDist(w.F.Reference(), r)
 }
 
 // Layout returns a snapshot of all sensor positions at the current time.

@@ -1,0 +1,94 @@
+package coverage
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"mobisense/internal/field"
+	"mobisense/internal/geom"
+)
+
+// A/B tests pinning the probe-accelerated coverage kernels to the
+// brute-force paths (acceleration globally disabled): results must be
+// bit-identical on randomized obstacle fields, sensor layouts, and radii.
+
+func abRandomField(t *testing.T, rng *rand.Rand) *field.Field {
+	t.Helper()
+	f, err := field.RandomObstacles(rng, field.RandomObstacleConfig{
+		MinCount:  2,
+		MaxCount:  8,
+		MinSide:   60,
+		MaxSide:   350,
+		KeepClear: 30,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// abPositions samples sensor positions, mostly free but some deliberately
+// inside obstacles or out of bounds to exercise the blocked-sensor skip.
+func abPositions(rng *rand.Rand, f *field.Field, n int) []geom.Vec {
+	out := make([]geom.Vec, 0, n)
+	for len(out) < n {
+		switch rng.IntN(8) {
+		case 0:
+			out = append(out, geom.V(rng.Float64()*1400-200, rng.Float64()*1400-200))
+		default:
+			out = append(out, f.RandomFreePoint(rng, f.Bounds()))
+		}
+	}
+	return out
+}
+
+func TestFractionAccelMatchesBrute(t *testing.T) {
+	rng := rand.New(rand.NewPCG(404, 17))
+	for trial := 0; trial < 8; trial++ {
+		f := abRandomField(t, rng)
+		e := NewEstimator(f, 10)
+		for q := 0; q < 4; q++ {
+			positions := abPositions(rng, f, 8+rng.IntN(30))
+			rs := 15 + rng.Float64()*60
+			k := 1 + rng.IntN(3)
+
+			fastF := e.Fraction(positions, rs)
+			fastK := e.KFraction(positions, rs, k)
+			prev := field.SetAccelEnabled(false)
+			slowF := e.Fraction(positions, rs)
+			slowK := e.KFraction(positions, rs, k)
+			field.SetAccelEnabled(prev)
+			if fastF != slowF {
+				t.Fatalf("trial %d/%d: Fraction accel %v != brute %v (rs=%v, %d sensors)",
+					trial, q, fastF, slowF, rs, len(positions))
+			}
+			if fastK != slowK {
+				t.Fatalf("trial %d/%d: KFraction(k=%d) accel %v != brute %v (rs=%v)",
+					trial, q, k, fastK, slowK, rs)
+			}
+		}
+	}
+}
+
+func TestExclusiveAreaAccelMatchesBrute(t *testing.T) {
+	rng := rand.New(rand.NewPCG(505, 23))
+	for trial := 0; trial < 8; trial++ {
+		f := abRandomField(t, rng)
+		for q := 0; q < 6; q++ {
+			center := f.RandomFreePoint(rng, f.Bounds())
+			rs := 15 + rng.Float64()*50
+			// Mix of near, far, and blocked others: the prefilter must
+			// discard far/blocked ones without changing the result.
+			others := abPositions(rng, f, 3+rng.IntN(20))
+
+			fast := ExclusiveArea(f, center, rs, others, rs/8)
+			prev := field.SetAccelEnabled(false)
+			slow := ExclusiveArea(f, center, rs, others, rs/8)
+			field.SetAccelEnabled(prev)
+			if fast != slow {
+				t.Fatalf("trial %d/%d: ExclusiveArea accel %v != brute %v (center=%v rs=%v, %d others)",
+					trial, q, fast, slow, center, rs, len(others))
+			}
+		}
+	}
+}

@@ -1,0 +1,59 @@
+package coverage
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"mobisense/internal/field"
+	"mobisense/internal/geom"
+)
+
+// losBenchSetup builds a fixed obstacle-heavy field with free sensor
+// positions for the line-of-sight coverage benchmarks.
+func losBenchSetup(b *testing.B, nPos int) (*field.Field, []geom.Vec) {
+	b.Helper()
+	rng := rand.New(rand.NewPCG(3, 14))
+	f, err := field.RandomObstacles(rng, field.RandomObstacleConfig{
+		MinCount:  8,
+		MaxCount:  8,
+		MinSide:   80,
+		MaxSide:   300,
+		KeepClear: 30,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	positions := make([]geom.Vec, nPos)
+	for i := range positions {
+		positions[i] = f.RandomFreePoint(rng, f.Bounds())
+	}
+	return f, positions
+}
+
+// BenchmarkFractionLOS measures coverage estimation on an obstacle-heavy
+// field, where every in-range cell pays a line-of-sight test — the
+// dominant cost of obstacle-dense sweeps.
+func BenchmarkFractionLOS(b *testing.B) {
+	f, positions := losBenchSetup(b, 120)
+	e := NewEstimator(f, 5)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Fraction(positions, 40)
+	}
+}
+
+// BenchmarkExclusiveArea measures FLOOR's movable-sensor test: exclusive
+// coverage of 10 centers against 40 other sensors at the rs/8 sampling
+// resolution phase 2 uses.
+func BenchmarkExclusiveArea(b *testing.B) {
+	f, positions := losBenchSetup(b, 50)
+	centers, others := positions[:10], positions[10:]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, c := range centers {
+			ExclusiveArea(f, c, 40, others, 5)
+		}
+	}
+}

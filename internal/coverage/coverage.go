@@ -24,6 +24,8 @@ type Estimator struct {
 	res   float64
 	nx    int
 	ny    int
+	cx    []float64 // precomputed cell-center x per column
+	cy    []float64 // precomputed cell-center y per row
 	free  []bool
 	nFree int
 
@@ -33,11 +35,14 @@ type Estimator struct {
 // gridScratch is a reusable evaluation grid. Instead of clearing nx*ny
 // cells between calls, each call bumps the epoch; a cell is "set" when its
 // stamp equals the current epoch. counts carries the per-cell disk counts
-// for KFraction, valid only where the stamp is current.
+// for KFraction, valid only where the stamp is current. The probe scratch
+// backs the per-sensor line-of-sight probes, so they allocate nothing in
+// the steady state either.
 type gridScratch struct {
 	epoch  uint32
 	stamps []uint32
 	counts []int16
+	probe  field.ProbeScratch
 }
 
 // next prepares the scratch for a fresh evaluation in O(1), falling back
@@ -63,6 +68,14 @@ func NewEstimator(f *field.Field, res float64) *Estimator {
 		nx:  int(math.Ceil(b.W() / res)),
 		ny:  int(math.Ceil(b.H() / res)),
 	}
+	e.cx = make([]float64, e.nx)
+	for ix := range e.cx {
+		e.cx[ix] = b.Min.X + (float64(ix)+0.5)*res
+	}
+	e.cy = make([]float64, e.ny)
+	for iy := range e.cy {
+		e.cy[iy] = b.Min.Y + (float64(iy)+0.5)*res
+	}
 	e.free = make([]bool, e.nx*e.ny)
 	for iy := 0; iy < e.ny; iy++ {
 		for ix := 0; ix < e.nx; ix++ {
@@ -83,8 +96,7 @@ func NewEstimator(f *field.Field, res float64) *Estimator {
 }
 
 func (e *Estimator) cellCenter(ix, iy int) geom.Vec {
-	b := e.f.Bounds()
-	return geom.V(b.Min.X+(float64(ix)+0.5)*e.res, b.Min.Y+(float64(iy)+0.5)*e.res)
+	return geom.V(e.cx[ix], e.cy[iy])
 }
 
 // Resolution returns the grid resolution.
@@ -137,18 +149,45 @@ func (e *Estimator) Fraction(positions []geom.Vec, rs float64) float64 {
 		if !full {
 			w = e.windowAround(p, rs)
 		}
+		// Per-sensor line-of-sight setup: a disk probe narrows the edge
+		// set to the sensor's window, a blocked sensor sees no cell at
+		// all (every Visible test would fail on its Free(p) check), and
+		// a probe with no nearby edges makes every in-disk pair visible
+		// — all exact rewrites of the per-cell Visible call.
+		visTest := los
+		var pr field.Probe
+		useProbe := false
+		if los {
+			pr = e.f.DiskProbe(&g.probe, p, rs)
+			if useProbe = pr.Active(); useProbe {
+				if !e.f.Free(p) {
+					continue
+				}
+				if pr.TriviallyVisible() {
+					visTest = false
+				}
+			}
+		}
 		for iy := w.iy0; iy <= w.iy1; iy++ {
+			row := iy * e.nx
+			cyv := e.cy[iy]
 			for ix := w.ix0; ix <= w.ix1; ix++ {
-				i := iy*e.nx + ix
+				i := row + ix
 				if covered[i] == epoch || !e.free[i] {
 					continue
 				}
-				c := e.cellCenter(ix, iy)
+				c := geom.V(e.cx[ix], cyv)
 				if c.Dist2(p) > rs2 {
 					continue
 				}
-				if los && !e.f.Visible(p, c) {
-					continue
+				if visTest {
+					if useProbe {
+						if !pr.VisibleFree(p, c) {
+							continue
+						}
+					} else if !e.f.Visible(p, c) {
+						continue
+					}
 				}
 				covered[i] = epoch
 				count++
@@ -185,18 +224,41 @@ func (e *Estimator) KFraction(positions []geom.Vec, rs float64, k int) float64 {
 		if !full {
 			w = e.windowAround(p, rs)
 		}
+		// Same per-sensor LOS setup as Fraction; see the comment there.
+		visTest := los
+		var pr field.Probe
+		useProbe := false
+		if los {
+			pr = e.f.DiskProbe(&g.probe, p, rs)
+			if useProbe = pr.Active(); useProbe {
+				if !e.f.Free(p) {
+					continue
+				}
+				if pr.TriviallyVisible() {
+					visTest = false
+				}
+			}
+		}
 		for iy := w.iy0; iy <= w.iy1; iy++ {
+			row := iy * e.nx
+			cyv := e.cy[iy]
 			for ix := w.ix0; ix <= w.ix1; ix++ {
-				i := iy*e.nx + ix
+				i := row + ix
 				if !e.free[i] {
 					continue
 				}
-				c := e.cellCenter(ix, iy)
+				c := geom.V(e.cx[ix], cyv)
 				if c.Dist2(p) > rs2 {
 					continue
 				}
-				if los && !e.f.Visible(p, c) {
-					continue
+				if visTest {
+					if useProbe {
+						if !pr.VisibleFree(p, c) {
+							continue
+						}
+					} else if !e.f.Visible(p, c) {
+						continue
+					}
 				}
 				if g.stamps[i] != epoch {
 					g.stamps[i] = epoch
@@ -224,6 +286,14 @@ func ExclusiveArea(f *field.Field, center geom.Vec, rs float64, others []geom.Ve
 	if res <= 0 {
 		res = rs / 10
 	}
+	sc := exclScratch.Get().(*exclusiveScratch)
+	defer exclScratch.Put(sc)
+	// The probe disk must cover every segment the sampling loop tests:
+	// center→p stays within rs of the center, and o→p within 2·rs (both
+	// endpoints do).
+	if pr := f.DiskProbe(&sc.probe, center, 2*rs); pr.Active() {
+		return exclusiveAreaFast(f, center, rs, others, res, sc, pr)
+	}
 	rs2 := rs * rs
 	los := len(f.Obstacles()) > 0
 	count := 0
@@ -239,6 +309,73 @@ func ExclusiveArea(f *field.Field, center geom.Vec, rs float64, others []geom.Ve
 			exclusive := true
 			for _, o := range others {
 				if p.Dist2(o) <= rs2 && (!los || f.Visible(o, p)) {
+					exclusive = false
+					break
+				}
+			}
+			if exclusive {
+				count++
+			}
+		}
+	}
+	return float64(count) * res * res
+}
+
+// exclusiveScratch pools the reusable buffers of ExclusiveArea, which is
+// called once per sensor per FLOOR period across concurrent sweep
+// workers.
+type exclusiveScratch struct {
+	probe field.ProbeScratch
+	near  []geom.Vec
+}
+
+var exclScratch = sync.Pool{New: func() any { return new(exclusiveScratch) }}
+
+// exclusiveAreaFast is ExclusiveArea on the probe-accelerated path. It is
+// an exact rewrite of the brute loop above:
+//   - a blocked center sees no sample (each Visible(center, p) would fail
+//     its Free check), so the whole call returns 0;
+//   - only others within 2·rs of the center can pass the sample test
+//     p.Dist2(o) <= rs² for a sample within rs of the center (triangle
+//     inequality, with a guard band far wider than float rounding), and
+//     in LOS mode a blocked other can never see any sample — the filter
+//     keeps order, so the first-match break is unchanged;
+//   - Bounds().Contains is dropped because Free implies it;
+//   - per-pair Visible calls become in-probe VisibleFree calls, and are
+//     skipped wholesale when no solid edge is near the disk.
+func exclusiveAreaFast(f *field.Field, center geom.Vec, rs float64, others []geom.Vec, res float64, sc *exclusiveScratch, pr field.Probe) float64 {
+	rs2 := rs * rs
+	los := len(f.Obstacles()) > 0
+	if los && !f.Free(center) {
+		return 0
+	}
+	limit := 2*rs + 1e-6
+	limit2 := limit * limit
+	near := sc.near[:0]
+	for _, o := range others {
+		if o.Dist2(center) > limit2 {
+			continue
+		}
+		if los && !pr.FreeInDisk(o) {
+			continue
+		}
+		near = append(near, o)
+	}
+	sc.near = near
+	visTest := los && !pr.TriviallyVisible()
+	count := 0
+	for y := center.Y - rs; y <= center.Y+rs; y += res {
+		for x := center.X - rs; x <= center.X+rs; x += res {
+			p := geom.V(x, y)
+			if p.Dist2(center) > rs2 || !pr.FreeInDisk(p) {
+				continue
+			}
+			if visTest && !pr.VisibleFree(center, p) {
+				continue
+			}
+			exclusive := true
+			for _, o := range near {
+				if p.Dist2(o) <= rs2 && (!visTest || pr.VisibleFree(o, p)) {
 					exclusive = false
 					break
 				}

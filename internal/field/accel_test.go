@@ -1,0 +1,224 @@
+package field
+
+import (
+	"math"
+	"math/rand/v2"
+	"reflect"
+	"testing"
+
+	"mobisense/internal/geom"
+)
+
+// These tests pin the acceleration structure to the brute-force kernels:
+// for randomized fields and queries, every accelerated result must be
+// *bit-identical* to the result with acceleration disabled — the repo's
+// determinism invariant. Float comparisons are deliberately exact.
+
+// withBruteForce runs fn with the acceleration structure globally
+// disabled, restoring the previous setting afterwards.
+func withBruteForce(fn func()) {
+	prev := SetAccelEnabled(false)
+	defer SetAccelEnabled(prev)
+	fn()
+}
+
+// denseRandomField builds a seeded random rectangular-obstacle field
+// denser than the §6.4 default, to exercise the grid with many edges.
+func denseRandomField(t *testing.T, rng *rand.Rand) *Field {
+	t.Helper()
+	f, err := RandomObstacles(rng, RandomObstacleConfig{
+		MinCount:  4,
+		MaxCount:  10,
+		MinSide:   60,
+		MaxSide:   300,
+		KeepClear: 30,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// skewRandomField builds a field of random triangles and rotated quads,
+// so the arena holds non-axis-aligned edges (the rectangle generator
+// only produces axis-aligned ones). Validation is skipped: disconnected
+// free space is irrelevant to geometry-query equivalence.
+func skewRandomField(t *testing.T, rng *rand.Rand) *Field {
+	t.Helper()
+	n := 3 + rng.IntN(5)
+	obstacles := make([]geom.Polygon, 0, n)
+	for i := 0; i < n; i++ {
+		cx := 100 + rng.Float64()*800
+		cy := 100 + rng.Float64()*800
+		r := 40 + rng.Float64()*120
+		rot := rng.Float64() * 2 * math.Pi
+		sides := 3 + rng.IntN(3)
+		poly := make(geom.Polygon, 0, sides)
+		for k := 0; k < sides; k++ {
+			ang := rot + 2*math.Pi*float64(k)/float64(sides)
+			poly = append(poly, geom.V(cx+r*math.Cos(ang), cy+r*math.Sin(ang)))
+		}
+		obstacles = append(obstacles, poly)
+	}
+	f, err := New(StandardBounds(), obstacles, WithoutValidation())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// randomFields yields a mixed bag of seeded random fields.
+func randomFields(t *testing.T, rng *rand.Rand, n int) []*Field {
+	t.Helper()
+	fields := make([]*Field, 0, n)
+	for i := 0; i < n; i++ {
+		if i%3 == 2 {
+			fields = append(fields, skewRandomField(t, rng))
+		} else {
+			fields = append(fields, denseRandomField(t, rng))
+		}
+	}
+	return fields
+}
+
+// randomSegment samples query endpoints, occasionally off-field (to hit
+// the frame polygons) and occasionally degenerate.
+func randomSegment(rng *rand.Rand) geom.Segment {
+	pt := func() geom.Vec { return geom.V(rng.Float64()*1200-100, rng.Float64()*1200-100) }
+	a := pt()
+	switch rng.IntN(10) {
+	case 0:
+		return geom.Seg(a, a) // degenerate
+	case 1:
+		return geom.Seg(a, a.Add(geom.V(rng.Float64()*4-2, rng.Float64()*4-2))) // very short
+	default:
+		return geom.Seg(a, pt())
+	}
+}
+
+func TestAccelFirstHitMatchesBrute(t *testing.T) {
+	rng := rand.New(rand.NewPCG(2024, 9))
+	for fi, f := range randomFields(t, rng, 12) {
+		if !f.Accelerated() {
+			t.Fatal("field not accelerated")
+		}
+		segs := make([]geom.Segment, 80)
+		for i := range segs {
+			segs[i] = randomSegment(rng)
+		}
+		for qi, s := range segs {
+			fast, fastOK := f.FirstHit(s)
+			var slow Hit
+			var slowOK bool
+			withBruteForce(func() { slow, slowOK = f.FirstHit(s) })
+			if fastOK != slowOK || fast != slow {
+				t.Fatalf("field %d query %d (%v): accel (%+v, %v) != brute (%+v, %v)",
+					fi, qi, s, fast, fastOK, slow, slowOK)
+			}
+		}
+	}
+}
+
+func TestAccelSegmentFreeVisibleMatchesBrute(t *testing.T) {
+	rng := rand.New(rand.NewPCG(31, 64))
+	for fi, f := range randomFields(t, rng, 10) {
+		for qi := 0; qi < 80; qi++ {
+			s := randomSegment(rng)
+			fastSF := f.SegmentFree(s.A, s.B)
+			fastV := f.Visible(s.A, s.B)
+			var slowSF, slowV bool
+			withBruteForce(func() {
+				slowSF = f.SegmentFree(s.A, s.B)
+				slowV = f.Visible(s.A, s.B)
+			})
+			if fastSF != slowSF || fastV != slowV {
+				t.Fatalf("field %d query %d (%v): SegmentFree %v/%v Visible %v/%v",
+					fi, qi, s, fastSF, slowSF, fastV, slowV)
+			}
+		}
+	}
+}
+
+func TestAccelClearanceAndBoundariesMatchBrute(t *testing.T) {
+	rng := rand.New(rand.NewPCG(77, 5))
+	radii := []float64{5, 30, 100, 400}
+	for fi, f := range randomFields(t, rng, 10) {
+		for qi := 0; qi < 60; qi++ {
+			p := geom.V(rng.Float64()*1200-100, rng.Float64()*1200-100)
+			r := radii[rng.IntN(len(radii))]
+
+			fastC := f.Clearance(p, r)
+			fastBW := f.BoundariesWithin(p, r)
+			fastBS := f.BoundarySegmentsWithin(p, r)
+			var slowC float64
+			var slowBW []BoundaryProximity
+			var slowBS []BoundarySegment
+			withBruteForce(func() {
+				slowC = f.Clearance(p, r)
+				slowBW = f.BoundariesWithin(p, r)
+				slowBS = f.BoundarySegmentsWithin(p, r)
+			})
+			if fastC != slowC {
+				t.Fatalf("field %d query %d: Clearance(%v, %v) accel %v != brute %v", fi, qi, p, r, fastC, slowC)
+			}
+			if !reflect.DeepEqual(fastBW, slowBW) {
+				t.Fatalf("field %d query %d: BoundariesWithin(%v, %v) accel %+v != brute %+v", fi, qi, p, r, fastBW, slowBW)
+			}
+			if !reflect.DeepEqual(fastBS, slowBS) {
+				t.Fatalf("field %d query %d: BoundarySegmentsWithin(%v, %v) accel %+v != brute %+v", fi, qi, p, r, fastBS, slowBS)
+			}
+		}
+	}
+}
+
+func TestDiskProbeVisibleFreeMatchesVisible(t *testing.T) {
+	rng := rand.New(rand.NewPCG(88, 11))
+	var sc ProbeScratch
+	for fi, f := range randomFields(t, rng, 10) {
+		for ci := 0; ci < 15; ci++ {
+			center := f.RandomFreePoint(rng, f.Bounds())
+			rs := 20 + rng.Float64()*80
+			probe := f.DiskProbe(&sc, center, rs)
+			if !probe.Active() {
+				t.Fatal("probe inactive with acceleration enabled")
+			}
+			tested := 0
+			for qi := 0; qi < 200 && tested < 40; qi++ {
+				// Sample a free in-disk point; VisibleFree's contract
+				// requires free endpoints inside the probe disk.
+				ang := rng.Float64() * 2 * math.Pi
+				rad := rng.Float64() * rs
+				b := center.Add(geom.V(rad*math.Cos(ang), rad*math.Sin(ang)))
+				if !f.Free(b) {
+					continue
+				}
+				tested++
+				fast := probe.VisibleFree(center, b)
+				var slow bool
+				withBruteForce(func() { slow = f.Visible(center, b) })
+				if fast != slow {
+					t.Fatalf("field %d center %v rs %v -> %v: VisibleFree %v != Visible %v",
+						fi, center, rs, b, fast, slow)
+				}
+			}
+		}
+	}
+}
+
+// TestAccelDisabledReportsBrute double-checks the toggle actually routes
+// queries to the brute-force path (guards against the A/B comparisons
+// silently comparing the accelerated path with itself).
+func TestAccelDisabledReportsBrute(t *testing.T) {
+	f := TwoObstacles()
+	if !f.Accelerated() {
+		t.Fatal("expected acceleration on by default")
+	}
+	withBruteForce(func() {
+		if f.Accelerated() {
+			t.Fatal("expected acceleration off inside withBruteForce")
+		}
+		if probe := f.DiskProbe(&ProbeScratch{}, geom.V(100, 100), 50); probe.Active() {
+			t.Fatal("expected inactive probe with acceleration off")
+		}
+	})
+}

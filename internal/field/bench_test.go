@@ -1,0 +1,49 @@
+package field
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"mobisense/internal/geom"
+)
+
+// benchField is a fixed obstacle-heavy field (8 random rectangles, 56
+// solid edges with the frame) for the perf-tracking kernel benchmarks.
+func benchField(b *testing.B) (*Field, *rand.Rand) {
+	b.Helper()
+	rng := rand.New(rand.NewPCG(9, 9))
+	f, err := RandomObstacles(rng, RandomObstacleConfig{
+		MinCount:  8,
+		MaxCount:  8,
+		MinSide:   60,
+		MaxSide:   250,
+		KeepClear: 30,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return f, rng
+}
+
+// BenchmarkFirstHit measures the segment-intersection kernel on an
+// obstacle-heavy field: 2048 fixed queries per op, mixing long transit
+// segments with short motion-step-sized ones.
+func BenchmarkFirstHit(b *testing.B) {
+	f, rng := benchField(b)
+	segs := make([]geom.Segment, 2048)
+	for i := range segs {
+		a := geom.V(rng.Float64()*1000, rng.Float64()*1000)
+		if i%2 == 0 {
+			segs[i] = geom.Seg(a, geom.V(rng.Float64()*1000, rng.Float64()*1000))
+		} else {
+			segs[i] = geom.Seg(a, a.Add(geom.V(rng.Float64()*40-20, rng.Float64()*40-20)))
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, s := range segs {
+			f.FirstHit(s)
+		}
+	}
+}

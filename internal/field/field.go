@@ -36,6 +36,8 @@ type Field struct {
 	bounds    geom.Rect
 	obstacles []geom.Polygon // interior obstacles, CCW
 	all       []geom.Polygon // obstacles followed by the 4 frame polygons, CCW
+	solidBB   []geom.Rect    // bounding box per solid, same order as all
+	accel     *accel         // segment acceleration structure (see accel.go)
 	reference geom.Vec       // base station / reference point O
 	spec      *Spec          // originating spec, when built from one (normalized)
 }
@@ -91,6 +93,12 @@ func New(bounds geom.Rect, obstacles []geom.Polygon, opts ...Option) (*Field, er
 	f.all = make([]geom.Polygon, 0, len(f.obstacles)+4)
 	f.all = append(f.all, f.obstacles...)
 	f.all = append(f.all, framePolygons(bounds)...)
+
+	f.solidBB = make([]geom.Rect, len(f.all))
+	for i, poly := range f.all {
+		f.solidBB[i] = poly.Bounds()
+	}
+	f.accel = buildAccel(f.all, bounds)
 
 	if !o.skipValidate {
 		if !f.Free(f.reference) {
@@ -161,13 +169,34 @@ func (f *Field) Free(p geom.Vec) bool {
 	if !f.bounds.Contains(p) {
 		return false
 	}
-	for _, ob := range f.obstacles {
+	for i, ob := range f.obstacles {
+		// Strict containment implies p is inside the obstacle's bounding
+		// box, so a bbox reject (padded far beyond the Eps boundary
+		// margin) cannot change the result.
+		bb := f.solidBB[i]
+		if p.X < bb.Min.X-accelPad || p.X > bb.Max.X+accelPad ||
+			p.Y < bb.Min.Y-accelPad || p.Y > bb.Max.Y+accelPad {
+			continue
+		}
 		if ob.ContainsStrict(p, geom.Eps) {
 			return false
 		}
 	}
 	return true
 }
+
+// acc returns the acceleration structure when present and globally
+// enabled, nil otherwise; callers fall back to the brute-force path.
+func (f *Field) acc() *accel {
+	if accelEnabled {
+		return f.accel
+	}
+	return nil
+}
+
+// Accelerated reports whether geometry queries on this field use the
+// segment acceleration structure.
+func (f *Field) Accelerated() bool { return f.acc() != nil }
 
 // FreeArea returns the area of the field not covered by obstacles,
 // estimated on a grid with the given resolution.

@@ -19,6 +19,9 @@ type Hit struct {
 // boundary (interior obstacles or the field frame). ok is false when the
 // segment stays entirely in free space.
 func (f *Field) FirstHit(s geom.Segment) (Hit, bool) {
+	if a := f.acc(); a != nil {
+		return a.firstHit(s)
+	}
 	best := Hit{T: math.Inf(1)}
 	found := false
 	for i, poly := range f.all {
@@ -85,12 +88,20 @@ func (f *Field) BoundariesWithin(p geom.Vec, r float64) []BoundaryProximity {
 // BoundariesWithinAppend is BoundariesWithin appending to out, letting
 // per-period callers reuse one scratch slice instead of allocating.
 func (f *Field) BoundariesWithinAppend(out []BoundaryProximity, p geom.Vec, r float64) []BoundaryProximity {
+	a := f.acc()
 	for i, poly := range f.all {
-		// Cheap reject using the polygon bounding box.
-		if !poly.Bounds().Expand(r).Contains(p) {
+		// Cheap reject using the precomputed polygon bounding box — the
+		// same predicate the brute path evaluates via poly.Bounds().
+		if !f.solidBB[i].Expand(r).Contains(p) {
 			continue
 		}
-		pt, edge := poly.ClosestBoundaryPoint(p)
+		var pt geom.Vec
+		var edge int
+		if a != nil {
+			pt, edge = a.closestBoundaryPoint(i, p)
+		} else {
+			pt, edge = poly.ClosestBoundaryPoint(p)
+		}
 		if d := pt.Dist(p); d <= r {
 			out = append(out, BoundaryProximity{Point: pt, Dist: d, Solid: i, Edge: edge})
 		}
@@ -118,8 +129,33 @@ func (f *Field) BoundarySegmentsWithin(p geom.Vec, r float64) []BoundarySegment 
 // out, letting per-period callers reuse one scratch slice.
 func (f *Field) BoundarySegmentsWithinAppend(out []BoundarySegment, p geom.Vec, r float64) []BoundarySegment {
 	disk := geom.Circle{C: p, R: r}
+	a := f.acc()
+	r2 := r * r
 	for i, poly := range f.all {
-		if !poly.Bounds().Expand(r).Contains(p) {
+		if !f.solidBB[i].Expand(r).Contains(p) {
+			continue
+		}
+		if a != nil {
+			// Walk the solid's arena edges, skipping edges whose padded
+			// bbox stays outside the disk: a reported intersection needs
+			// the edge within R (+Eps slack) of p, and a positive padded
+			// bbox distance lower-bounds the edge distance by ≥ pad/2.
+			lo, hi := a.solidStart[i], a.solidStart[i+1]
+			for ai := lo; ai < hi; ai++ {
+				if a.dist2ToPaddedRect(ai, p.X, p.Y) > r2 {
+					continue
+				}
+				edge := a.edgeSeg(ai)
+				t0, t1, ok := disk.IntersectSegment(edge)
+				if !ok || t1-t0 < geom.Eps {
+					continue
+				}
+				out = append(out, BoundarySegment{
+					Seg:   geom.Seg(edge.At(t0), edge.At(t1)),
+					Solid: i,
+					Edge:  int(ai - lo),
+				})
+			}
 			continue
 		}
 		for e := 0; e < poly.NumEdges(); e++ {
@@ -141,12 +177,18 @@ func (f *Field) BoundarySegmentsWithinAppend(out []BoundarySegment, p geom.Vec, 
 // Clearance returns the distance from p to the nearest solid boundary,
 // searching up to maxR. If no boundary is within maxR it returns maxR.
 func (f *Field) Clearance(p geom.Vec, maxR float64) float64 {
+	a := f.acc()
 	best := maxR
-	for _, poly := range f.all {
-		if !poly.Bounds().Expand(best).Contains(p) {
+	for i, poly := range f.all {
+		if !f.solidBB[i].Expand(best).Contains(p) {
 			continue
 		}
-		pt, _ := poly.ClosestBoundaryPoint(p)
+		var pt geom.Vec
+		if a != nil {
+			pt, _ = a.closestBoundaryPoint(i, p)
+		} else {
+			pt, _ = poly.ClosestBoundaryPoint(p)
+		}
 		if d := pt.Dist(p); d < best {
 			best = d
 		}

@@ -281,7 +281,7 @@ func (s *Scheme) iflgEPs(out []epCandidate, id, budget int) []epCandidate {
 			}
 			// A hole exists only if the probe is covered by nobody —
 			// including this sensor and its child.
-			if pos.Dist(probe) <= w.P.Rs || cpos.Dist(probe) <= w.P.Rs {
+			if pos.WithinDist(probe, w.P.Rs) || cpos.WithinDist(probe, w.P.Rs) {
 				continue
 			}
 			if !w.F.Free(probe) {

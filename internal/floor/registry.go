@@ -171,7 +171,7 @@ func (r *registry) coveredQuery(w *core.World, asker int, p geom.Vec, rs float64
 		if skip.matches(nodeRecord{id: j, pos: q}) {
 			return
 		}
-		if q.Dist(p) <= rs && w.F.Visible(q, p) {
+		if q.WithinDist(p, rs) && w.F.Visible(q, p) {
 			covered = true
 		}
 	})

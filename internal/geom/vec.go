@@ -54,6 +54,28 @@ func (v Vec) Dist(w Vec) float64 { return v.Sub(w).Len() }
 // Dist2 returns the squared Euclidean distance between v and w.
 func (v Vec) Dist2(w Vec) float64 { return v.Sub(w).Len2() }
 
+// WithinDist reports v.Dist(w) <= r, bit-identically, while avoiding the
+// square root in almost every call. Squared comparison alone is not an
+// exact substitute — Dist rounds through Hypot, and d² vs r² can order
+// differently within half an ulp — so values inside a narrow guard band
+// around r² fall back to the original Dist comparison. The band is ~1e-9
+// relative, orders of magnitude wider than the ~1e-16 rounding of either
+// side, and is hit only when d/r agree to nine digits.
+func (v Vec) WithinDist(w Vec, r float64) bool {
+	if r < 0 {
+		return false
+	}
+	d2 := v.Dist2(w)
+	r2 := r * r
+	if d2 <= r2*(1-1e-9) {
+		return true
+	}
+	if d2 > r2*(1+1e-9) {
+		return false
+	}
+	return v.Dist(w) <= r
+}
+
 // Unit returns v normalized to length 1. The zero vector is returned
 // unchanged so callers never divide by zero.
 func (v Vec) Unit() Vec {

@@ -71,6 +71,9 @@ type RunRequest struct {
 	// trace sample, powering the dashboard's replay animation. Requires
 	// Trace.
 	TraceLayouts bool `json:"trace_layouts,omitempty"`
+	// TraceLayoutStride thins layout capture to every Nth trace sample
+	// (0 or 1 = every). Requires TraceLayouts.
+	TraceLayoutStride int `json:"trace_layout_stride,omitempty"`
 }
 
 // config expands the request into a validated run configuration.
@@ -129,10 +132,18 @@ func (r RunRequest) config() (Config, error) {
 	if math.IsNaN(r.Trace) || math.IsInf(r.Trace, 0) || r.Trace < 0 {
 		return Config{}, fmt.Errorf("mobisense: trace stride must be a finite value >= 0, got %g", r.Trace)
 	}
+	if r.TraceLayoutStride < 0 {
+		return Config{}, fmt.Errorf("mobisense: trace_layout_stride must be >= 0, got %d", r.TraceLayoutStride)
+	}
 	if r.Trace > 0 {
-		cfg.Trace = &TraceOptions{Stride: r.Trace, Layouts: r.TraceLayouts}
+		if r.TraceLayoutStride > 1 && !r.TraceLayouts {
+			return Config{}, fmt.Errorf("mobisense: trace_layout_stride requires trace_layouts")
+		}
+		cfg.Trace = &TraceOptions{Stride: r.Trace, Layouts: r.TraceLayouts, LayoutStride: r.TraceLayoutStride}
 	} else if r.TraceLayouts {
 		return Config{}, fmt.Errorf("mobisense: trace_layouts requires a trace stride; set trace > 0")
+	} else if r.TraceLayoutStride > 1 {
+		return Config{}, fmt.Errorf("mobisense: trace_layout_stride requires a trace stride; set trace > 0")
 	}
 	if err := cfg.validate(); err != nil {
 		return Config{}, err

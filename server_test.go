@@ -598,4 +598,13 @@ func TestServerTraceAnalytics(t *testing.T) {
 	if _, status := postJSON(t, ts.URL+"/v1/runs", `{"scheme":"cpvf","trace_layouts":true}`); status != http.StatusBadRequest {
 		t.Errorf("trace_layouts without trace status = %d, want 400", status)
 	}
+	if _, status := postJSON(t, ts.URL+"/v1/runs", `{"scheme":"cpvf","trace":20,"trace_layout_stride":-1}`); status != http.StatusBadRequest {
+		t.Errorf("negative trace_layout_stride status = %d, want 400", status)
+	}
+	if _, status := postJSON(t, ts.URL+"/v1/runs", `{"scheme":"cpvf","trace":20,"trace_layout_stride":3}`); status != http.StatusBadRequest {
+		t.Errorf("trace_layout_stride without trace_layouts status = %d, want 400", status)
+	}
+	if _, status := postJSON(t, ts.URL+"/v1/runs", `{"scheme":"cpvf","trace_layout_stride":3}`); status != http.StatusBadRequest {
+		t.Errorf("trace_layout_stride without trace status = %d, want 400", status)
+	}
 }

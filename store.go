@@ -327,10 +327,13 @@ func configFingerprint(c Config) string {
 	}
 	if tr := c.Trace; tr != nil {
 		fmt.Fprintf(h, " trace=%g", tr.stride(c.Period))
-		// The layouts marker is appended only when set, so traced configs
-		// from before the snapshot option keep their fingerprint.
+		// The layouts and stride markers are appended only when set, so
+		// traced configs from before each option keep their fingerprint.
 		if tr.Layouts {
 			io.WriteString(h, " layouts")
+		}
+		if tr.LayoutStride > 1 {
+			fmt.Fprintf(h, " lstride=%d", tr.LayoutStride)
 		}
 	}
 	if o := c.CPVF; o != nil {

@@ -25,6 +25,12 @@ type TraceOptions struct {
 	// a plain copy of state the sampler already reads, so it is exactly as
 	// RNG-silent as the scalar telemetry.
 	Layouts bool
+	// LayoutStride thins layout capture to every LayoutStride-th trace
+	// sample (0 or 1 = every sample). Scalar telemetry keeps the full
+	// Stride resolution; only the expensive Layout snapshots are decimated,
+	// so long replay-enabled sweeps don't pay full layout cost per tick.
+	// Requires Layouts.
+	LayoutStride int
 }
 
 // validate rejects strides that would silently break sampling: negative,
@@ -36,6 +42,12 @@ func (t *TraceOptions) validate() error {
 	}
 	if math.IsNaN(t.Stride) || math.IsInf(t.Stride, 0) || t.Stride < 0 {
 		return fmt.Errorf("mobisense: trace stride must be a finite value >= 0, got %g", t.Stride)
+	}
+	if t.LayoutStride < 0 {
+		return fmt.Errorf("mobisense: trace layout stride must be >= 0, got %d", t.LayoutStride)
+	}
+	if t.LayoutStride > 1 && !t.Layouts {
+		return fmt.Errorf("mobisense: trace layout stride requires Layouts; there are no layout samples to thin")
 	}
 	return nil
 }
@@ -161,6 +173,10 @@ type tracer struct {
 func (tr *tracer) attach(w *core.World, horizon float64) {
 	stride := tr.cfg.Trace.stride(w.P.Period)
 	layouts := tr.cfg.Trace.Layouts
+	layoutStride := tr.cfg.Trace.LayoutStride
+	if layoutStride < 1 {
+		layoutStride = 1
+	}
 	est := tr.cfg.estimatorFor(tr.f)
 	var cs core.TraceSample
 	w.E.ScheduleEvery(0, stride, func() bool {
@@ -174,7 +190,7 @@ func (tr *tracer) attach(w *core.World, horizon float64) {
 			TotalMoved: cs.TotalMoved,
 			MaxMoved:   cs.MaxMoved,
 		}
-		if layouts {
+		if layouts && len(tr.samples)%layoutStride == 0 {
 			// The world's scratch layout is only valid until the next
 			// sample; the persisted copy is the sampler's own.
 			sample.Layout = toPoints(layout)

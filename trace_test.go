@@ -156,4 +156,64 @@ func TestUntracedStoreOmitsTraceFlag(t *testing.T) {
 	if configFingerprint(cfg) == traced {
 		t.Fatal("layout snapshots not covered by the config fingerprint")
 	}
+	withLayouts := configFingerprint(cfg)
+	// LayoutStride <= 1 means "every sample" — identical stored bytes, so
+	// it must not perturb the fingerprint; thinning (> 1) must.
+	cfg.Trace.LayoutStride = 1
+	if configFingerprint(cfg) != withLayouts {
+		t.Fatal("layout stride 1 changed the fingerprint of an identical store")
+	}
+	cfg.Trace.LayoutStride = 4
+	if configFingerprint(cfg) == withLayouts {
+		t.Fatal("layout thinning not covered by the config fingerprint")
+	}
+}
+
+// TestTraceLayoutStride checks layout decimation: scalar telemetry keeps
+// full stride resolution while Layout snapshots land only on every
+// LayoutStride-th sample.
+func TestTraceLayoutStride(t *testing.T) {
+	full := quickConfig(SchemeCPVF)
+	full.Trace = &TraceOptions{Stride: 10, Layouts: true}
+	fullRes, err := Run(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := quickConfig(SchemeCPVF)
+	cfg.Trace = &TraceOptions{Stride: 10, Layouts: true, LayoutStride: 3}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Trace) != len(fullRes.Trace) {
+		t.Fatalf("thinning layouts changed the sample count: %d vs %d", len(res.Trace), len(fullRes.Trace))
+	}
+	for i, s := range res.Trace {
+		f := fullRes.Trace[i]
+		if i%3 == 0 {
+			if !reflect.DeepEqual(s.Layout, f.Layout) {
+				t.Fatalf("sample %d: kept layout differs from the unthinned run", i)
+			}
+			if len(s.Layout) == 0 {
+				t.Fatalf("sample %d: layout missing on a stride boundary", i)
+			}
+		} else if s.Layout != nil {
+			t.Fatalf("sample %d: layout captured between stride boundaries", i)
+		}
+		s.Layout, f.Layout = nil, nil
+		if !reflect.DeepEqual(s, f) {
+			t.Fatalf("sample %d: thinning layouts perturbed scalar telemetry", i)
+		}
+	}
+
+	bad := quickConfig(SchemeCPVF)
+	bad.Trace = &TraceOptions{Stride: 10, LayoutStride: -1}
+	if _, err := Run(bad); err == nil {
+		t.Fatal("negative layout stride was accepted")
+	}
+	bad.Trace = &TraceOptions{Stride: 10, LayoutStride: 2}
+	if _, err := Run(bad); err == nil {
+		t.Fatal("layout stride without Layouts was accepted")
+	}
 }
