@@ -3,6 +3,7 @@ package mobisense
 import (
 	"fmt"
 	"math"
+	"slices"
 	"sort"
 	"strconv"
 	"strings"
@@ -43,11 +44,48 @@ type ParamAxis struct {
 	// around a moved base station). Setters must not mutate structs shared
 	// with the base config — copy option structs before writing.
 	Set func(cfg *Config, v float64)
+	// Strings is the ordered value list of a categorical (string-valued)
+	// axis — oscillation modes, strategy names, backend choices. Mutually
+	// exclusive with Values; categorical axes use SetString instead of
+	// Set and flow through records, aggregates, report columns and the
+	// serve API exactly like numeric ones.
+	Strings []string
+	// SetString applies one categorical value to a run's config; required
+	// when Strings is set, with the same copy-before-write rules as Set.
+	SetString func(cfg *Config, v string)
+}
+
+// categorical reports whether the axis is string-valued.
+func (a ParamAxis) categorical() bool { return len(a.Strings) > 0 }
+
+// size returns the number of values the axis expands to.
+func (a ParamAxis) size() int {
+	if a.categorical() {
+		return len(a.Strings)
+	}
+	return len(a.Values)
 }
 
 func (a ParamAxis) validate() error {
 	if a.Name == "" {
 		return fmt.Errorf("mobisense: axis has no name")
+	}
+	if len(a.Values) > 0 && len(a.Strings) > 0 {
+		return fmt.Errorf("mobisense: axis %q has both numeric and string values", a.Name)
+	}
+	if a.categorical() {
+		if a.SetString == nil {
+			return fmt.Errorf("mobisense: string-valued axis %q has no string setter", a.Name)
+		}
+		if a.Integer {
+			return fmt.Errorf("mobisense: axis %q cannot be both integer- and string-valued", a.Name)
+		}
+		for _, s := range a.Strings {
+			if s == "" {
+				return fmt.Errorf("mobisense: string-valued axis %q has an empty value", a.Name)
+			}
+		}
+		return nil
 	}
 	if len(a.Values) == 0 {
 		return fmt.Errorf("mobisense: axis %q has no values", a.Name)
@@ -66,18 +104,31 @@ func (a ParamAxis) validate() error {
 }
 
 // AxisValue is one axis assignment of an expanded run, carried on
-// RunSpec, store records and aggregates.
+// RunSpec, store records and aggregates. Numeric axes fill Value;
+// categorical axes fill Str (a non-empty Str wins when rendering).
 type AxisValue struct {
 	Name  string  `json:"name"`
 	Value float64 `json:"value"`
+	Str   string  `json:"str,omitempty"`
+}
+
+// ValueString renders the assignment's value — the categorical string,
+// or the compact lossless numeric form.
+func (a AxisValue) ValueString() string {
+	if a.Str != "" {
+		return a.Str
+	}
+	return formatAxisValue(a.Value)
 }
 
 // AxisSpec is the serializable form of a built-in axis — the wire shape
 // used by the server's SweepRequest (custom setters don't serialize).
-// Resolve one with BuildAxis.
+// Exactly one of Values and Strings is set; resolve with BuildAxis or
+// BuildStringAxis.
 type AxisSpec struct {
-	Name   string    `json:"name"`
-	Values []float64 `json:"values"`
+	Name    string    `json:"name"`
+	Values  []float64 `json:"values,omitempty"`
+	Strings []string  `json:"strings,omitempty"`
 }
 
 // NewAxis defines a custom axis — the extension point for parameters the
@@ -88,10 +139,19 @@ func NewAxis(name string, set func(cfg *Config, v float64), values ...float64) P
 	return ParamAxis{Name: name, Values: values, Set: set}
 }
 
+// NewStringAxis defines a custom categorical axis over string values.
+func NewStringAxis(name string, set func(cfg *Config, v string), values ...string) ParamAxis {
+	return ParamAxis{Name: name, Strings: values, SetString: set}
+}
+
 // builtinAxis is one entry of the axis registry behind BuildAxis (and
-// therefore the -axis CLI flag and the HTTP SweepRequest).
+// therefore the -axis CLI flag and the HTTP SweepRequest). Numeric axes
+// fill set; categorical axes fill setStr (plus the allowed value list
+// used for up-front validation).
 type builtinAxis struct {
 	set     func(cfg *Config, v float64)
+	setStr  func(cfg *Config, v string)
+	allowed []string
 	integer bool
 	desc    string
 }
@@ -114,6 +174,18 @@ var builtinAxes = map[string]builtinAxis{
 			cfg.CPVF = &o
 		},
 		desc: "CPVF oscillation-avoidance factor δ (§6.3)",
+	},
+	"cpvf.osc": {
+		setStr: func(cfg *Config, v string) {
+			o := CPVFOptions{}
+			if cfg.CPVF != nil {
+				o = *cfg.CPVF
+			}
+			o.Oscillation = v
+			cfg.CPVF = &o
+		},
+		allowed: []string{"none", "one-step", "two-step"},
+		desc:    "CPVF oscillation-avoidance mode (§6.3): none, one-step or two-step",
 	},
 	"floor.ttl": {
 		set: func(cfg *Config, v float64) {
@@ -268,6 +340,9 @@ func BuildAxis(name string, values ...float64) (ParamAxis, error) {
 	if !ok {
 		return ParamAxis{}, fmt.Errorf("mobisense: unknown axis %q (have %s)", name, strings.Join(AxisNames(), ", "))
 	}
+	if def.setStr != nil {
+		return ParamAxis{}, fmt.Errorf("mobisense: axis %q is string-valued; use BuildStringAxis", name)
+	}
 	ax := ParamAxis{Name: name, Values: values, Integer: def.integer, Set: def.set}
 	if len(values) > 0 {
 		if err := ax.validate(); err != nil {
@@ -275,6 +350,40 @@ func BuildAxis(name string, values ...float64) (ParamAxis, error) {
 		}
 	}
 	return ax, nil
+}
+
+// BuildStringAxis resolves a built-in categorical axis by name over the
+// given string values, validating each against the axis's allowed set.
+func BuildStringAxis(name string, values ...string) (ParamAxis, error) {
+	def, ok := builtinAxes[name]
+	if !ok {
+		return ParamAxis{}, fmt.Errorf("mobisense: unknown axis %q (have %s)", name, strings.Join(AxisNames(), ", "))
+	}
+	if def.setStr == nil {
+		return ParamAxis{}, fmt.Errorf("mobisense: axis %q is numeric; use BuildAxis", name)
+	}
+	for _, v := range values {
+		if len(def.allowed) > 0 && !slices.Contains(def.allowed, v) {
+			return ParamAxis{}, fmt.Errorf("mobisense: axis %q has no value %q (have %s)", name, v, strings.Join(def.allowed, ", "))
+		}
+	}
+	ax := ParamAxis{Name: name, Strings: values, SetString: def.setStr}
+	if len(values) > 0 {
+		if err := ax.validate(); err != nil {
+			return ParamAxis{}, err
+		}
+	}
+	return ax, nil
+}
+
+// AxisIsString reports whether the named built-in axis is categorical
+// (string-valued); its allowed values are AxisStringValues.
+func AxisIsString(name string) bool { return builtinAxes[name].setStr != nil }
+
+// AxisStringValues returns the allowed values of a built-in categorical
+// axis (nil for numeric or unknown names).
+func AxisStringValues(name string) []string {
+	return slices.Clone(builtinAxes[name].allowed)
 }
 
 // AxisIsInteger reports whether the named built-in axis takes integer
@@ -286,13 +395,21 @@ func AxisDescription(name string) string { return builtinAxes[name].desc }
 
 // ParseAxis parses the CLI axis syntax "name=v1,v2,..." into a built-in
 // axis. Integer-valued axes (floor.ttl, field.obstacles) reject
-// fractional values.
+// fractional values; categorical axes (cpvf.osc) take their values as
+// strings, e.g. "cpvf.osc=none,two-step".
 func ParseAxis(spec string) (ParamAxis, error) {
 	name, list, ok := strings.Cut(spec, "=")
 	if !ok || name == "" || list == "" {
 		return ParamAxis{}, fmt.Errorf("mobisense: bad axis %q: want \"name=v1,v2,...\", e.g. rc=30,60", spec)
 	}
 	parts := strings.Split(list, ",")
+	if AxisIsString(name) {
+		values := make([]string, len(parts))
+		for i, p := range parts {
+			values[i] = strings.TrimSpace(p)
+		}
+		return BuildStringAxis(name, values...)
+	}
 	values := make([]float64, len(parts))
 	for i, p := range parts {
 		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
@@ -323,7 +440,7 @@ func axisTupleKey(axes []AxisValue) string {
 	for _, a := range axes {
 		sb.WriteString(a.Name)
 		sb.WriteByte('=')
-		sb.WriteString(formatAxisValue(a.Value))
+		sb.WriteString(a.ValueString())
 		sb.WriteByte(';')
 	}
 	return sb.String()

@@ -241,7 +241,7 @@ func TestAxisValidation(t *testing.T) {
 		t.Error("unknown built-in axis should error")
 	}
 	names := AxisNames()
-	want := []string{"cpvf.delta", "field.density", "field.obstacles", "field.ref", "floor.ttl", "rc", "rs", "speed"}
+	want := []string{"cpvf.delta", "cpvf.osc", "field.density", "field.obstacles", "field.ref", "floor.ttl", "rc", "rs", "speed"}
 	if !reflect.DeepEqual(names, want) {
 		t.Errorf("AxisNames() = %v, want %v", names, want)
 	}

@@ -484,7 +484,7 @@ func (s Sweep) Expand() ([]RunSpec, error) {
 
 	combos := 1
 	for _, ax := range s.Axes {
-		combos *= len(ax.Values)
+		combos *= ax.size()
 	}
 	specs := make([]RunSpec, 0, len(schemes)*len(scenarios)*len(ns)*repeats*combos)
 	for _, scheme := range schemes {
@@ -529,9 +529,15 @@ func (s Sweep) Expand() ([]RunSpec, error) {
 						if len(s.Axes) > 0 {
 							axes = make([]AxisValue, len(s.Axes))
 							for a, ax := range s.Axes {
-								v := ax.Values[idx[a]]
-								ax.Set(&cfg, v)
-								axes[a] = AxisValue{Name: ax.Name, Value: v}
+								if ax.categorical() {
+									v := ax.Strings[idx[a]]
+									ax.SetString(&cfg, v)
+									axes[a] = AxisValue{Name: ax.Name, Str: v}
+								} else {
+									v := ax.Values[idx[a]]
+									ax.Set(&cfg, v)
+									axes[a] = AxisValue{Name: ax.Name, Value: v}
+								}
 							}
 						}
 						specs = append(specs, RunSpec{
@@ -547,7 +553,7 @@ func (s Sweep) Expand() ([]RunSpec, error) {
 						a := len(idx) - 1
 						for ; a >= 0; a-- {
 							idx[a]++
-							if idx[a] < len(s.Axes[a].Values) {
+							if idx[a] < s.Axes[a].size() {
 								break
 							}
 							idx[a] = 0
@@ -595,7 +601,7 @@ func (s Sweep) manifest(sh Shard, totalRuns int) istore.Manifest {
 	// their manifests stay byte-identical to pre-axis stores.
 	var axes []istore.Axis
 	for _, ax := range s.Axes {
-		axes = append(axes, istore.Axis{Name: ax.Name, Values: ax.Values})
+		axes = append(axes, istore.Axis{Name: ax.Name, Values: ax.Values, Strings: ax.Strings})
 	}
 	return istore.Manifest{
 		Kind: "sweep",

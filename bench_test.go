@@ -312,6 +312,39 @@ func BenchmarkBatchSweepSequential(b *testing.B) { benchmarkBatchSweep(b, 1) }
 // BenchmarkBatchSweepParallel runs the same sweep on GOMAXPROCS workers.
 func BenchmarkBatchSweepParallel(b *testing.B) { benchmarkBatchSweep(b, 0) }
 
+// BenchmarkIncrementalTraceSweep measures the workload the incremental
+// coverage engine targets: a densely-traced obstacle sweep where every
+// trace sample needs the coverage fraction. With the engine enabled
+// (default) each sample costs O(moved sensors × disk window); the
+// MOBISENSE_NO_INCR fallback re-scans every sensor's disk per sample.
+// The store byte-compare test pins both paths to identical records.
+func BenchmarkIncrementalTraceSweep(b *testing.B) {
+	cfg := mobisense.DefaultConfig(mobisense.SchemeFLOOR)
+	cfg.N = 40
+	cfg.Duration = 300
+	cfg.Trace = &mobisense.TraceOptions{Stride: 2}
+	sweep := mobisense.Sweep{
+		Base:      cfg,
+		Schemes:   []mobisense.Scheme{mobisense.SchemeCPVF, mobisense.SchemeFLOOR},
+		Scenarios: []string{"narrow-door", "random-obstacles"},
+		Repeats:   2,
+		Seed:      7,
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sr, err := sweep.Run(context.Background(), mobisense.BatchOptions{Workers: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			for _, a := range sr.Aggregates {
+				label := string(a.Scheme) + "-" + a.Scenario
+				b.ReportMetric(a.Coverage.Mean, label+"/coverage")
+			}
+		}
+	}
+}
+
 // BenchmarkStoreWrite measures the sweep store's per-record JSONL
 // encode+flush cost — the persistence overhead each finished run pays on
 // top of its simulation time.

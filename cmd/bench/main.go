@@ -43,7 +43,8 @@ import (
 // (FirstHit, LOS coverage, exclusive area, unit-disk flood).
 const defaultBenchRegexp = "^(BenchmarkBatchSweepSequential|BenchmarkBatchSweepParallel|" +
 	"BenchmarkStoreWrite|BenchmarkFractionReuse|BenchmarkInsertMoveQuery|" +
-	"BenchmarkFirstHit|BenchmarkFractionLOS|BenchmarkExclusiveArea|BenchmarkUnitDiskReachable)$"
+	"BenchmarkFirstHit|BenchmarkFractionLOS|BenchmarkExclusiveArea|BenchmarkUnitDiskReachable|" +
+	"BenchmarkFractionIncremental|BenchmarkIncrementalTraceSweep)$"
 
 // Result is one benchmark's measured costs.
 type Result struct {
@@ -125,6 +126,7 @@ func main() {
 			fmt.Printf("note: snapshot taken at GOMAXPROCS=%d, running at %d; "+
 				"ns/op comparisons are indicative only\n", base.GOMAXPROCS, snap.GOMAXPROCS)
 		}
+		printDelta(base, snap)
 		if !gate(base, snap, *allocsTol, *nsTol, *nsGate) {
 			os.Exit(1)
 		}
@@ -208,6 +210,58 @@ func parse(out string) map[string]Result {
 		res[name] = r
 	}
 	return res
+}
+
+// printDelta prints a benchstat-style comparison of the current run
+// against the baseline snapshot — old, new and % change for ns/op, B/op
+// and allocs/op — covering every benchmark present in either side, so
+// before/after tables in the README and PR descriptions can be pasted
+// instead of hand-assembled.
+func printDelta(base, cur Snapshot) {
+	all := make(map[string]Result, len(base.Benchmarks)+len(cur.Benchmarks))
+	for n, r := range base.Benchmarks {
+		all[n] = r
+	}
+	for n, r := range cur.Benchmarks {
+		all[n] = r
+	}
+	fmt.Printf("\n%-32s %35s  %35s  %35s\n", "", "ns/op", "B/op", "allocs/op")
+	fmt.Printf("%-32s %12s %12s %9s  %12s %12s %9s  %12s %12s %9s\n",
+		"benchmark", "old", "new", "delta", "old", "new", "delta", "old", "new", "delta")
+	for _, name := range sortedNames(all) {
+		b, inBase := base.Benchmarks[name]
+		c, inCur := cur.Benchmarks[name]
+		row := fmt.Sprintf("%-32s", strings.TrimPrefix(name, "Benchmark"))
+		for _, m := range [][2]float64{{b.NsOp, c.NsOp}, {b.BOp, c.BOp}, {b.AllocsOp, c.AllocsOp}} {
+			row += fmt.Sprintf(" %12s %12s %9s ",
+				cell(m[0], inBase), cell(m[1], inCur), delta(m[0], m[1], inBase && inCur))
+		}
+		fmt.Println(row)
+	}
+	fmt.Println()
+}
+
+// cell renders one metric value ("-" for a side the benchmark is missing
+// from).
+func cell(v float64, present bool) string {
+	if !present || v < 0 {
+		return "-"
+	}
+	return strconv.FormatFloat(v, 'f', 0, 64)
+}
+
+// delta renders the percent change between a baseline and current value.
+func delta(old, new float64, comparable bool) string {
+	switch {
+	case !comparable || old < 0 || new < 0:
+		return "-"
+	case old == 0 && new == 0:
+		return "~"
+	case old == 0:
+		return "+inf%"
+	default:
+		return fmt.Sprintf("%+.1f%%", 100*(new/old-1))
+	}
 }
 
 // gate compares current results against the baseline snapshot. It returns

@@ -106,7 +106,7 @@ func run() int {
 		fixedSeed = flag.Bool("fixed-seed", false, "give every sweep run the -seed verbatim instead of derived seeds (paired axis points)")
 	)
 	var axes []mobisense.ParamAxis
-	flag.Func("axis", "sweep a built-in axis as \"name=v1,v2,...\" ("+strings.Join(mobisense.AxisNames(), ", ")+"); repeatable",
+	flag.Func("axis", "sweep a built-in axis as \"name=v1,v2,...\" ("+strings.Join(mobisense.AxisNames(), ", ")+"); string-valued axes take their values by name, e.g. cpvf.osc=none,two-step; repeatable",
 		func(spec string) error {
 			ax, err := mobisense.ParseAxis(spec)
 			if err != nil {

@@ -137,7 +137,7 @@ func tracesCSV(traces []mobisense.TraceAggregate) string {
 	for _, tr := range traces {
 		axes := make([]string, len(tr.Axes))
 		for i, ax := range tr.Axes {
-			axes[i] = ax.Name + "=" + strconv.FormatFloat(ax.Value, 'g', -1, 64)
+			axes[i] = ax.Name + "=" + ax.ValueString()
 		}
 		prefix := fmt.Sprintf("%s,%s,%d,%s", tr.Scheme,
 			strings.ReplaceAll(tr.Scenario, ",", ";"), tr.N, strings.Join(axes, ";"))
@@ -299,7 +299,7 @@ func axisNames(aggs []mobisense.Aggregate) []string {
 func axisCell(a mobisense.Aggregate, name string) string {
 	for _, ax := range a.Axes {
 		if ax.Name == name {
-			return strconv.FormatFloat(ax.Value, 'g', -1, 64)
+			return ax.ValueString()
 		}
 	}
 	return ""

@@ -1,0 +1,133 @@
+package mobisense
+
+import (
+	"runtime"
+
+	"mobisense/internal/core"
+	"mobisense/internal/coverage"
+	"mobisense/internal/geom"
+)
+
+// worldTracker keeps an incremental coverage tracker in sync with a
+// running world. It discovers dirty sensors through the world's per-node
+// move epochs (bumped on every new step record, teleport, or failure)
+// plus the step end times — schemes never call back into it — so each
+// sync touches only the sensors whose position could have changed since
+// the previous one, and each of those costs one disk window instead of a
+// full grid rescan.
+type worldTracker struct {
+	t        *coverage.Tracker
+	seen     []uint64 // last observed move epoch per sensor id
+	pos      []geom.Vec
+	alive    []bool
+	lastSync float64
+	seeded   bool
+	workers  int // fan-out for full (seed/re-seed) evaluations
+}
+
+// newWorldTracker acquires a tracker for a run over w-sized worlds. The
+// first sync seeds it with a full (row-sharded) evaluation; later syncs
+// are incremental or, when nearly everything moved, a re-seed.
+func newWorldTracker(est *coverage.Estimator, rs float64, n, workers int) *worldTracker {
+	return &worldTracker{
+		t:       est.AcquireTracker(rs, n),
+		seen:    make([]uint64, n),
+		pos:     make([]geom.Vec, n),
+		alive:   make([]bool, n),
+		workers: workers,
+	}
+}
+
+// sync brings the tracker up to date with the world's current time. A
+// sensor is provably clean — and skipped — when its move epoch is
+// unchanged and its current step record ended at or before the previous
+// sync; everything else is re-applied through an exact position compare
+// (Set is a no-op when the position is bit-equal).
+//
+// Incremental application costs two disk-window scans per moved sensor,
+// a full re-seed one scan per present sensor — so when more than half
+// the fleet moved since the last sample (every transient tick of a
+// converging scheme), sync re-seeds instead of updating. The counts are
+// exact either way, so the crossover is pure policy and cannot affect
+// results.
+func (wt *worldTracker) sync(w *core.World) {
+	now := w.Now()
+	if !wt.seeded {
+		wt.seed(w, now)
+		return
+	}
+	cost, present := 0, 0
+	for i := range wt.seen {
+		wt.alive[i] = w.Alive(i)
+		if wt.alive[i] {
+			present++
+			wt.pos[i] = w.PosAt(i, now)
+		}
+		if w.MoveEpoch(i) == wt.seen[i] && w.StepEndTime(i) <= wt.lastSync {
+			continue
+		}
+		cost += wt.t.UpdateCost(i, wt.pos[i], wt.alive[i])
+	}
+	if cost > present {
+		wt.seed(w, now)
+		return
+	}
+	for i := range wt.seen {
+		ep := w.MoveEpoch(i)
+		if ep == wt.seen[i] && w.StepEndTime(i) <= wt.lastSync {
+			continue
+		}
+		wt.seen[i] = ep
+		if !wt.alive[i] {
+			wt.t.Clear(i)
+			continue
+		}
+		wt.t.Set(i, wt.pos[i])
+	}
+	wt.lastSync = now
+}
+
+// seed runs one full evaluation, refreshing every position, epoch and
+// liveness flag.
+func (wt *worldTracker) seed(w *core.World, now float64) {
+	for i := range wt.seen {
+		wt.seen[i] = w.MoveEpoch(i)
+		wt.alive[i] = w.Alive(i)
+		if wt.alive[i] {
+			wt.pos[i] = w.PosAt(i, now)
+		} else {
+			wt.pos[i] = geom.Vec{}
+		}
+	}
+	wt.t.Seed(wt.pos, wt.alive, wt.workers)
+	wt.lastSync = now
+	wt.seeded = true
+}
+
+func (wt *worldTracker) release() { wt.t.Release() }
+
+// seedWorkers picks the fan-out for cold/full coverage evaluations: 1
+// inside batch sweeps (the run-level worker pool already saturates the
+// machine), all CPUs for standalone runs. The choice cannot affect
+// results — the row-sharded seed is bit-identical at any worker count.
+func seedWorkers(cfg Config) int {
+	if cfg.estimators != nil {
+		return 1
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// coveragePair computes the 1- and 2-coverage fractions of a final
+// layout: one seeded tracker pass when the incremental engine is on
+// (Fraction and KFraction then read the same running counts), the two
+// brute-force scans otherwise. Bit-identical either way.
+func coveragePair(cfg Config, est *coverage.Estimator, layout []geom.Vec) (cov, cov2 float64) {
+	if !coverage.IncrementalEnabled() {
+		return est.Fraction(layout, cfg.Rs), est.KFraction(layout, cfg.Rs, 2)
+	}
+	t := est.AcquireTracker(cfg.Rs, len(layout))
+	t.Seed(layout, nil, seedWorkers(cfg))
+	cov, cov2 = t.Fraction(), t.KFraction(2)
+	t.Release()
+	return cov, cov2
+}

@@ -1,0 +1,64 @@
+package mobisense
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mobisense/internal/coverage"
+)
+
+// TestIncrementalSweepRecordsByteIdentical is the acceptance check for
+// the incremental coverage engine: a traced obstacle-heavy sweep stored
+// with the engine enabled (per-sample tracker updates, row-sharded
+// seeding, early-exit exclusive-area tests) must produce byte-identical
+// manifest and records files to the same sweep on the full-rescan paths
+// (MOBISENSE_NO_INCR). The engine maintains the same integer counts the
+// brute scans compute, so any byte of difference is a bug, not noise.
+func TestIncrementalSweepRecordsByteIdentical(t *testing.T) {
+	cfg := sweepConfig()
+	cfg.Duration = 60
+	cfg.Trace = &TraceOptions{Stride: 5}
+	cfg.Failures = &FailureOptions{Interval: 20, MaxKills: 3}
+	sweep := Sweep{
+		Base:      cfg,
+		Schemes:   []Scheme{SchemeCPVF, SchemeFLOOR},
+		Scenarios: []string{"narrow-door", "random-obstacles"},
+		Ns:        []int{25},
+		Repeats:   2,
+		Seed:      11,
+	}
+	dirs := map[bool]string{
+		true:  filepath.Join(t.TempDir(), "incr"),
+		false: filepath.Join(t.TempDir(), "brute"),
+	}
+	for _, incr := range []bool{true, false} {
+		prev := coverage.SetIncrementalEnabled(incr)
+		_, err := sweep.Run(context.Background(), BatchOptions{
+			Workers: 4,
+			Store:   &Store{Dir: dirs[incr], Trace: true},
+		})
+		coverage.SetIncrementalEnabled(prev)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, file := range []string{"manifest.json", "records.jsonl"} {
+		a, err := os.ReadFile(filepath.Join(dirs[true], file))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := os.ReadFile(filepath.Join(dirs[false], file))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a, b) {
+			t.Errorf("%s differs between incremental and full-rescan sweeps", file)
+		}
+	}
+	if len(bytesOrEmpty(t, dirs[true], "records.jsonl")) == 0 {
+		t.Fatal("records.jsonl is empty")
+	}
+}

@@ -25,6 +25,7 @@ func (w *World) Kill(id int) []int {
 	pos := w.PosAt(id, now)
 	w.stepFrom[id], w.stepTo[id] = pos, pos
 	w.stepT0[id], w.stepT1[id] = now, now
+	w.moveEpoch[id]++
 	s.Failed = true
 	s.Connected = false
 

@@ -54,6 +54,13 @@ type World struct {
 	stepT0   []float64
 	stepT1   []float64
 
+	// moveEpoch[id] increments whenever sensor id's motion state changes
+	// out of band — a new step record, a teleport, a failure. Together
+	// with StepEndTime it lets observers (the incremental coverage
+	// tracker) skip sensors whose position provably hasn't changed since
+	// their last look, without schemes calling back.
+	moveEpoch []uint64
+
 	msgStore MsgStats
 
 	idx        *spatial.Index
@@ -98,6 +105,8 @@ func NewWorld(f *field.Field, p Params) (*World, error) {
 	w.stepTo = resize(w.stepTo, p.N)
 	w.stepT0 = resize(w.stepT0, p.N)
 	w.stepT1 = resize(w.stepT1, p.N)
+	w.moveEpoch = resize(w.moveEpoch, p.N)
+	clear(w.moveEpoch)
 	rng := w.E.Rand()
 	for i := 0; i < p.N; i++ {
 		pos := f.RandomFreePoint(rng, p.InitRegion)
@@ -187,6 +196,7 @@ func (w *World) BeginStep(id int, to geom.Vec, pathLen, dur float64) {
 	w.stepTo[id] = to
 	w.stepT0[id] = now
 	w.stepT1[id] = now + dur
+	w.moveEpoch[id]++
 	w.Sensors[id].Traveled += pathLen
 	if pathLen > 1e-9 {
 		w.lastMove = now + dur
@@ -204,8 +214,12 @@ func (w *World) Teleport(id int, pos geom.Vec) {
 	w.stepTo[id] = pos
 	w.stepT0[id] = now
 	w.stepT1[id] = now
+	w.moveEpoch[id]++
 	w.idx.Insert(id, pos)
 }
+
+// MoveEpoch returns sensor id's motion-change counter; see moveEpoch.
+func (w *World) MoveEpoch(id int) uint64 { return w.moveEpoch[id] }
 
 // Stay commits sensor id to remain stationary for the next dur seconds.
 func (w *World) Stay(id int, dur float64) {

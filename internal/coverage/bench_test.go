@@ -43,6 +43,35 @@ func BenchmarkFractionLOS(b *testing.B) {
 	}
 }
 
+// BenchmarkFractionIncremental measures the steady-state cost the
+// incremental tracker pays per trace sample: one sensor moved a short
+// step (two disk-window updates) followed by a Fraction query answered
+// from the running histogram. Compare against BenchmarkFractionLOS,
+// which re-scans every sensor's disk for the same answer.
+func BenchmarkFractionIncremental(b *testing.B) {
+	f, positions := losBenchSetup(b, 120)
+	e := NewEstimator(f, 5)
+	present := make([]bool, len(positions))
+	for i := range present {
+		present[i] = true
+	}
+	tr := e.AcquireTracker(40, len(positions))
+	defer tr.Release()
+	tr.Seed(positions, present, 1)
+	home := positions[7]
+	away := geom.V(home.X+3, home.Y+3)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%2 == 0 {
+			tr.Set(7, away)
+		} else {
+			tr.Set(7, home)
+		}
+		tr.Fraction()
+	}
+}
+
 // BenchmarkExclusiveArea measures FLOOR's movable-sensor test: exclusive
 // coverage of 10 centers against 40 other sensors at the rs/8 sampling
 // resolution phase 2 uses.

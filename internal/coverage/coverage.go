@@ -7,6 +7,7 @@ package coverage
 import (
 	"math"
 	"sync"
+	"sync/atomic"
 
 	"mobisense/internal/field"
 	"mobisense/internal/geom"
@@ -29,7 +30,15 @@ type Estimator struct {
 	free  []bool
 	nFree int
 
-	scratch sync.Pool // *gridScratch
+	// pinned is a single pre-allocated scratch slot so the common case —
+	// one evaluation at a time per estimator — never touches the pool.
+	// sync.Pool may drop its contents at any GC, which shows up as a
+	// ~240 KB re-allocation on the next call; the pinned slot makes
+	// Fraction/KFraction deterministically allocation-free even for a
+	// cold first call. Concurrent evaluations overflow into the pool.
+	pinned   atomic.Pointer[gridScratch]
+	scratch  sync.Pool // *gridScratch
+	trackers sync.Pool // *Tracker
 }
 
 // gridScratch is a reusable evaluation grid. Instead of clearing nx*ny
@@ -92,7 +101,24 @@ func NewEstimator(f *field.Field, res float64) *Estimator {
 			counts: make([]int16, len(e.free)),
 		}
 	}
+	e.pinned.Store(e.scratch.New().(*gridScratch))
 	return e
+}
+
+// getScratch borrows an evaluation grid, preferring the pinned slot.
+func (e *Estimator) getScratch() *gridScratch {
+	if g := e.pinned.Swap(nil); g != nil {
+		return g
+	}
+	return e.scratch.Get().(*gridScratch)
+}
+
+// putScratch returns a grid borrowed with getScratch.
+func (e *Estimator) putScratch(g *gridScratch) {
+	if e.pinned.CompareAndSwap(nil, g) {
+		return
+	}
+	e.scratch.Put(g)
 }
 
 func (e *Estimator) cellCenter(ix, iy int) geom.Vec {
@@ -128,6 +154,52 @@ func (e *Estimator) windowAround(p geom.Vec, rs float64) window {
 	}
 }
 
+// sensorLOS is the per-sensor line-of-sight context shared by every grid
+// scan: Fraction, KFraction, the incremental Tracker's disk updates, and
+// the row-sharded parallel seeder. Keeping the setup in one place is what
+// makes the incremental engine bit-identical to the brute scans — they
+// cannot disagree on which cells a sensor covers.
+//
+// The rewrites it encodes are exact: a disk probe narrows the edge set to
+// the sensor's window, a blocked sensor (skip) sees no cell at all (every
+// Visible test would fail on its Free(p) check), and a probe with no
+// nearby solid edge makes every in-disk pair visible.
+type sensorLOS struct {
+	visTest  bool // per-cell visibility test still required
+	useProbe bool // pr is active; use VisibleFree instead of f.Visible
+	skip     bool // sensor covers no cell; skip it entirely
+	pr       field.Probe
+}
+
+// losSetup prepares the line-of-sight context for one sensor at p. los
+// must be len(f.Obstacles()) > 0, hoisted by the caller.
+func (e *Estimator) losSetup(ps *field.ProbeScratch, p geom.Vec, rs float64, los bool) sensorLOS {
+	s := sensorLOS{visTest: los}
+	if !los {
+		return s
+	}
+	s.pr = e.f.DiskProbe(ps, p, rs)
+	if s.useProbe = s.pr.Active(); s.useProbe {
+		if !e.f.Free(p) {
+			s.skip = true
+			return s
+		}
+		if s.pr.TriviallyVisible() {
+			s.visTest = false
+		}
+	}
+	return s
+}
+
+// sees reports whether the sensor at p has line of sight to cell center
+// c. Callers check s.visTest first; when it is false no test is needed.
+func (s *sensorLOS) sees(e *Estimator, p, c geom.Vec) bool {
+	if s.useProbe {
+		return s.pr.VisibleFree(p, c)
+	}
+	return e.f.Visible(p, c)
+}
+
 // Fraction returns the fraction of the free area covered by at least one
 // disk of radius rs centered at the given positions. Sensing is
 // line-of-sight: area behind an obstacle is not covered.
@@ -135,8 +207,8 @@ func (e *Estimator) Fraction(positions []geom.Vec, rs float64) float64 {
 	if e.nFree == 0 {
 		return 0
 	}
-	g := e.scratch.Get().(*gridScratch)
-	defer e.scratch.Put(g)
+	g := e.getScratch()
+	defer e.putScratch(g)
 	g.next()
 	covered := g.stamps
 	epoch := g.epoch
@@ -149,24 +221,9 @@ func (e *Estimator) Fraction(positions []geom.Vec, rs float64) float64 {
 		if !full {
 			w = e.windowAround(p, rs)
 		}
-		// Per-sensor line-of-sight setup: a disk probe narrows the edge
-		// set to the sensor's window, a blocked sensor sees no cell at
-		// all (every Visible test would fail on its Free(p) check), and
-		// a probe with no nearby edges makes every in-disk pair visible
-		// — all exact rewrites of the per-cell Visible call.
-		visTest := los
-		var pr field.Probe
-		useProbe := false
-		if los {
-			pr = e.f.DiskProbe(&g.probe, p, rs)
-			if useProbe = pr.Active(); useProbe {
-				if !e.f.Free(p) {
-					continue
-				}
-				if pr.TriviallyVisible() {
-					visTest = false
-				}
-			}
+		s := e.losSetup(&g.probe, p, rs, los)
+		if s.skip {
+			continue
 		}
 		for iy := w.iy0; iy <= w.iy1; iy++ {
 			row := iy * e.nx
@@ -180,14 +237,8 @@ func (e *Estimator) Fraction(positions []geom.Vec, rs float64) float64 {
 				if c.Dist2(p) > rs2 {
 					continue
 				}
-				if visTest {
-					if useProbe {
-						if !pr.VisibleFree(p, c) {
-							continue
-						}
-					} else if !e.f.Visible(p, c) {
-						continue
-					}
+				if s.visTest && !s.sees(e, p, c) {
+					continue
 				}
 				covered[i] = epoch
 				count++
@@ -212,8 +263,8 @@ func (e *Estimator) KFraction(positions []geom.Vec, rs float64, k int) float64 {
 	if e.nFree == 0 || k <= 0 {
 		return 0
 	}
-	g := e.scratch.Get().(*gridScratch)
-	defer e.scratch.Put(g)
+	g := e.getScratch()
+	defer e.putScratch(g)
 	g.next()
 	epoch := g.epoch
 	rs2 := rs * rs
@@ -224,20 +275,9 @@ func (e *Estimator) KFraction(positions []geom.Vec, rs float64, k int) float64 {
 		if !full {
 			w = e.windowAround(p, rs)
 		}
-		// Same per-sensor LOS setup as Fraction; see the comment there.
-		visTest := los
-		var pr field.Probe
-		useProbe := false
-		if los {
-			pr = e.f.DiskProbe(&g.probe, p, rs)
-			if useProbe = pr.Active(); useProbe {
-				if !e.f.Free(p) {
-					continue
-				}
-				if pr.TriviallyVisible() {
-					visTest = false
-				}
-			}
+		s := e.losSetup(&g.probe, p, rs, los)
+		if s.skip {
+			continue
 		}
 		for iy := w.iy0; iy <= w.iy1; iy++ {
 			row := iy * e.nx
@@ -251,14 +291,8 @@ func (e *Estimator) KFraction(positions []geom.Vec, rs float64, k int) float64 {
 				if c.Dist2(p) > rs2 {
 					continue
 				}
-				if visTest {
-					if useProbe {
-						if !pr.VisibleFree(p, c) {
-							continue
-						}
-					} else if !e.f.Visible(p, c) {
-						continue
-					}
+				if s.visTest && !s.sees(e, p, c) {
+					continue
 				}
 				if g.stamps[i] != epoch {
 					g.stamps[i] = epoch
@@ -283,6 +317,25 @@ func (e *Estimator) KFraction(positions []geom.Vec, rs float64, k int) float64 {
 // a threshold). The estimate samples the disk on a local window of the
 // given resolution; no per-call grid is materialized.
 func ExclusiveArea(f *field.Field, center geom.Vec, rs float64, others []geom.Vec, res float64) float64 {
+	return exclusiveArea(f, center, rs, others, res, math.Inf(1))
+}
+
+// ExclusiveAreaBelow reports whether ExclusiveArea(f, center, rs, others,
+// res) < limit, stopping the scan as soon as the accumulated area reaches
+// the limit. The result is exact — the sampled area only ever grows, so
+// once it reaches limit the full scan's verdict is already determined —
+// which is what lets FLOOR's movable-sensor test (excl < threshold) skip
+// most of the disk for sensors that are clearly not movable.
+func ExclusiveAreaBelow(f *field.Field, center geom.Vec, rs float64, others []geom.Vec, res, limit float64) bool {
+	if !IncrementalEnabled() {
+		return ExclusiveArea(f, center, rs, others, res) < limit
+	}
+	return exclusiveArea(f, center, rs, others, res, limit) < limit
+}
+
+// exclusiveArea runs the exclusive-coverage scan, returning early once the
+// accumulated area reaches limit (pass +Inf for a full scan).
+func exclusiveArea(f *field.Field, center geom.Vec, rs float64, others []geom.Vec, res, limit float64) float64 {
 	if res <= 0 {
 		res = rs / 10
 	}
@@ -292,7 +345,7 @@ func ExclusiveArea(f *field.Field, center geom.Vec, rs float64, others []geom.Ve
 	// center→p stays within rs of the center, and o→p within 2·rs (both
 	// endpoints do).
 	if pr := f.DiskProbe(&sc.probe, center, 2*rs); pr.Active() {
-		return exclusiveAreaFast(f, center, rs, others, res, sc, pr)
+		return exclusiveAreaFast(f, center, rs, others, res, limit, sc, pr)
 	}
 	rs2 := rs * rs
 	los := len(f.Obstacles()) > 0
@@ -315,6 +368,9 @@ func ExclusiveArea(f *field.Field, center geom.Vec, rs float64, others []geom.Ve
 			}
 			if exclusive {
 				count++
+				if float64(count)*res*res >= limit {
+					return float64(count) * res * res
+				}
 			}
 		}
 	}
@@ -343,17 +399,17 @@ var exclScratch = sync.Pool{New: func() any { return new(exclusiveScratch) }}
 //   - Bounds().Contains is dropped because Free implies it;
 //   - per-pair Visible calls become in-probe VisibleFree calls, and are
 //     skipped wholesale when no solid edge is near the disk.
-func exclusiveAreaFast(f *field.Field, center geom.Vec, rs float64, others []geom.Vec, res float64, sc *exclusiveScratch, pr field.Probe) float64 {
+func exclusiveAreaFast(f *field.Field, center geom.Vec, rs float64, others []geom.Vec, res, limit float64, sc *exclusiveScratch, pr field.Probe) float64 {
 	rs2 := rs * rs
 	los := len(f.Obstacles()) > 0
 	if los && !f.Free(center) {
 		return 0
 	}
-	limit := 2*rs + 1e-6
-	limit2 := limit * limit
+	reach := 2*rs + 1e-6
+	reach2 := reach * reach
 	near := sc.near[:0]
 	for _, o := range others {
-		if o.Dist2(center) > limit2 {
+		if o.Dist2(center) > reach2 {
 			continue
 		}
 		if los && !pr.FreeInDisk(o) {
@@ -382,6 +438,9 @@ func exclusiveAreaFast(f *field.Field, center geom.Vec, rs float64, others []geo
 			}
 			if exclusive {
 				count++
+				if float64(count)*res*res >= limit {
+					return float64(count) * res * res
+				}
 			}
 		}
 	}

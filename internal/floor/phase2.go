@@ -164,8 +164,12 @@ func (s *Scheme) isExclusiveCoverageLow(id int) bool {
 		others = append(others, q)
 	})
 	s.othersScratch = others
-	excl := coverage.ExclusiveArea(w.F, pos, w.P.Rs, others, w.P.Rs/8)
-	return excl < s.cfg.ExclusiveFrac*math.Pi*w.P.Rs*w.P.Rs
+	// ExclusiveAreaBelow stops sampling the disk as soon as the
+	// accumulated exclusive area reaches the threshold — exact, since the
+	// sampled area only grows — so clearly-unmovable sensors cost a
+	// fraction of the full scan.
+	limit := s.cfg.ExclusiveFrac * math.Pi * w.P.Rs * w.P.Rs
+	return coverage.ExclusiveAreaBelow(w.F, pos, w.P.Rs, others, w.P.Rs/8, limit)
 }
 
 func sortInts(a []int) {

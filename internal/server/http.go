@@ -356,7 +356,7 @@ func recordsCSV(recs []store.Record) string {
 	for _, rec := range recs {
 		axes := make([]string, len(rec.Axes))
 		for i, a := range rec.Axes {
-			axes[i] = a.Name + "=" + strconv.FormatFloat(a.Value, 'g', -1, 64)
+			axes[i] = a.Name + "=" + a.ValueString()
 		}
 		cw.Write([]string{
 			strconv.Itoa(rec.Index), rec.Scheme, rec.Scenario,

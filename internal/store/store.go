@@ -72,9 +72,12 @@ type SweepAxes struct {
 }
 
 // Axis is one generalized sweep dimension as persisted in a manifest.
+// Numeric axes fill Values; categorical (string-valued) axes fill
+// Strings. Numeric manifests keep their pre-categorical byte layout.
 type Axis struct {
-	Name   string    `json:"name"`
-	Values []float64 `json:"values"`
+	Name    string    `json:"name"`
+	Values  []float64 `json:"values"`
+	Strings []string  `json:"strings,omitempty"`
 }
 
 // FieldEntry embeds one environment's declarative geometry in a
@@ -88,9 +91,21 @@ type FieldEntry struct {
 }
 
 // AxisValue is one run's assignment on one axis, as persisted in records.
+// A categorical assignment carries its value in Str (omitted for numeric
+// axes, keeping pre-categorical records byte-identical).
 type AxisValue struct {
 	Name  string  `json:"name"`
 	Value float64 `json:"value"`
+	Str   string  `json:"str,omitempty"`
+}
+
+// ValueString renders the assignment's value: the categorical string, or
+// the compact lossless numeric form.
+func (a AxisValue) ValueString() string {
+	if a.Str != "" {
+		return a.Str
+	}
+	return strconv.FormatFloat(a.Value, 'g', -1, 64)
 }
 
 // Manifest identifies a store: what sweep it holds, which shard of it, and
@@ -234,7 +249,7 @@ func (r Record) Key() string {
 	k := fmt.Sprintf("%s|%s|n%d|r%d|s%016x|c%s",
 		r.Scheme, r.Scenario, r.N, r.Repeat, r.Seed, r.ConfigFingerprint)
 	for _, a := range r.Axes {
-		k += fmt.Sprintf("|%s=%s", a.Name, strconv.FormatFloat(a.Value, 'g', -1, 64))
+		k += fmt.Sprintf("|%s=%s", a.Name, a.ValueString())
 	}
 	return k
 }

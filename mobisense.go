@@ -95,10 +95,20 @@ func Run(cfg Config) (Result, error) {
 }
 
 // resultFromWorld gathers metrics from an event-driven scheme run. All
-// layout metrics consider the surviving sensors only.
-func resultFromWorld(cfg Config, w *core.World) Result {
+// layout metrics consider the surviving sensors only. A traced run hands
+// in its tracer so the final coverage figures are read from the already
+// up-to-date incremental tracker instead of a fresh full scan
+// (bit-identical: the tracker's integer counts are the brute scan's).
+func resultFromWorld(cfg Config, w *core.World, tr *tracer) Result {
 	layout := w.AliveLayout()
-	res := resultFromLayout(cfg, w.F, layout, w.AvgTraveled())
+	var cov, cov2 float64
+	if tr != nil && tr.wt != nil && tr.wt.seeded {
+		tr.wt.sync(w)
+		cov, cov2 = tr.wt.t.Fraction(), tr.wt.t.KFraction(2)
+	} else {
+		cov, cov2 = coveragePair(cfg, cfg.estimatorFor(w.F), layout)
+	}
+	res := resultWithCoverage(cfg, w.F, layout, w.AvgTraveled(), cov, cov2)
 	res.Messages = w.Msg.Total()
 	res.MessagesByKind = w.Msg.ByKind()
 	res.ConvergenceTime = w.LastMoveTime()
@@ -109,12 +119,16 @@ func resultFromWorld(cfg Config, w *core.World) Result {
 // resultFromLayout computes the layout-dependent metrics shared by all
 // schemes.
 func resultFromLayout(cfg Config, f *ifield.Field, layout []geom.Vec, avgDist float64) Result {
-	est := cfg.estimatorFor(f)
+	cov, cov2 := coveragePair(cfg, cfg.estimatorFor(f), layout)
+	return resultWithCoverage(cfg, f, layout, avgDist, cov, cov2)
+}
+
+func resultWithCoverage(cfg Config, f *ifield.Field, layout []geom.Vec, avgDist, cov, cov2 float64) Result {
 	positions := toPoints(layout)
 	return Result{
 		Scheme:          cfg.Scheme,
-		Coverage:        est.Fraction(layout, cfg.Rs),
-		Coverage2:       est.KFraction(layout, cfg.Rs, 2),
+		Coverage:        cov,
+		Coverage2:       cov2,
 		AvgMoveDistance: avgDist,
 		Connected:       core.AllConnected(layout, f.Reference(), cfg.Rc),
 		Positions:       positions,

@@ -120,10 +120,13 @@ func runEventScheme(cfg Config, f *ifield.Field, scheme core.Scheme, onKill func
 		w.E.RunUntil(w.Now() + stabChunk)
 	}
 
-	res := resultFromWorld(cfg, w)
+	res := resultFromWorld(cfg, w, tr)
 	res.InitialPositions = toPoints(starts)
 	if tr != nil {
 		res.Trace = tr.samples
+		if tr.wt != nil {
+			tr.wt.release()
+		}
 	}
 	if fs, ok := scheme.(*floor.Scheme); ok {
 		res.Placements = fs.PlacementsByKind()

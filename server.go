@@ -209,7 +209,13 @@ func (r SweepRequest) sweep() (Sweep, error) {
 	}
 	axes := make([]ParamAxis, 0, len(r.Axes))
 	for _, spec := range r.Axes {
-		ax, err := BuildAxis(spec.Name, spec.Values...)
+		var ax ParamAxis
+		var err error
+		if len(spec.Strings) > 0 {
+			ax, err = BuildStringAxis(spec.Name, spec.Strings...)
+		} else {
+			ax, err = BuildAxis(spec.Name, spec.Values...)
+		}
 		if err != nil {
 			return Sweep{}, err
 		}
@@ -539,13 +545,23 @@ type AxisInfo struct {
 	// Integer marks axes whose values must be whole numbers.
 	Integer     bool   `json:"integer,omitempty"`
 	Description string `json:"description,omitempty"`
+	// String marks categorical axes; Choices lists their allowed values.
+	// Requests pass them in AxisSpec.Strings instead of Values.
+	String  bool     `json:"string,omitempty"`
+	Choices []string `json:"choices,omitempty"`
 }
 
 func (e *serviceEngine) Axes() any {
 	names := AxisNames()
 	out := make([]AxisInfo, 0, len(names))
 	for _, name := range names {
-		out = append(out, AxisInfo{Name: name, Integer: AxisIsInteger(name), Description: AxisDescription(name)})
+		out = append(out, AxisInfo{
+			Name:        name,
+			Integer:     AxisIsInteger(name),
+			Description: AxisDescription(name),
+			String:      AxisIsString(name),
+			Choices:     AxisStringValues(name),
+		})
 	}
 	return out
 }

@@ -173,7 +173,7 @@ func toStoreAxes(axes []AxisValue) []istore.AxisValue {
 	}
 	out := make([]istore.AxisValue, len(axes))
 	for i, a := range axes {
-		out[i] = istore.AxisValue{Name: a.Name, Value: a.Value}
+		out[i] = istore.AxisValue{Name: a.Name, Value: a.Value, Str: a.Str}
 	}
 	return out
 }
@@ -184,7 +184,7 @@ func fromStoreAxes(axes []istore.AxisValue) []AxisValue {
 	}
 	out := make([]AxisValue, len(axes))
 	for i, a := range axes {
-		out[i] = AxisValue{Name: a.Name, Value: a.Value}
+		out[i] = AxisValue{Name: a.Name, Value: a.Value, Str: a.Str}
 	}
 	return out
 }

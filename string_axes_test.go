@@ -1,0 +1,162 @@
+package mobisense
+
+import (
+	"context"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// Categorical (string-valued) axes must flow end-to-end: parse, sweep
+// expansion, store records, sharded merge, aggregation and report keys.
+
+func TestStringAxisParseAndBuild(t *testing.T) {
+	ax, err := ParseAxis("cpvf.osc=none,two-step")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ax.categorical() || !reflect.DeepEqual(ax.Strings, []string{"none", "two-step"}) {
+		t.Fatalf("parsed axis = %+v, want categorical [none two-step]", ax)
+	}
+	if _, err := ParseAxis("cpvf.osc=sideways"); err == nil {
+		t.Error("unknown categorical value should be rejected at parse time")
+	}
+	if _, err := BuildAxis("cpvf.osc", 1, 2); err == nil {
+		t.Error("BuildAxis on a string-valued axis should error")
+	}
+	if _, err := BuildStringAxis("rc", "fast"); err == nil {
+		t.Error("BuildStringAxis on a numeric axis should error")
+	}
+	if !AxisIsString("cpvf.osc") || AxisIsString("rc") {
+		t.Error("AxisIsString misclassifies axes")
+	}
+	if got := AxisStringValues("cpvf.osc"); len(got) != 3 {
+		t.Errorf("AxisStringValues(cpvf.osc) = %v, want the 3 oscillation modes", got)
+	}
+}
+
+func TestStringAxisExpansionSetsConfig(t *testing.T) {
+	sweep := Sweep{
+		Base:    sweepConfig(),
+		Schemes: []Scheme{SchemeCPVF},
+		Axes:    []ParamAxis{mustParseAxis(t, "cpvf.osc=none,one-step,two-step")},
+		Repeats: 1,
+		Seed:    9,
+	}
+	specs, err := sweep.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 3 {
+		t.Fatalf("expanded %d specs, want 3", len(specs))
+	}
+	for i, want := range []string{"none", "one-step", "two-step"} {
+		sp := specs[i]
+		if sp.Config.CPVF == nil || sp.Config.CPVF.Oscillation != want {
+			t.Errorf("spec %d: config oscillation = %+v, want %q", i, sp.Config.CPVF, want)
+		}
+		if len(sp.Axes) != 1 || sp.Axes[0].Str != want || sp.Axes[0].Name != "cpvf.osc" {
+			t.Errorf("spec %d: axes = %+v, want cpvf.osc=%q", i, sp.Axes, want)
+		}
+		if got := sp.Axes[0].ValueString(); got != want {
+			t.Errorf("spec %d: ValueString = %q, want %q", i, got, want)
+		}
+	}
+}
+
+func mustParseAxis(t *testing.T, spec string) ParamAxis {
+	t.Helper()
+	ax, err := ParseAxis(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ax
+}
+
+// TestStringAxisShardedStoreMerge is the regression test for categorical
+// axes through the full persistence pipeline: a sweep over a string axis
+// runs unsharded and as two shards; the merged shards must reproduce the
+// unsharded aggregates exactly, with the string values intact on every
+// reloaded run and aggregate row.
+func TestStringAxisShardedStoreMerge(t *testing.T) {
+	cfg := sweepConfig()
+	cfg.Scheme = SchemeCPVF
+	sweep := Sweep{
+		Base:    cfg,
+		Schemes: []Scheme{SchemeCPVF},
+		Axes: []ParamAxis{
+			AxisRc(50, 60),
+			mustParseAxis(t, "cpvf.osc=none,two-step"),
+		},
+		Repeats: 2,
+		Seed:    23,
+	}
+	base := t.TempDir()
+	full := filepath.Join(base, "full")
+	want, err := sweep.Run(context.Background(), BatchOptions{Store: &Store{Dir: full}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	shardDirs := []string{filepath.Join(base, "s0"), filepath.Join(base, "s1")}
+	for i, dir := range shardDirs {
+		if _, err := sweep.Run(context.Background(), BatchOptions{
+			Store: &Store{Dir: dir},
+			Shard: Shard{Index: i, Count: 2},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	merged, err := LoadStores(shardDirs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(merged.Aggregates, want.Aggregates) {
+		t.Errorf("merged string-axis aggregates differ:\nmerged: %+v\nwant:   %+v",
+			merged.Aggregates, want.Aggregates)
+	}
+	for _, br := range merged.Runs {
+		if len(br.Spec.Axes) != 2 || br.Spec.Axes[1].Str == "" {
+			t.Fatalf("reloaded run %d lost its string axis value: %+v", br.Spec.Index, br.Spec.Axes)
+		}
+	}
+
+	// The string value must split aggregate rows: each (rc, osc)
+	// combination is its own group.
+	groups := map[string]bool{}
+	for _, a := range want.Aggregates {
+		groups[axisTupleKey(a.Axes)] = true
+	}
+	if len(groups) != 4 {
+		t.Errorf("aggregates form %d axis groups %v, want 4", len(groups), groups)
+	}
+	for key := range groups {
+		if !strings.Contains(key, "cpvf.osc=") {
+			t.Errorf("aggregate group key %q lacks the categorical axis", key)
+		}
+	}
+
+	// Resuming the completed store executes nothing — record keys with
+	// string values round-trip through the resume index.
+	executed := 0
+	resumed, err := sweep.Run(context.Background(), BatchOptions{
+		Store:      &Store{Dir: full, Resume: true},
+		OnProgress: func(int, int) { executed++ },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if executed != 0 {
+		t.Errorf("resume executed %d runs, want 0", executed)
+	}
+	if !reflect.DeepEqual(resumed.Aggregates, want.Aggregates) {
+		t.Error("resumed string-axis aggregates differ from live run")
+	}
+	// A different value list on the string axis is a different sweep.
+	other := sweep
+	other.Axes = []ParamAxis{AxisRc(50, 60), mustParseAxis(t, "cpvf.osc=none,one-step")}
+	if _, err := other.Run(context.Background(), BatchOptions{Store: &Store{Dir: full, Resume: true}}); err == nil {
+		t.Error("resuming with different string-axis values should error")
+	}
+}

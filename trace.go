@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"mobisense/internal/core"
+	"mobisense/internal/coverage"
 	ifield "mobisense/internal/field"
 )
 
@@ -164,6 +165,10 @@ type tracer struct {
 	cfg     Config
 	f       *ifield.Field
 	samples []TraceSample
+	// wt is the incremental coverage tracker (nil when the engine is
+	// disabled): seeded on the first sample, then updated per sample in
+	// O(moved sensors × disk window) instead of O(grid × N).
+	wt *worldTracker
 }
 
 // attach schedules periodic sampling on the world's engine, from t=0 to
@@ -178,12 +183,22 @@ func (tr *tracer) attach(w *core.World, horizon float64) {
 		layoutStride = 1
 	}
 	est := tr.cfg.estimatorFor(tr.f)
+	if coverage.IncrementalEnabled() {
+		tr.wt = newWorldTracker(est, tr.cfg.Rs, len(w.Sensors), seedWorkers(tr.cfg))
+	}
 	var cs core.TraceSample
 	w.E.ScheduleEvery(0, stride, func() bool {
 		layout := w.SampleTrace(&cs)
+		var cov float64
+		if tr.wt != nil {
+			tr.wt.sync(w)
+			cov = tr.wt.t.Fraction()
+		} else {
+			cov = est.Fraction(layout, tr.cfg.Rs)
+		}
 		sample := TraceSample{
 			Time:       cs.Time,
-			Coverage:   est.Fraction(layout, tr.cfg.Rs),
+			Coverage:   cov,
 			Connected:  cs.Connected,
 			Alive:      cs.Alive,
 			Moving:     cs.Moving,
